@@ -1,0 +1,125 @@
+// Theorem 4.1 — the deterministic O(m)-message algorithm, measured.
+//
+// Rows: graph families with wildly different n, m, D.  Claim shape: the
+// messages/m ratio stays below ~4 everywhere (the paper's 4m+2D+2m budget),
+// while time explodes exponentially in the smallest ID — also measured, via
+// the engine's fast-forwarded logical clock.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "election/dfs_election.hpp"
+#include "graphgen/generators.hpp"
+#include "graphgen/graph_algos.hpp"
+#include "net/wakeup.hpp"
+
+using namespace ule;
+
+int main() {
+  bench::header("Theorem 4.1: deterministic O(m) messages (DFS agents)",
+                "O(m) messages universally; arbitrary finite time "
+                "(~4m * 2^{min id} rounds)");
+
+  Rng rng(5);
+  struct Row {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"cycle128", make_cycle(128)});
+  rows.push_back({"path96", make_path(96)});
+  rows.push_back({"star128", make_star(128)});
+  rows.push_back({"complete24", make_complete(24)});
+  rows.push_back({"grid10x10", make_grid(10, 10)});
+  rows.push_back({"gnm128-512", make_random_connected(128, 512, rng)});
+  rows.push_back({"gnm128-2048", make_random_connected(128, 2048, rng)});
+  rows.push_back({"hypercube7", make_hypercube(7)});
+
+  std::printf("%-14s %6s %7s | %10s %9s | %14s | %7s\n", "graph", "n", "m",
+              "messages", "msgs/m", "logical rounds", "leader");
+  bench::row_divider(80);
+  for (const auto& row : rows) {
+    RunOptions opt;
+    opt.seed = 31;
+    opt.ids = IdScheme::RandomPermutation;
+    opt.max_rounds = Round{1} << 62;
+    const auto rep = run_election(row.g, make_dfs_election(), opt);
+    std::printf("%-14s %6zu %7zu | %10llu %9.2f | %14llu | %7s\n",
+                row.name.c_str(), row.g.n(), row.g.m(),
+                static_cast<unsigned long long>(rep.run.messages),
+                static_cast<double>(rep.run.messages) / row.g.m(),
+                static_cast<unsigned long long>(rep.run.rounds),
+                rep.verdict.unique_leader ? "unique" : "FAIL");
+  }
+
+  std::printf("\n[ablation] time vs smallest ID (cycle32, ids base..base+31)\n");
+  std::printf("%-10s %16s %12s\n", "min id", "logical rounds", "messages");
+  bench::row_divider(44);
+  const Graph g = make_cycle(32);
+  for (const Uid base : {1u, 2u, 4u, 6u, 8u}) {
+    EngineConfig cfg;
+    cfg.max_rounds = Round{1} << 62;
+    SyncEngine eng(g, cfg);
+    std::vector<Uid> ids(g.n());
+    for (NodeId s = 0; s < g.n(); ++s) ids[s] = base + s;
+    eng.set_uids(ids);
+    eng.init_processes(make_dfs_election());
+    const RunResult res = eng.run();
+    std::printf("%-10llu %16llu %12llu\n",
+                static_cast<unsigned long long>(base),
+                static_cast<unsigned long long>(res.rounds),
+                static_cast<unsigned long long>(res.messages));
+  }
+
+  std::printf(
+      "\n[adversarial wakeup] with wake-broadcast (cost <= 2m extra)\n");
+  std::printf("%-14s %10s %9s %7s\n", "graph", "messages", "msgs/m", "leader");
+  bench::row_divider(44);
+  for (const auto& row : rows) {
+    DfsConfig dcfg;
+    dcfg.wake_broadcast = true;
+    RunOptions opt;
+    opt.seed = 31;
+    opt.ids = IdScheme::RandomPermutation;
+    opt.max_rounds = Round{1} << 62;
+    Rng wk(7);
+    opt.wakeup = random_wakeup(row.g.n(), 8, wk);
+    const auto rep = run_election(row.g, make_dfs_election(dcfg), opt);
+    std::printf("%-14s %10llu %9.2f %7s\n", row.name.c_str(),
+                static_cast<unsigned long long>(rep.run.messages),
+                static_cast<double>(rep.run.messages) / row.g.m(),
+                rep.verdict.unique_leader ? "unique" : "FAIL");
+  }
+  std::printf("\n[ablation] fast-forward on/off: identical logical results,"
+              "\n  wall-clock separated by the 2^minID quiet stretches\n");
+  std::printf("%-12s %14s %12s %12s\n", "fast-forward", "logical rounds",
+              "messages", "wall ms");
+  bench::row_divider(56);
+  for (const bool ff : {true, false}) {
+    const Graph g2 = make_cycle(24);
+    EngineConfig cfg;
+    cfg.max_rounds = Round{1} << 62;
+    cfg.fast_forward = ff;
+    SyncEngine eng(g2, cfg);
+    std::vector<Uid> ids(g2.n());
+    for (NodeId s = 0; s < g2.n(); ++s) ids[s] = 10 + s;  // min id 10
+    eng.set_uids(ids);
+    eng.init_processes(make_dfs_election());
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult res = eng.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf("%-12s %14llu %12llu %12.2f\n", ff ? "on" : "off",
+                static_cast<unsigned long long>(res.rounds),
+                static_cast<unsigned long long>(res.messages), ms);
+  }
+
+  std::printf(
+      "shape check: msgs/m flat (<~4 simultaneous, <~6 adversarial) across\n"
+      "all families; logical time doubles per +1 of the smallest ID; the\n"
+      "fast-forward rows agree on every logical number, only wall-clock\n"
+      "differs (what makes Theorem 4.1's 2^ID delays simulable).\n");
+  return 0;
+}

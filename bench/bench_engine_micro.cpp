@@ -1,0 +1,79 @@
+// Micro-benchmarks of the simulation substrate itself (google-benchmark):
+// engine round throughput, flooding, and the full least-element election.
+// These are sanity numbers for anyone extending the simulator, not paper
+// claims.
+
+#include <benchmark/benchmark.h>
+
+#include "election/flood_max.hpp"
+#include "election/least_el.hpp"
+#include "graphgen/generators.hpp"
+#include "net/engine.hpp"
+
+namespace ule {
+namespace {
+
+void BM_FloodMaxCycle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = make_cycle(n);
+  for (auto _ : state) {
+    EngineConfig cfg;
+    cfg.seed = 1;
+    SyncEngine eng(g, cfg);
+    Rng id_rng(1);
+    eng.set_uids(assign_ids(n, IdScheme::RandomPermutation, id_rng));
+    eng.init_processes(make_flood_max());
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FloodMaxCycle)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_LeastElRandomGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Graph g = make_random_connected(n, 4 * n, rng);
+  for (auto _ : state) {
+    EngineConfig cfg;
+    cfg.seed = 3;
+    SyncEngine eng(g, cfg);
+    Rng id_rng(3);
+    eng.set_uids(assign_ids(n, IdScheme::RandomFromZ, id_rng));
+    eng.set_knowledge(Knowledge::of_n(n));
+    eng.init_processes(make_least_el(LeastElConfig::all_candidates()));
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_LeastElRandomGraph)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_EngineRoundOverhead(benchmark::State& state) {
+  // A process that stays Running but does nothing: measures the pure
+  // scheduler cost per node-round.
+  class Idle : public Process {
+   public:
+    void on_wake(Context& ctx, std::span<const Envelope>) override {
+      if (ctx.round() >= 1000) ctx.halt();
+    }
+    void on_round(Context& ctx, std::span<const Envelope>) override {
+      if (ctx.round() >= 1000) ctx.halt();
+    }
+  };
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = make_cycle(n);
+  for (auto _ : state) {
+    EngineConfig cfg;
+    cfg.seed = 1;
+    SyncEngine eng(g, cfg);
+    eng.init_processes([](NodeId) { return std::make_unique<Idle>(); });
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          1000);
+}
+BENCHMARK(BM_EngineRoundOverhead)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace ule
+
+BENCHMARK_MAIN();

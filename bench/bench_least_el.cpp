@@ -1,0 +1,116 @@
+// Theorem 4.4 (+ variants A and B) — the least-element-list family.
+//
+// Sweeps f(n) ∈ {1, 4ln(1/ε), log n, n} on a fixed graph and graph sizes
+// for fixed f, reporting:
+//   messages / (m · min(log2 f(n), D))  — the claimed message bound,
+//   rounds / D                          — the claimed O(D) time,
+//   measured success rate vs the claimed 1 - e^{-Θ(f(n))}.
+// Plus the rank-domain ablation: how fast collisions (≥2 leaders) appear
+// when |Z| shrinks below the paper's n^4 and the tiebreak is disabled.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "election/least_el.hpp"
+#include "graphgen/generators.hpp"
+#include "graphgen/graph_algos.hpp"
+
+using namespace ule;
+
+int main() {
+  bench::header("Theorem 4.4: least-element election, candidate trade-off",
+                "O(D) time, O(m min(log f(n), D)) msgs, success "
+                "1 - e^{-Theta(f(n))}");
+
+  Rng rng(2);
+  const std::size_t n = 256;
+  const Graph g = make_random_connected(n, 1536, rng);
+  const auto diam = diameter_exact(g);
+  std::printf("graph: %s, D=%u\n\n", g.summary().c_str(), diam);
+
+  std::printf("[f(n) sweep, %zu trials each]\n", std::size_t{25});
+  std::printf("%-14s %8s | %10s %16s | %8s %8s | %9s %9s\n", "f(n)", "value",
+              "messages", "msgs/(m*minlogf)", "rounds", "rnds/D", "success",
+              "predicted");
+  bench::row_divider(100);
+
+  struct FRow {
+    const char* label;
+    double f;
+  };
+  const std::vector<FRow> fs = {
+      {"1", 1.0},
+      {"2", 2.0},
+      {"4ln(20)  [B]", 4.0 * std::log(20.0)},
+      {"log2 n   [A]", std::log2(static_cast<double>(n))},
+      {"sqrt n", std::sqrt(static_cast<double>(n))},
+      {"n", static_cast<double>(n)},
+  };
+  for (const auto& fr : fs) {
+    LeastElConfig cfg = LeastElConfig::theorem_4_4(fr.f);
+    RunOptions opt;
+    opt.knowledge = Knowledge::of_n(n);
+    opt.seed = 500;
+    const auto st = bench::measure(g, make_least_el(cfg), opt, 25);
+    const double minlogf =
+        std::max(1.0, std::min(std::log2(std::max(2.0, fr.f)),
+                               static_cast<double>(diam)));
+    const double predicted = 1.0 - std::exp(-fr.f);
+    std::printf("%-14s %8.1f | %10.0f %16.2f | %8.1f %8.2f | %8.0f%% %8.0f%%\n",
+                fr.label, fr.f, st.mean_messages,
+                st.mean_messages / (g.m() * minlogf), st.mean_rounds,
+                st.mean_rounds / diam, 100.0 * st.success_rate,
+                100.0 * predicted);
+  }
+
+  std::printf("\n[size sweep at f=n: msgs/(m log n) and rounds/D stay flat]\n");
+  std::printf("%-12s %6s %7s %5s | %10s %14s | %8s %8s\n", "graph", "n", "m",
+              "D", "messages", "msgs/(m*logn)", "rounds", "rnds/D");
+  bench::row_divider(90);
+  for (const std::size_t nn : {64u, 128u, 256u, 512u}) {
+    const Graph gg = make_random_connected(nn, 4 * nn, rng);
+    const auto d = diameter_exact(gg);
+    RunOptions opt;
+    opt.knowledge = Knowledge::of_n(nn);
+    opt.seed = 900;
+    const auto st = bench::measure(
+        gg, make_least_el(LeastElConfig::all_candidates()), opt, 10);
+    std::printf("%-12s %6zu %7zu %5u | %10.0f %14.2f | %8.1f %8.2f\n",
+                ("gnm" + std::to_string(nn)).c_str(), nn, gg.m(), d,
+                st.mean_messages,
+                st.mean_messages / (gg.m() * std::log2(double(nn))),
+                st.mean_rounds, st.mean_rounds / d);
+  }
+
+  std::printf(
+      "\n[ablation: rank domain |Z| vs duplicate-leader rate, no tiebreak,\n"
+      " path(64), f=n, 60 trials — why the paper takes |Z| = n^4]\n");
+  std::printf("%-14s %12s %12s\n", "|Z|", "multi-lead", "unique");
+  bench::row_divider(42);
+  const Graph pg = make_path(64);
+  for (const std::uint64_t space :
+       {std::uint64_t{4}, std::uint64_t{16}, std::uint64_t{64},
+        std::uint64_t{4096}, id_space_size(64)}) {
+    LeastElConfig cfg = LeastElConfig::all_candidates();
+    cfg.rank_space = space;
+    cfg.tiebreak = LeastElConfig::Tiebreak::None;
+    std::size_t multi = 0, uniq = 0;
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+      RunOptions opt;
+      opt.knowledge = Knowledge::of_n(pg.n());
+      opt.seed = seed * 37;
+      const auto rep = run_election(pg, make_least_el(cfg), opt);
+      multi += rep.verdict.elected >= 2;
+      uniq += rep.verdict.unique_leader;
+    }
+    std::printf("%-14llu %11zu%% %11zu%%\n",
+                static_cast<unsigned long long>(space), multi * 100 / 60,
+                uniq * 100 / 60);
+  }
+  std::printf(
+      "shape check: success tracks 1-e^{-f}; msgs grow with log f but cap\n"
+      "at the D regime; collisions vanish once |Z| >> n^2 pairs.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Anonymous networks: leader election without identities.
+//
+// Deterministic leader election is IMPOSSIBLE in anonymous networks (the
+// classic symmetry argument: on a ring, identical nodes in identical states
+// stay identical forever).  The paper's randomized algorithms sidestep this:
+// candidacy and ranks come from private coins, so "the randomized algorithms
+// in this paper also apply for anonymous networks" (Section 2).
+//
+// This example runs the least-element election on an anonymous ring and
+// demonstrates:
+//   1. the deterministic algorithms refuse to run (they require IDs);
+//   2. the randomized one elects exactly one leader almost always;
+//   3. the failure mode is a full (rank, tiebreak) collision, whose
+//      probability is controlled by the rank-domain size — the ablation
+//      the paper's n^4 ID-space assumption is about.
+//
+//   $ ./anonymous_ring [n] [trials]
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "election/flood_max.hpp"
+#include "election/kingdom.hpp"
+#include "election/least_el.hpp"
+#include "graphgen/generators.hpp"
+
+using namespace ule;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 32;
+  const std::size_t trials =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400;
+  const Graph g = make_cycle(n);
+
+  std::printf("anonymous ring, n = %zu\n\n", n);
+
+  // --- 1. Deterministic algorithms need IDs and say so loudly. -----------
+  for (const auto& [name, factory] :
+       {std::pair<const char*, ProcessFactory>{"flood-max", make_flood_max()},
+        {"growing kingdoms", make_kingdom()}}) {
+    RunOptions opt;
+    opt.anonymous = true;
+    try {
+      run_election(g, factory, opt);
+      std::printf("%-18s: BUG — ran without IDs\n", name);
+    } catch (const std::exception& e) {
+      std::printf("%-18s: refused, \"%s\"\n", name, e.what());
+    }
+  }
+
+  // --- 2. Randomized election with private coins only. -------------------
+  // Tiebreak::Random replaces the unique-ID tiebreak with 64 private random
+  // bits; rank_space = n^4 mirrors the paper's ID-space assumption.
+  std::printf("\nleast-element election, ranks from [1, n^4], random "
+              "tiebreak:\n");
+  std::size_t wins = 0;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    LeastElConfig cfg = LeastElConfig::all_candidates();
+    cfg.tiebreak = LeastElConfig::Tiebreak::Random;
+    RunOptions opt;
+    opt.anonymous = true;
+    opt.seed = seed;
+    wins += run_election(g, make_least_el(cfg), opt).verdict.unique_leader;
+  }
+  std::printf("  %zu/%zu trials elected exactly one leader (%.1f%%)\n", wins,
+              trials, 100.0 * static_cast<double>(wins) /
+                          static_cast<double>(trials));
+
+  // --- 3. Shrink the rank domain until collisions actually bite. ---------
+  std::printf("\ncollision ablation (no tiebreak, rank domain shrinking):\n");
+  std::printf("  %-12s %-10s %s\n", "rank space", "success", "collisions hurt?");
+  for (const std::uint64_t space :
+       {std::uint64_t{1} << 40, std::uint64_t{1024}, std::uint64_t{64},
+        std::uint64_t{8}}) {
+    std::size_t ok = 0;
+    for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+      LeastElConfig cfg = LeastElConfig::all_candidates();
+      cfg.tiebreak = LeastElConfig::Tiebreak::None;
+      cfg.rank_space = space;
+      RunOptions opt;
+      opt.anonymous = true;
+      opt.seed = seed ^ 0xABCDEF;
+      ok += run_election(g, make_least_el(cfg), opt).verdict.unique_leader;
+    }
+    std::printf("  %-12llu %6.1f%%    %s\n",
+                static_cast<unsigned long long>(space),
+                100.0 * static_cast<double>(ok) / static_cast<double>(trials),
+                space >= (std::uint64_t{1} << 20)
+                    ? "no (birthday bound negligible)"
+                    : "yes (two minima share the rank)");
+  }
+  std::printf("\nThe paper draws IDs from a set of size n^4 so that random "
+              "ranks collide\nwith probability <= 1/n^2 — the first row.  "
+              "The last row is what happens\nwhen that assumption is "
+              "dropped.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Sensor-field energy budget: the paper's motivating scenario.
+//
+// "Minimizing messages and time for basic tasks such as leader election can
+// help in minimizing energy consumption in ad hoc and sensor networks."
+// (Section 1.)  A sensor's radio dominates its energy budget, so messages
+// sent is the energy currency.  This example deploys every algorithm in the
+// library on the same simulated sensor field (a torus: a grid of radio
+// ranges with wraparound) and prints the energy/latency trade-off next to
+// the paper's predictions — Table 1, measured on one concrete network.
+//
+//   $ ./sensor_grid [rows] [cols] [seed]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "election/clustering.hpp"
+#include "election/dfs_election.hpp"
+#include "election/explicit_elect.hpp"
+#include "election/flood_max.hpp"
+#include "election/kingdom.hpp"
+#include "election/least_el.hpp"
+#include "election/size_estimate.hpp"
+#include "graphgen/generators.hpp"
+#include "graphgen/graph_algos.hpp"
+#include "spanner/spanner_elect.hpp"
+
+using namespace ule;
+
+namespace {
+
+struct Contender {
+  std::string name;
+  std::string paper_claim;
+  ProcessFactory factory;
+  Knowledge knowledge;
+  Round max_rounds = 5'000'000;
+  // Theorem 4.1's agents step every 2^ID rounds, so its *simulated* time is
+  // astronomical unless IDs are small — the paper's "arbitrary finite time
+  // (which depends exponentially on the size of the smallest ID)" taken
+  // literally.  Give it a permutation of 1..n; everyone else gets
+  // adversarial IDs from [1, n^4].
+  IdScheme ids = IdScheme::RandomFromZ;
+};
+
+void print_row(const Contender& c, const ElectionReport& rep, double m,
+               double d) {
+  std::printf("%-28s | %8llu %7.1f | %9llu %7.1f | %-4s | %s\n",
+              c.name.c_str(),
+              static_cast<unsigned long long>(rep.run.rounds),
+              static_cast<double>(rep.run.rounds) / d,
+              static_cast<unsigned long long>(rep.run.messages),
+              static_cast<double>(rep.run.messages) / m,
+              rep.verdict.unique_leader ? "yes" : "NO",
+              c.paper_claim.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 12;
+  const std::size_t cols = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 12;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  const Graph g = make_torus(rows, cols);
+  const auto n = g.n();
+  const auto m = static_cast<double>(g.m());
+  const auto diameter = diameter_exact(g);
+  const auto d = static_cast<double>(diameter);
+
+  std::printf("sensor field: %zux%zu torus — %s, diameter %llu\n\n", rows,
+              cols, g.summary().c_str(),
+              static_cast<unsigned long long>(diameter));
+
+  const Knowledge none = Knowledge::none();
+  const Knowledge kn = Knowledge::of_n(n);
+  const Knowledge knd = Knowledge::of_n_d(n, diameter);
+
+  std::vector<Contender> contenders;
+  contenders.push_back({"flood-max [20] baseline", "O(D) / O(mD)",
+                        make_flood_max(), none});
+  contenders.push_back({"DFS agents (Thm 4.1)", "arbitrary / O(m)",
+                        make_dfs_election(), none, Round{1} << 62,
+                        IdScheme::RandomPermutation});
+  contenders.push_back({"least-el f=n [11]", "O(D) / O(m log n)",
+                        make_least_el(LeastElConfig::all_candidates()), none});
+  contenders.push_back({"least-el f=log n (4.4.A)", "O(D) / O(m loglog n)",
+                        make_least_el(LeastElConfig::variant_A(n)), kn});
+  contenders.push_back({"least-el f=4ln20 (4.4.B)", "O(D) / O(m), p>=.95",
+                        make_least_el(LeastElConfig::variant_B(0.05)), kn});
+  contenders.push_back({"size-estimate (Cor 4.5)", "O(D) / O(m log n), p=1",
+                        make_size_estimate_elect(), none});
+  contenders.push_back({"las vegas (Cor 4.6)", "exp O(D) / exp O(m), p=1",
+                        make_least_el(LeastElConfig::las_vegas(diameter)),
+                        knd});
+  contenders.push_back({"spanner k=3 (Cor 4.2)", "O(D) / O(m) if dense",
+                        make_spanner_elect({3, 0}), kn});
+  contenders.push_back({"clustering (Thm 4.7)", "O(D log n) / O(m+n log n)",
+                        make_clustering(), kn});
+  contenders.push_back({"kingdoms (Thm 4.10)", "O(D log n) / O(m log n)",
+                        make_kingdom(), none});
+  contenders.push_back({"kingdoms, D known", "O(D log n) / O(m log n)",
+                        make_kingdom(KingdomConfig{diameter}), knd});
+  contenders.push_back({"explicit flood-max", "+O(D) / +(2m-n+1)",
+                        make_explicit(make_flood_max()), none});
+
+  std::printf("%-28s | %8s %7s | %9s %7s | %-4s | paper bound "
+              "(time / messages)\n",
+              "algorithm", "rounds", "/D", "messages", "/m", "ok");
+  std::printf("%s\n", std::string(110, '-').c_str());
+
+  for (const Contender& c : contenders) {
+    RunOptions opt;
+    opt.seed = seed;
+    opt.ids = c.ids;
+    opt.knowledge = c.knowledge;
+    opt.max_rounds = c.max_rounds;
+    const auto rep = run_election(g, c.factory, opt);
+    print_row(c, rep, m, d);
+  }
+
+  std::printf("\nReading the table: '/m' is the energy a sensor fleet pays "
+              "per radio link;\n'/D' is the latency in network sweeps.  The "
+              "O(m)-message algorithms (DFS,\nvariant B) are the energy "
+              "optimum the Omega(m) lower bound (Theorem 3.1)\nproves "
+              "unbeatable; flood-max pays ~D x more energy for optimal "
+              "latency;\nthe kingdoms/clustering rows sit in between "
+              "(log-factor overheads).\n");
+  return 0;
+}

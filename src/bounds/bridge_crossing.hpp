@@ -1,0 +1,47 @@
+// Bridge crossing (BC) — the intermediate problem of the Theorem 3.1 proof,
+// made operational.
+//
+// An algorithm achieves BC on a dumbbell graph when a message crosses one of
+// the two bridge edges.  The engine's edge watches record the first crossing
+// round and the number of messages sent strictly before it; averaging those
+// counts over a class C(G', G'') — i.e. over choices of the opened clique
+// edges e', e'' — is exactly the quantity Lemma 3.5 lower-bounds by Ω(m).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "election/election.hpp"
+#include "graphgen/dumbbell.hpp"
+
+namespace ule {
+
+struct BridgeCrossingRun {
+  std::size_t open_left = 0;
+  std::size_t open_right = 0;
+  Round first_cross = kRoundForever;
+  std::uint64_t messages_before_cross = 0;
+  std::uint64_t messages_total = 0;
+  Round rounds_total = 0;
+  bool unique_leader = false;
+};
+
+struct BridgeCrossingSummary {
+  std::vector<BridgeCrossingRun> runs;
+  double mean_messages_before_cross = 0.0;
+  double mean_messages_total = 0.0;
+  double crossing_fraction = 0.0;  ///< fraction of runs where BC happened
+  std::size_t side_m = 0;          ///< edges per dumbbell side (Θ(m))
+  std::size_t kappa = 0;
+};
+
+/// Run `factory` on `samples` dumbbell graphs with per-side n nodes and
+/// ~m edges, sampling (e', e'') uniformly, and aggregate BC statistics.
+/// Knowledge of n', m', D is granted (the lower bound's hardest case).
+BridgeCrossingSummary run_bridge_crossing(std::size_t n, std::size_t m,
+                                          const ProcessFactory& factory,
+                                          std::size_t samples,
+                                          std::uint64_t seed);
+
+}  // namespace ule

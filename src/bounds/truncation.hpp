@@ -1,0 +1,59 @@
+// The Theorem 3.13 argument, made operational: algorithms cut off at o(D)
+// rounds elect leaders in far-apart arcs independently.
+//
+// BallMaxProcess is the canonical "truncated" algorithm: every node draws a
+// random rank (or uses its ID), floods maxima for exactly `horizon` rounds,
+// and elects itself iff it still holds the maximum it has seen — i.e. it is
+// the maximum of its radius-`horizon` ball.  On the clique-cycle graph with
+// horizon < D'/4 the four arcs cannot exchange information, so, by the
+// proof's independence argument, the probability of electing exactly one
+// leader is bounded away from 1 — the experiment measures exactly that
+// failure probability as the horizon sweeps through fractions of D.
+
+#pragma once
+
+#include <cstdint>
+
+#include "election/election.hpp"
+#include "net/process.hpp"
+
+namespace ule {
+
+class BallMaxProcess final : public Process {
+ public:
+  /// `horizon`: number of communication rounds before the forced decision.
+  /// `random_rank`: draw a private random rank (anonymous-compatible, the
+  /// lower bound's setting) instead of using the unique ID.
+  BallMaxProcess(Round horizon, bool random_rank)
+      : horizon_(horizon), random_rank_(random_rank) {}
+
+  void on_wake(Context& ctx, std::span<const Envelope> inbox) override;
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override;
+
+ private:
+  void decide(Context& ctx);
+
+  Round horizon_;
+  bool random_rank_;
+  std::uint64_t own_ = 0;
+  std::uint64_t best_ = 0;
+  bool decided_ = false;
+};
+
+ProcessFactory make_ball_max(Round horizon, bool random_rank = true);
+
+/// Outcome statistics over repeated truncated runs on one graph.
+struct TruncationStats {
+  std::size_t trials = 0;
+  std::size_t unique_leader = 0;
+  std::size_t zero_leaders = 0;
+  std::size_t multi_leaders = 0;
+  double success_rate() const {
+    return trials ? static_cast<double>(unique_leader) / trials : 0.0;
+  }
+};
+
+TruncationStats run_truncation_trials(const Graph& g, Round horizon,
+                                      std::size_t trials, std::uint64_t seed);
+
+}  // namespace ule

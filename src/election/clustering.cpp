@@ -1,0 +1,279 @@
+#include "election/clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "net/ids.hpp"
+
+namespace ule {
+
+namespace {
+
+struct ClusterMsg final : Message {
+  enum class Kind : std::uint8_t {
+    Join,       ///< a = node token, b = cluster token
+    ChildAck,   ///< a = node token, b = cluster token; sender joined via us
+    UpEntry,    ///< a,b = edge name, c = foreign cluster
+    UpDone,
+    DownEntry,  ///< a,b = edge name, c = foreign cluster
+    DownDone,
+  };
+  Kind kind = Kind::Join;
+  std::uint64_t a = 0, b = 0, c = 0;
+
+  std::uint32_t size_bits() const override {
+    return wire::kTypeTag + 3 * wire::kIdField;
+  }
+  std::string debug_string() const override {
+    static const char* names[] = {"join",     "child-ack", "up-entry",
+                                  "up-done",  "down-entry", "down-done"};
+    return std::string("cluster-") + names[static_cast<int>(kind)];
+  }
+};
+
+std::shared_ptr<ClusterMsg> make_msg(ClusterMsg::Kind k, std::uint64_t a = 0,
+                                     std::uint64_t b = 0,
+                                     std::uint64_t c = 0) {
+  auto m = std::make_shared<ClusterMsg>();
+  m->kind = k;
+  m->a = a;
+  m->b = b;
+  m->c = c;
+  return m;
+}
+
+}  // namespace
+
+void ClusteringProcess::on_wake(Context& ctx, std::span<const Envelope> inbox) {
+  token_ = ctx.anonymous() ? ctx.rng()() : ctx.uid();
+  nbr_token_.assign(ctx.degree(), 0);
+  nbr_cluster_.assign(ctx.degree(), 0);
+  port_heard_.assign(ctx.degree(), false);
+
+  const auto n = static_cast<double>(ctx.knowledge().require_n());
+  const double prob =
+      std::min(1.0, cfg_.candidate_factor * std::log(std::max(2.0, n)) / n);
+  candidate_ = ctx.rng().bernoulli(prob);
+
+  if (candidate_) {
+    cluster_ = token_;
+    parent_ = kNoPort;
+    outbox_.queue_broadcast(ctx, make_msg(ClusterMsg::Kind::Join, token_, cluster_));
+  }
+  on_round(ctx, inbox);
+}
+
+void ClusteringProcess::note_neighbor(Context& /*ctx*/, PortId port,
+                                      std::uint64_t node_token,
+                                      std::uint64_t cluster_token) {
+  if (!port_heard_[port]) {
+    port_heard_[port] = true;
+    ++ports_heard_;
+  }
+  nbr_token_[port] = node_token;
+  nbr_cluster_[port] = cluster_token;
+}
+
+void ClusteringProcess::join_cluster(Context& ctx, std::uint64_t cluster,
+                                     PortId parent, std::uint64_t) {
+  cluster_ = cluster;
+  parent_ = parent;
+  outbox_.queue(parent, make_msg(ClusterMsg::Kind::ChildAck, token_, cluster_));
+  for (PortId p = 0; p < ctx.degree(); ++p) {
+    if (p != parent)
+      outbox_.queue(p, make_msg(ClusterMsg::Kind::Join, token_, cluster_));
+  }
+}
+
+void ClusteringProcess::try_send_up(Context& /*ctx*/) {
+  if (up_started_ || cluster_ == 0) return;
+  if (ports_heard_ != nbr_token_.size()) return;
+  if (children_done_ != children_.size()) return;
+  up_started_ = true;
+
+  // Fold our own inter-cluster edges into the subtree merge (Line 13's
+  // sparsify: keep the lexicographically smallest edge per foreign cluster —
+  // a deterministic rule, so the cluster on the other side selects the same
+  // representative from its own view of the same edge set).
+  for (PortId p = 0; p < nbr_token_.size(); ++p) {
+    if (nbr_cluster_[p] == cluster_) continue;
+    Entry e;
+    e.edge_a = std::min(token_, nbr_token_[p]);
+    e.edge_b = std::max(token_, nbr_token_[p]);
+    e.foreign = nbr_cluster_[p];
+    auto it = merged_.find(e.foreign);
+    if (it == merged_.end() ||
+        std::pair(e.edge_a, e.edge_b) <
+            std::pair(it->second.edge_a, it->second.edge_b)) {
+      merged_[e.foreign] = e;
+    }
+  }
+
+  if (parent_ == kNoPort) {
+    // Root: the merged map is the final inter-cluster graph of our cluster.
+    down_entries_.reserve(merged_.size());
+    for (const auto& [foreign, e] : merged_) down_entries_.push_back(e);
+    // Downlink pumping starts next round (or phase 3 if we have no tree).
+    if (children_.empty()) down_complete_ = true;
+  } else {
+    up_queue_.reserve(merged_.size());
+    for (const auto& [foreign, e] : merged_) up_queue_.push_back(e);
+  }
+}
+
+void ClusteringProcess::pump_uplink(Context& /*ctx*/) {
+  if (!up_started_ || parent_ == kNoPort || up_done_sent_) return;
+  if (up_sent_ < up_queue_.size()) {
+    const Entry& e = up_queue_[up_sent_++];
+    outbox_.queue(parent_, make_msg(ClusterMsg::Kind::UpEntry, e.edge_a,
+                                    e.edge_b, e.foreign));
+  } else {
+    outbox_.queue(parent_, make_msg(ClusterMsg::Kind::UpDone));
+    up_done_sent_ = true;
+  }
+}
+
+void ClusteringProcess::pump_downlink(Context& /*ctx*/) {
+  // Root only: stream the final graph down, one entry per round, then DONE.
+  if (parent_ != kNoPort || !up_started_ || down_done_forwarded_) return;
+  if (children_.empty()) return;
+  if (down_forwarded_ < down_entries_.size()) {
+    const Entry& e = down_entries_[down_forwarded_++];
+    for (const PortId p : children_)
+      outbox_.queue(p, make_msg(ClusterMsg::Kind::DownEntry, e.edge_a,
+                                e.edge_b, e.foreign));
+  } else {
+    for (const PortId p : children_)
+      outbox_.queue(p, make_msg(ClusterMsg::Kind::DownDone));
+    down_done_forwarded_ = true;
+    down_complete_ = true;
+  }
+}
+
+void ClusteringProcess::maybe_begin_phase3(Context& ctx) {
+  if (phase3_ || !down_complete_) return;
+  phase3_ = true;
+
+  // Overlay = tree edges + our incident representative inter-cluster edges.
+  std::vector<PortId> overlay;
+  if (parent_ != kNoPort) overlay.push_back(parent_);
+  overlay.insert(overlay.end(), children_.begin(), children_.end());
+  for (PortId p = 0; p < nbr_token_.size(); ++p) {
+    if (nbr_cluster_[p] == cluster_ || nbr_cluster_[p] == 0) continue;
+    const std::uint64_t ea = std::min(token_, nbr_token_[p]);
+    const std::uint64_t eb = std::max(token_, nbr_token_[p]);
+    const bool kept = std::any_of(
+        down_entries_.begin(), down_entries_.end(), [&](const Entry& e) {
+          return e.edge_a == ea && e.edge_b == eb;
+        });
+    if (kept) overlay.push_back(p);
+  }
+  elect_.restrict_ports(std::move(overlay));
+
+  // Phase 3: Theorem 4.4 with f(n) = n — every node is a candidate.
+  std::uint64_t space = cfg_.rank_space;
+  if (space == 0) space = id_space_size(ctx.knowledge().require_n());
+  WaveKey key;
+  key.primary = ctx.rng().in_range(1, space);
+  key.tiebreak = token_;
+  if (elect_.originate(ctx, key)) {
+    // Empty overlay: we are the only node, so the only candidate.
+    ctx.set_status(Status::Elected);
+    decided_ = true;
+  }
+
+  if (!buffered_.empty()) {
+    run_election_round(ctx, buffered_);
+    buffered_.clear();
+  }
+}
+
+void ClusteringProcess::run_election_round(Context& ctx,
+                                           std::span<const Envelope> inbox) {
+  const WavePool::Events ev = elect_.on_round(ctx, inbox);
+  if (!decided_) {
+    if (elect_.has_best() && !elect_.own_is_best()) {
+      ctx.set_status(Status::NonElected);
+      decided_ = true;
+    } else if (ev.own_complete && elect_.own_is_best()) {
+      ctx.set_status(Status::Elected);
+      decided_ = true;
+    }
+  }
+}
+
+void ClusteringProcess::on_round(Context& ctx, std::span<const Envelope> inbox) {
+  std::vector<Envelope> election_msgs;
+
+  for (const auto& env : inbox) {
+    if (const auto* cm = dynamic_cast<const ClusterMsg*>(env.msg.get())) {
+      switch (cm->kind) {
+        case ClusterMsg::Kind::Join:
+          if (cluster_ == 0) join_cluster(ctx, cm->b, env.port, cm->a);
+          note_neighbor(ctx, env.port, cm->a, cm->b);
+          break;
+        case ClusterMsg::Kind::ChildAck:
+          note_neighbor(ctx, env.port, cm->a, cm->b);
+          children_.push_back(env.port);
+          break;
+        case ClusterMsg::Kind::UpEntry: {
+          auto it = merged_.find(cm->c);
+          if (it == merged_.end() ||
+              std::pair(cm->a, cm->b) <
+                  std::pair(it->second.edge_a, it->second.edge_b)) {
+            merged_[cm->c] = Entry{cm->a, cm->b, cm->c};
+          }
+          break;
+        }
+        case ClusterMsg::Kind::UpDone:
+          ++children_done_;
+          break;
+        case ClusterMsg::Kind::DownEntry:
+          down_entries_.push_back(Entry{cm->a, cm->b, cm->c});
+          for (const PortId p : children_)
+            outbox_.queue(p, make_msg(ClusterMsg::Kind::DownEntry, cm->a,
+                                      cm->b, cm->c));
+          break;
+        case ClusterMsg::Kind::DownDone:
+          for (const PortId p : children_)
+            outbox_.queue(p, make_msg(ClusterMsg::Kind::DownDone));
+          down_complete_ = true;
+          break;
+      }
+    } else {
+      election_msgs.push_back(env);  // phase-3 wave traffic
+    }
+  }
+
+  try_send_up(ctx);
+  pump_uplink(ctx);
+  pump_downlink(ctx);
+  maybe_begin_phase3(ctx);
+
+  if (!election_msgs.empty()) {
+    if (phase3_) {
+      run_election_round(ctx, election_msgs);
+    } else {
+      buffered_.insert(buffered_.end(), election_msgs.begin(),
+                       election_msgs.end());
+    }
+  }
+
+  // Stay runnable while entries remain to pump or the outbox has backlog;
+  // otherwise sleep until the next message.
+  const bool backlog = outbox_.flush(ctx);
+  const bool pumping =
+      (up_started_ && parent_ != kNoPort && !up_done_sent_) ||
+      (up_started_ && parent_ == kNoPort && !children_.empty() &&
+       !down_done_forwarded_);
+  if (!pumping && !backlog) ctx.idle();
+}
+
+ProcessFactory make_clustering(ClusteringConfig cfg) {
+  return [cfg](NodeId) { return std::make_unique<ClusteringProcess>(cfg); };
+}
+
+}  // namespace ule

@@ -1,0 +1,183 @@
+#include "election/dfs_election.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace ule {
+
+namespace {
+
+/// The agent crossing an edge.  Forward = exploring; Bounce = "target was
+/// already visited, agent returns"; Backtrack = "subtree done, agent
+/// returns to parent".
+struct AgentMsg final : Message {
+  enum class Kind : std::uint8_t { Forward, Bounce, Backtrack };
+  Uid id = 0;
+  Kind kind = Kind::Forward;
+
+  std::uint32_t size_bits() const override {
+    return wire::kTypeTag + wire::kIdField;
+  }
+  std::string debug_string() const override {
+    const char* k = kind == Kind::Forward   ? "fwd"
+                    : kind == Kind::Bounce  ? "bounce"
+                                            : "backtrack";
+    return std::string("agent-") + k + "(" + std::to_string(id) + ")";
+  }
+};
+
+/// Wakeup-phase flood (adversarial wakeup only).
+struct WakeMsg final : Message {
+  std::uint32_t size_bits() const override { return wire::kTypeTag; }
+  std::string debug_string() const override { return "wake"; }
+};
+
+}  // namespace
+
+Round DfsElectionProcess::next_fire(Round now, Uid id) const {
+  const std::uint32_t exp =
+      static_cast<std::uint32_t>(std::min<Uid>(id, cfg_.delay_cap));
+  const Round delay = Round{1} << exp;
+  return (now / delay + 1) * delay;
+}
+
+void DfsElectionProcess::launch_own_agent(Context& ctx) {
+  started_ = true;
+  const Uid me = ctx.uid();
+  if (me < min_seen_) {
+    min_seen_ = me;
+    AgentRec rec;
+    rec.visited = true;
+    rec.parent = kNoPort;
+    rec.cursor = 0;
+    agents_.emplace(me, rec);
+    waiting_ = Waiting{me, next_fire(ctx.round(), me), StepMode::Explore,
+                       kNoPort};
+  } else {
+    // A smaller agent already passed through: our agent is stillborn and we
+    // already know we lost.
+    if (!decided_) {
+      ctx.set_status(Status::NonElected);
+      decided_ = true;
+    }
+  }
+}
+
+void DfsElectionProcess::handle_arrival(Context& ctx, const Envelope& env) {
+  const auto* am = dynamic_cast<const AgentMsg*>(env.msg.get());
+  if (!am) return;
+  const Uid id = am->id;
+
+  // Destruction rule: arriving at a node a smaller agent has visited kills
+  // the arrival (min_seen_ <= our own ID from the moment we launch).
+  if (id > min_seen_) return;
+
+  // Rule: a smaller arrival destroys any waiting larger agent.
+  if (waiting_ && waiting_->id > id) waiting_.reset();
+  if (id < min_seen_) {
+    min_seen_ = id;
+    if (!decided_ && started_) {
+      ctx.set_status(Status::NonElected);  // our own agent can never win now
+      decided_ = true;
+    }
+  }
+
+  switch (am->kind) {
+    case AgentMsg::Kind::Forward: {
+      auto [it, inserted] = agents_.try_emplace(id);
+      AgentRec& rec = it->second;
+      if (inserted || !rec.visited) {
+        // First visit: adopt this node into the agent's DFS tree.
+        rec.visited = true;
+        rec.parent = env.port;
+        rec.cursor = 0;
+        waiting_ = Waiting{id, next_fire(ctx.round(), id), StepMode::Explore,
+                           kNoPort};
+      } else {
+        // Already visited: the agent bounces back on its next step.
+        waiting_ = Waiting{id, next_fire(ctx.round(), id),
+                           StepMode::BounceBack, env.port};
+      }
+      break;
+    }
+    case AgentMsg::Kind::Bounce:
+    case AgentMsg::Kind::Backtrack: {
+      auto it = agents_.find(id);
+      if (it == agents_.end() || !it->second.visited)
+        throw std::logic_error("agent returned to a node it never visited");
+      AgentRec& rec = it->second;
+      if (rec.cursor != env.port)
+        throw std::logic_error("agent returned on an unexpected port");
+      ++rec.cursor;  // that edge is now fully explored
+      waiting_ =
+          Waiting{id, next_fire(ctx.round(), id), StepMode::Explore, kNoPort};
+      break;
+    }
+  }
+}
+
+void DfsElectionProcess::take_step(Context& ctx) {
+  const Waiting w = *waiting_;
+  waiting_.reset();
+
+  auto send_agent = [&](PortId p, AgentMsg::Kind kind) {
+    auto msg = std::make_shared<AgentMsg>();
+    msg->id = w.id;
+    msg->kind = kind;
+    ctx.send(p, msg);
+  };
+
+  if (w.mode == StepMode::BounceBack) {
+    send_agent(w.bounce_port, AgentMsg::Kind::Bounce);
+    return;
+  }
+
+  AgentRec& rec = agents_.at(w.id);
+  // Skip the parent port; it is used by the final backtrack only.
+  while (rec.cursor < ctx.degree() && rec.cursor == rec.parent) ++rec.cursor;
+
+  if (rec.cursor < ctx.degree()) {
+    send_agent(rec.cursor, AgentMsg::Kind::Forward);
+  } else if (rec.parent != kNoPort) {
+    send_agent(rec.parent, AgentMsg::Kind::Backtrack);
+  } else {
+    // The agent is home with every port explored: full DFS completed.  By
+    // the destruction rules it must be the smallest surviving ID.
+    ctx.set_status(Status::Elected);
+    decided_ = true;
+  }
+}
+
+void DfsElectionProcess::reschedule(Context& ctx) {
+  if (waiting_) {
+    ctx.sleep_until(waiting_->fire);
+  } else {
+    ctx.idle();
+  }
+}
+
+void DfsElectionProcess::on_wake(Context& ctx, std::span<const Envelope> inbox) {
+  if (cfg_.wake_broadcast && !wake_sent_) {
+    wake_sent_ = true;
+    ctx.broadcast(std::make_shared<WakeMsg>());
+  }
+  launch_own_agent(ctx);
+  for (const auto& env : inbox) handle_arrival(ctx, env);
+  if (waiting_ && waiting_->fire <= ctx.round()) take_step(ctx);
+  reschedule(ctx);
+}
+
+void DfsElectionProcess::on_round(Context& ctx, std::span<const Envelope> inbox) {
+  for (const auto& env : inbox) handle_arrival(ctx, env);
+  // Fire the step timer if due (arrivals above may have destroyed the
+  // waiting agent or replaced the schedule).
+  if (waiting_ && waiting_->fire <= ctx.round()) take_step(ctx);
+  reschedule(ctx);
+}
+
+ProcessFactory make_dfs_election(DfsConfig cfg) {
+  return [cfg](NodeId) { return std::make_unique<DfsElectionProcess>(cfg); };
+}
+
+}  // namespace ule

@@ -1,0 +1,50 @@
+#include "election/election.hpp"
+
+namespace ule {
+
+ElectionVerdict judge_election(const SyncEngine& eng) {
+  ElectionVerdict v;
+  const auto& r = eng.result();
+  v.elected = r.elected;
+  v.non_elected = r.non_elected;
+  v.undecided = r.undecided;
+  v.unique_leader = (v.elected == 1 && v.undecided == 0);
+  if (v.elected == 1) {
+    for (NodeId s = 0; s < eng.graph().n(); ++s) {
+      if (eng.status(s) == Status::Elected) {
+        v.leader_slot = s;
+        break;
+      }
+    }
+  }
+  return v;
+}
+
+ElectionReport run_election(const Graph& g, const ProcessFactory& factory,
+                            const RunOptions& opt) {
+  EngineConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.max_rounds = opt.max_rounds;
+  cfg.congest = opt.congest;
+  cfg.watch_edges = opt.watch_edges;
+  cfg.record_edge_traffic = opt.record_edge_traffic;
+
+  SyncEngine eng(g, cfg);
+
+  ElectionReport rep;
+  if (!opt.anonymous) {
+    Rng id_rng(opt.seed ^ 0x1D5B1D5B1D5B1D5BULL);
+    rep.uids = assign_ids(g.n(), opt.ids, id_rng);
+    eng.set_uids(rep.uids);
+  }
+  eng.set_knowledge(opt.knowledge);
+  if (opt.wakeup) eng.set_wakeup(*opt.wakeup);
+  eng.init_processes(factory);
+
+  rep.run = eng.run();
+  rep.verdict = judge_election(eng);
+  rep.watches = eng.watch_reports();
+  return rep;
+}
+
+}  // namespace ule

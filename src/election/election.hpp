@@ -1,0 +1,62 @@
+// Common harness-facing API for leader election runs.
+//
+// The library never hides the engine — these helpers just bundle the
+// boilerplate every experiment repeats: assign IDs, grant knowledge, run,
+// and judge the outcome against the paper's success criterion ("exactly one
+// node has status elected while all other nodes are in state non-elected",
+// Section 2).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/engine.hpp"
+#include "net/ids.hpp"
+#include "net/knowledge.hpp"
+#include "net/process.hpp"
+
+namespace ule {
+
+struct ElectionVerdict {
+  bool unique_leader = false;   ///< exactly 1 elected, rest non-elected
+  std::size_t elected = 0;
+  std::size_t non_elected = 0;
+  std::size_t undecided = 0;
+  NodeId leader_slot = kNoNode; ///< set iff unique_leader
+};
+
+/// Judge a finished engine run.
+ElectionVerdict judge_election(const SyncEngine& eng);
+
+using ProcessFactory = std::function<std::unique_ptr<Process>(NodeId)>;
+
+struct RunOptions {
+  std::uint64_t seed = 1;
+  IdScheme ids = IdScheme::RandomFromZ;
+  bool anonymous = false;
+  Knowledge knowledge;  ///< what every node is told (n / m / D)
+  std::optional<std::vector<Round>> wakeup;  ///< default: simultaneous
+  Round max_rounds = 50'000'000;
+  CongestMode congest = CongestMode::Count;
+  std::vector<EdgeId> watch_edges;
+  bool record_edge_traffic = false;
+};
+
+struct ElectionReport {
+  RunResult run;
+  ElectionVerdict verdict;
+  std::vector<WatchReport> watches;
+  std::vector<Uid> uids;  ///< the assignment used (empty when anonymous)
+};
+
+/// Build an engine for `g`, populate processes from `factory`, run to
+/// quiescence, and judge.
+ElectionReport run_election(const Graph& g, const ProcessFactory& factory,
+                            const RunOptions& opt);
+
+}  // namespace ule

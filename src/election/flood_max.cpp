@@ -1,0 +1,46 @@
+#include "election/flood_max.hpp"
+
+#include <stdexcept>
+
+#include "election/channels.hpp"
+
+namespace ule {
+
+void FloodMaxProcess::finish_round(Context& ctx) {
+  if (outbox_.flush(ctx)) return;  // backlog: stay runnable for the next round
+  ctx.idle();
+}
+
+void FloodMaxProcess::on_wake(Context& ctx, std::span<const Envelope> inbox) {
+  if (ctx.anonymous())
+    throw std::logic_error("flood-max is deterministic and requires IDs");
+  if (pool_.originate(ctx, WaveKey{ctx.uid(), ctx.uid()})) {
+    ctx.set_status(Status::Elected);  // isolated node: trivially the max
+    decided_ = true;
+  }
+  if (!inbox.empty()) {
+    on_round(ctx, inbox);
+  } else {
+    finish_round(ctx);
+  }
+}
+
+void FloodMaxProcess::on_round(Context& ctx, std::span<const Envelope> inbox) {
+  const WavePool::Events ev = pool_.on_round(ctx, inbox);
+  if (!decided_) {
+    if (!pool_.own_is_best()) {
+      ctx.set_status(Status::NonElected);
+      decided_ = true;
+    } else if (ev.own_complete) {
+      ctx.set_status(Status::Elected);
+      decided_ = true;
+    }
+  }
+  finish_round(ctx);
+}
+
+ProcessFactory make_flood_max() {
+  return [](NodeId) { return std::make_unique<FloodMaxProcess>(); };
+}
+
+}  // namespace ule

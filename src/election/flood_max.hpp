@@ -1,0 +1,38 @@
+// Flood-max: the time-optimal baseline (stands in for Peleg [20]).
+//
+// Every node originates a wave keyed by its unique ID; maxima flood, echoes
+// detect termination, and the node holding the global maximum elects itself
+// once its wave completes — O(D) rounds deterministically, with no knowledge
+// of n, m or D.  Message complexity is Θ(m · #improvements-per-node), i.e.
+// up to Θ(m·D) under adversarial ID placement (the classic time/message
+// trade-off the paper contrasts against the O(m)-message algorithms).
+
+#pragma once
+
+#include "election/channels.hpp"
+#include "election/election.hpp"
+#include "election/pif.hpp"
+#include "net/process.hpp"
+
+namespace ule {
+
+class FloodMaxProcess final : public Process {
+ public:
+  FloodMaxProcess() { pool_.pace_through(&outbox_); }
+
+  void on_wake(Context& ctx, std::span<const Envelope> inbox) override;
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override;
+
+  std::size_t improvements() const { return pool_.adopted_count(); }
+
+ private:
+  void finish_round(Context& ctx);
+
+  PortOutbox outbox_;
+  WavePool pool_{channel::kFloodMax, /*max_wins=*/true};
+  bool decided_ = false;
+};
+
+ProcessFactory make_flood_max();
+
+}  // namespace ule

@@ -1,0 +1,341 @@
+#include "election/kingdom.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "net/message.hpp"
+
+namespace ule {
+
+namespace {
+
+struct KingdomMsg final : Message {
+  enum class Kind : std::uint8_t { Elect, Ack, Confirm, Victor };
+  Kind kind = Kind::Elect;
+  Claim exped;          ///< which expedition this message belongs to
+  std::uint64_t depth = 0;  ///< Elect: remaining BFS radius
+  std::uint8_t answer = 0;  ///< Ack: Answer enum
+  Claim info;           ///< Ack: strongest foreign; Confirm/Victor: winner
+  bool frontier_open = false;
+  bool live_seen = false;
+
+  std::uint32_t size_bits() const override {
+    // Two claims (phase counter + id each), a depth counter, tag and flags.
+    return wire::kTypeTag + 2 * (wire::kCounter + wire::kIdField) +
+           wire::kCounter + 2 * wire::kFlag;
+  }
+  std::string debug_string() const override {
+    static const char* names[] = {"elect", "ack", "confirm", "victor"};
+    return std::string("kingdom-") + names[static_cast<int>(kind)] + "(p" +
+           std::to_string(exped.phase) + ",id" + std::to_string(exped.id) +
+           ")";
+  }
+};
+
+std::shared_ptr<KingdomMsg> msg(KingdomMsg::Kind k, Claim exped) {
+  auto m = std::make_shared<KingdomMsg>();
+  m->kind = k;
+  m->exped = exped;
+  return m;
+}
+
+}  // namespace
+
+KingdomProcess::Exped* KingdomProcess::find(Claim c) {
+  auto it = expeds_.find(c);
+  return it == expeds_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t KingdomProcess::radius(std::uint32_t phase) const {
+  // The radius must STRICTLY exceed the root's eccentricity for the spanning
+  // check to close: a node reached with no budget left (remaining == 0) and
+  // unexplored ports reports an open frontier, even when those ports lead
+  // back into the tree — it has no way to tell.  With radius D+1 every node
+  // is reached with budget >= 1 and probes all its ports (getting Same/
+  // Refused back), so coverage is detected exactly.  The doubling schedule
+  // needs no such care: 2^{p-1} eventually strictly exceeds any eccentricity.
+  if (cfg_.known_diameter != 0) return cfg_.known_diameter + 1;
+  return phase >= 63 ? (std::uint64_t{1} << 62) : (std::uint64_t{1} << (phase - 1));
+}
+
+void KingdomProcess::launch_phase(Context& ctx) {
+  ++my_phase_;
+  const Claim c = my_claim();
+
+  Exped e;
+  e.claim = c;
+  e.parent = kNoPort;
+  e.pending = static_cast<std::uint32_t>(ctx.degree());
+  auto [it, inserted] = expeds_.emplace(c, std::move(e));
+
+  current_claim_ = std::max(current_claim_, c);
+
+  if (it->second.pending == 0) {  // isolated node (n == 1): phase is trivial
+    finish_stage2(ctx, it->second);
+    return;
+  }
+  auto m = msg(KingdomMsg::Kind::Elect, c);
+  m->depth = radius(my_phase_);
+  outbox_.queue_broadcast(ctx, m);
+}
+
+void KingdomProcess::defect_from(Context& /*ctx*/, Exped& e,
+                                 Claim overrunner) {
+  if (e.parent == kNoPort) return;  // roots are never territory
+  e.zombie = true;
+  if (e.stage == Stage::Growing && !e.acked_up) {
+    // We had not answered yet: cut the parent's wait with a Defected ack.
+    // The parent lists us as a border, so it will not await our VICTOR but
+    // will still send us the CONFIRM, which we relay to our subtree.
+    e.acked_up = true;
+    auto m = msg(KingdomMsg::Kind::Ack, e.claim);
+    m->answer = static_cast<std::uint8_t>(Answer::Defected);
+    m->info = std::max(e.agg.foreign, overrunner);
+    m->frontier_open = e.agg.frontier_open;
+    m->live_seen = e.agg.live_seen || (live_ && my_id_ != e.claim.id);
+    outbox_.queue(e.parent, m);
+  } else {
+    // We already answered Joined (stage 2 done, awaiting CONFIRM) or are in
+    // the victor stage: the parent counts on our VICTOR, so we stay in the
+    // expedition and let its remaining stages run their course.  The only
+    // effect of the overrun is extra evidence for the upward aggregation.
+    e.victor_agg = std::max(e.victor_agg, overrunner);
+  }
+}
+
+void KingdomProcess::handle_elect(Context& ctx, PortId port, Claim claim,
+                                  std::uint64_t depth) {
+  if (claim > current_claim_) {
+    // Overrun.  Our own (root) expedition, if any, records the collision as
+    // foreign evidence but keeps running — the paper's "continues the
+    // present phase as usual".
+    if (Exped* own = find(my_claim())) {
+      own->agg.foreign = std::max(own->agg.foreign, claim);
+    }
+    // Any foreign expedition we were serving turns into a zombie: it keeps
+    // whatever relay duties it still owes (CONFIRM downwards, VICTOR
+    // upwards), so its convergecasts always terminate.
+    if (!current_claim_.none() && current_claim_ != my_claim()) {
+      if (Exped* old = find(current_claim_)) defect_from(ctx, *old, claim);
+    }
+
+    current_claim_ = claim;
+    Exped t;
+    t.claim = claim;
+    t.parent = port;
+    const std::uint64_t remaining = depth - 1;
+    const auto other_ports = static_cast<std::uint32_t>(ctx.degree()) - 1;
+    if (remaining > 0 && other_ports > 0) {
+      t.pending = other_ports;
+      auto m = msg(KingdomMsg::Kind::Elect, claim);
+      m->depth = remaining;
+      for (PortId p = 0; p < ctx.degree(); ++p) {
+        if (p != port) outbox_.queue(p, m);
+      }
+      expeds_.emplace(claim, std::move(t));
+    } else {
+      // Leaf: answer straight away.  The frontier stays open if the radius
+      // ran out while unexplored ports remain.
+      t.acked_up = true;
+      t.victor_expected = true;
+      auto m = msg(KingdomMsg::Kind::Ack, claim);
+      m->answer = static_cast<std::uint8_t>(Answer::Joined);
+      m->frontier_open = (remaining == 0 && other_ports > 0);
+      m->live_seen = live_ && my_id_ != claim.id;
+      outbox_.queue(port, m);
+      expeds_.emplace(claim, std::move(t));
+    }
+  } else if (claim == current_claim_) {
+    auto m = msg(KingdomMsg::Kind::Ack, claim);
+    m->answer = static_cast<std::uint8_t>(Answer::Same);
+    outbox_.queue(port, m);
+  } else {
+    auto m = msg(KingdomMsg::Kind::Ack, claim);
+    m->answer = static_cast<std::uint8_t>(Answer::Refused);
+    m->info = current_claim_;
+    outbox_.queue(port, m);
+  }
+}
+
+void KingdomProcess::handle_answer(Context& ctx, PortId port, Claim exped,
+                                   Answer answer, const Agg& agg) {
+  Exped* e = find(exped);
+  if (!e) return;
+  if (e->zombie) {
+    // A child that joined us before we were overrun.  It still needs the
+    // CONFIRM wave: record it if the wave has not passed yet, otherwise
+    // relay the winner directly.  (Its VICTOR is not awaited: zombies set
+    // victor_pending from the children recorded at CONFIRM time, and
+    // handle_victor ignores ports outside that set.)
+    if (answer == Answer::Joined) {
+      if (e->stage == Stage::Growing) {
+        e->children.push_back(port);
+      } else {
+        auto m = msg(KingdomMsg::Kind::Confirm, e->claim);
+        m->info = e->confirm_winner;
+        outbox_.queue(port, m);
+      }
+    }
+    return;
+  }
+  if (e->stage != Stage::Growing || e->acked_up || e->pending == 0)
+    return;  // stale duplicate
+  --e->pending;
+  switch (answer) {
+    case Answer::Joined:
+      e->children.push_back(port);
+      e->agg.merge(agg);
+      break;
+    case Answer::Same:
+      break;  // internal (non-tree) edge of the kingdom
+    case Answer::Refused:
+      e->borders.push_back(port);
+      e->agg.foreign = std::max(e->agg.foreign, agg.foreign);
+      break;
+    case Answer::Defected:
+      e->borders.push_back(port);
+      e->agg.merge(agg);
+      break;
+  }
+  if (e->pending == 0) finish_stage2(ctx, *e);
+}
+
+void KingdomProcess::finish_stage2(Context& ctx, Exped& e) {
+  e.acked_up = true;
+  const bool live_mine = live_ && my_id_ != e.claim.id;
+  if (e.parent != kNoPort) {
+    e.victor_expected = true;  // the Joined ack makes the parent await us
+    auto m = msg(KingdomMsg::Kind::Ack, e.claim);
+    m->answer = static_cast<std::uint8_t>(Answer::Joined);
+    m->info = e.agg.foreign;
+    m->frontier_open = e.agg.frontier_open;
+    m->live_seen = e.agg.live_seen || live_mine;
+    outbox_.queue(e.parent, m);
+    return;
+  }
+  // Root: stage 3 — announce the neighbourhood winner down the tree and
+  // across every border edge (the double-win information flow).
+  e.stage = Stage::Confirmed;
+  e.confirm_winner = std::max({e.claim, e.agg.foreign, heard_winner_});
+  auto m = msg(KingdomMsg::Kind::Confirm, e.claim);
+  m->info = e.confirm_winner;
+  for (const PortId p : e.children) outbox_.queue(p, m);
+  for (const PortId p : e.borders) outbox_.queue(p, m);
+  e.victor_pending = static_cast<std::uint32_t>(e.children.size());
+  if (e.victor_pending == 0) send_victor_up(ctx, e);
+}
+
+void KingdomProcess::handle_confirm(Context& ctx, PortId port, Claim exped,
+                                    Claim winner) {
+  heard_winner_ = std::max(heard_winner_, winner);
+  Exped* e = find(exped);
+  if (!e || e->stage != Stage::Growing || !e->acked_up || e->parent != port)
+    return;  // a foreign kingdom's confirm crossing our border: noted above
+  e->stage = Stage::Confirmed;
+  e->confirm_winner = winner;
+  auto m = msg(KingdomMsg::Kind::Confirm, exped);
+  m->info = winner;
+  for (const PortId p : e->children) outbox_.queue(p, m);
+  for (const PortId p : e->borders) outbox_.queue(p, m);
+  e->victor_pending = static_cast<std::uint32_t>(e->children.size());
+  if (e->victor_pending == 0) send_victor_up(ctx, *e);
+}
+
+void KingdomProcess::handle_victor(Context& ctx, PortId port, Claim exped,
+                                   Claim winner) {
+  Exped* e = find(exped);
+  if (!e || e->stage != Stage::Confirmed || e->victor_sent ||
+      e->victor_pending == 0)
+    return;
+  // Only children recorded at CONFIRM time are part of the count; a VICTOR
+  // from any other port (e.g. a late joiner a zombie confirmed directly)
+  // must not drain a slot that belongs to a real child.
+  if (std::find(e->children.begin(), e->children.end(), port) ==
+      e->children.end())
+    return;
+  e->victor_agg = std::max(e->victor_agg, winner);
+  --e->victor_pending;
+  if (e->victor_pending == 0) send_victor_up(ctx, *e);
+}
+
+void KingdomProcess::send_victor_up(Context& ctx, Exped& e) {
+  e.victor_sent = true;
+  if (e.parent != kNoPort) {
+    if (e.victor_expected) {
+      auto m = msg(KingdomMsg::Kind::Victor, e.claim);
+      m->info = std::max({e.confirm_winner, e.victor_agg, heard_winner_});
+      outbox_.queue(e.parent, m);
+    }
+    // Zombies stay in the map: a straggling child may still answer Joined
+    // and needs its CONFIRM relayed (handle_answer).  Completed regular
+    // expeditions can be dropped — every port has answered by now.
+    if (!e.zombie) expeds_.erase(e.claim);
+    return;
+  }
+  // Root: phase decision.  Copy what we need — launch_phase mutates the map.
+  const Exped snapshot = e;
+  expeds_.erase(e.claim);
+  decide_phase(ctx, snapshot);
+}
+
+void KingdomProcess::decide_phase(Context& ctx, const Exped& e) {
+  const Claim evidence =
+      std::max({e.agg.foreign, e.victor_agg, heard_winner_});
+  const bool beaten = evidence > e.claim;
+  const bool alone = !beaten && !e.agg.frontier_open && !e.agg.live_seen &&
+                     e.agg.foreign.none();
+  if (alone) {
+    ctx.set_status(Status::Elected);
+    decided_ = true;
+  } else if (!beaten) {
+    launch_phase(ctx);
+  } else {
+    live_ = false;
+    if (!decided_) {
+      ctx.set_status(Status::NonElected);
+      decided_ = true;
+    }
+  }
+}
+
+void KingdomProcess::on_wake(Context& ctx, std::span<const Envelope> inbox) {
+  my_id_ = ctx.uid();
+  launch_phase(ctx);
+  on_round(ctx, inbox);
+}
+
+void KingdomProcess::on_round(Context& ctx, std::span<const Envelope> inbox) {
+  for (const auto& env : inbox) {
+    const auto* km = dynamic_cast<const KingdomMsg*>(env.msg.get());
+    if (!km) continue;
+    switch (km->kind) {
+      case KingdomMsg::Kind::Elect:
+        handle_elect(ctx, env.port, km->exped, km->depth);
+        break;
+      case KingdomMsg::Kind::Ack: {
+        Agg agg;
+        agg.foreign = km->info;
+        agg.frontier_open = km->frontier_open;
+        agg.live_seen = km->live_seen;
+        handle_answer(ctx, env.port, km->exped,
+                      static_cast<Answer>(km->answer), agg);
+        break;
+      }
+      case KingdomMsg::Kind::Confirm:
+        handle_confirm(ctx, env.port, km->exped, km->info);
+        break;
+      case KingdomMsg::Kind::Victor:
+        handle_victor(ctx, env.port, km->exped, km->info);
+        break;
+    }
+  }
+  if (outbox_.flush(ctx)) return;  // backlog: stay runnable
+  ctx.idle();
+}
+
+ProcessFactory make_kingdom(KingdomConfig cfg) {
+  return [cfg](NodeId) { return std::make_unique<KingdomProcess>(cfg); };
+}
+
+}  // namespace ule

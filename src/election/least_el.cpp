@@ -1,0 +1,133 @@
+#include "election/least_el.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "election/channels.hpp"
+#include "net/ids.hpp"
+
+namespace ule {
+
+LeastElConfig LeastElConfig::all_candidates() { return {}; }
+
+LeastElConfig LeastElConfig::theorem_4_4(double f_n) {
+  LeastElConfig c;
+  c.f = f_n;
+  return c;
+}
+
+LeastElConfig LeastElConfig::variant_A(std::uint64_t n) {
+  LeastElConfig c;
+  c.f = std::max(1.0, std::log2(static_cast<double>(n)));
+  return c;
+}
+
+LeastElConfig LeastElConfig::variant_B(double epsilon) {
+  LeastElConfig c;
+  c.f = 4.0 * std::log(1.0 / epsilon);
+  return c;
+}
+
+LeastElConfig LeastElConfig::las_vegas(std::uint64_t diameter) {
+  LeastElConfig c;
+  c.f = 2.0;  // Θ(1) expected candidates; constant success prob per epoch
+  c.epoch_rounds = 3 * diameter + 4;  // wave + echoes fit in one epoch
+  return c;
+}
+
+namespace {
+std::uint64_t auto_rank_space(const Context& ctx, std::uint64_t configured) {
+  if (configured != 0) return configured;
+  if (ctx.knowledge().n) return id_space_size(*ctx.knowledge().n);
+  return std::uint64_t{1} << 62;
+}
+}  // namespace
+
+void LeastElProcess::start_epoch(Context& ctx) {
+  ++epochs_;
+  epoch_start_ = ctx.round();
+  saw_wave_this_epoch_ = false;
+  pool_.reset();
+
+  double prob = 1.0;
+  if (cfg_.f >= 0.0) {
+    const auto n = static_cast<double>(ctx.knowledge().require_n());
+    prob = std::min(1.0, cfg_.f / n);
+  }
+  candidate_ = ctx.rng().bernoulli(prob);
+  decided_ = false;
+
+  if (candidate_) {
+    ctx.set_status(Status::Undecided);
+    WaveKey key;
+    key.primary = ctx.rng().in_range(1, auto_rank_space(ctx, cfg_.rank_space));
+    switch (cfg_.tiebreak) {
+      case LeastElConfig::Tiebreak::Uid:
+        key.tiebreak = ctx.anonymous() ? ctx.rng()() : ctx.uid();
+        break;
+      case LeastElConfig::Tiebreak::Random:
+        key.tiebreak = ctx.rng()();
+        break;
+      case LeastElConfig::Tiebreak::None:
+        key.tiebreak = 0;
+        break;
+    }
+    if (pool_.originate(ctx, key)) {
+      ctx.set_status(Status::Elected);  // isolated node: trivially least
+      decided_ = true;
+    }
+    saw_wave_this_epoch_ = true;
+  } else {
+    // Implicit leader election: a node that will never elect itself can
+    // decide non-elected right away.
+    ctx.set_status(Status::NonElected);
+  }
+}
+
+void LeastElProcess::finish_round(Context& ctx) {
+  if (outbox_.flush(ctx)) return;  // backlog: stay runnable for the next round
+  if (cfg_.epoch_rounds > 0 && !decided_ && !saw_wave_this_epoch_) {
+    ctx.sleep_until(epoch_start_ + cfg_.epoch_rounds);
+  } else {
+    ctx.idle();
+  }
+}
+
+void LeastElProcess::on_wake(Context& ctx, std::span<const Envelope> inbox) {
+  start_epoch(ctx);
+  if (!inbox.empty()) on_round(ctx, inbox);  // adversarial wakeup by message
+  else finish_round(ctx);
+}
+
+void LeastElProcess::on_round(Context& ctx, std::span<const Envelope> inbox) {
+  // Las Vegas restart: the epoch elapsed and no wave was ever seen, so (by
+  // the flooding argument) no candidate existed anywhere.  Every node
+  // reaches this conclusion at the same round; all re-flip candidacy.
+  if (cfg_.epoch_rounds > 0 && !saw_wave_this_epoch_ &&
+      ctx.round() >= epoch_start_ + cfg_.epoch_rounds) {
+    start_epoch(ctx);
+  }
+
+  const WavePool::Events ev = pool_.on_round(ctx, inbox);
+  if (ev.any_wave_seen) saw_wave_this_epoch_ = true;
+
+  if (!decided_) {
+    if (candidate_ && pool_.has_best() && !pool_.own_is_best()) {
+      // Some strictly smaller rank exists; we can never win.
+      ctx.set_status(Status::NonElected);
+      decided_ = true;
+    } else if (ev.own_complete && pool_.own_is_best()) {
+      // Our wave echoed back from the whole reachable graph without meeting
+      // anything smaller: we hold the least element.
+      ctx.set_status(Status::Elected);
+      decided_ = true;
+    }
+  }
+  finish_round(ctx);
+}
+
+ProcessFactory make_least_el(LeastElConfig cfg) {
+  return [cfg](NodeId) { return std::make_unique<LeastElProcess>(cfg); };
+}
+
+}  // namespace ule

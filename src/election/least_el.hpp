@@ -1,0 +1,96 @@
+// The least-element-list election family (Section 4.2).
+//
+// Each candidate draws a random rank from [1, rank_space] and floods it; a
+// node adopts strictly smaller ranks (growing its least-element list le_v)
+// and forwards each adopted entry once per incident edge; echoes provide
+// termination detection (see pif.hpp).  The candidate holding the globally
+// smallest (rank, tiebreak) pair learns completion of its own wave and
+// elects itself.
+//
+// One process class covers the whole family via configuration:
+//   * Theorem 4.4   — candidacy probability f(n)/n, knowledge of n:
+//       f(n) = n         : the [11] baseline, O(m log n) msgs expected,
+//       f(n) = log n     : variant (A), O(m log log n) msgs, whp success,
+//       f(n) = 4 ln(1/ε) : variant (B), O(m) msgs, success >= 1-ε.
+//     All take O(D) rounds; success prob is 1 - e^{-Θ(f(n))} (at least one
+//     candidate must exist).
+//   * Corollary 4.6 — f(n) ∈ Θ(1) plus restart epochs of Θ(D) rounds
+//     (knowledge of n and D): a Las Vegas algorithm, success probability 1,
+//     expected O(D) time and expected O(m) messages.
+//   * Anonymous networks — candidacy and ranks use only private coins; with
+//     tiebreak = Random the failure probability is the probability of a
+//     full (rank, tiebreak) collision.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "election/channels.hpp"
+#include "election/election.hpp"
+#include "election/pif.hpp"
+#include "net/process.hpp"
+
+namespace ule {
+
+struct LeastElConfig {
+  /// Expected number of candidates f(n); candidacy probability is
+  /// min(1, f / n) with n taken from Knowledge.  f < 0 means "every node is
+  /// a candidate" (no knowledge of n needed).
+  double f = -1.0;
+
+  /// Rank domain [1, rank_space]; 0 = auto (n^4 when n is known, else 2^62).
+  /// Shrinking this is the collision ablation.
+  std::uint64_t rank_space = 0;
+
+  enum class Tiebreak : std::uint8_t {
+    Uid,     ///< unique IDs break rank ties (Corollary 4.5; success prob 1)
+    Random,  ///< 64 private random bits (anonymous networks)
+    None,    ///< no tiebreak: exposes rank collisions (ablation)
+  };
+  Tiebreak tiebreak = Tiebreak::Uid;
+
+  /// Corollary 4.6: restart epoch length in rounds (0 = no restarts).
+  /// Requires simultaneous wakeup.  Use las_vegas() to size it from D.
+  Round epoch_rounds = 0;
+
+  // ---- named constructions matching the paper's results ----
+  static LeastElConfig all_candidates();           ///< [11]; Cor 4.5 phase 2
+  static LeastElConfig theorem_4_4(double f_n);    ///< general f(n)
+  static LeastElConfig variant_A(std::uint64_t n); ///< f = log2 n
+  static LeastElConfig variant_B(double epsilon);  ///< f = 4 ln(1/ε)
+  static LeastElConfig las_vegas(std::uint64_t diameter);  ///< Cor 4.6
+};
+
+class LeastElProcess final : public Process {
+ public:
+  explicit LeastElProcess(LeastElConfig cfg) : cfg_(cfg) {
+    pool_.pace_through(&outbox_);
+  }
+
+  void on_wake(Context& ctx, std::span<const Envelope> inbox) override;
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override;
+
+  // Instrumentation (property tests, Lemma 4.3).
+  bool is_candidate() const { return candidate_; }
+  std::size_t le_list_size() const { return pool_.adopted_count(); }
+  std::uint64_t epochs_started() const { return epochs_; }
+
+ private:
+  void start_epoch(Context& ctx);
+  void finish_round(Context& ctx);
+
+  LeastElConfig cfg_;
+  PortOutbox outbox_;
+  WavePool pool_{channel::kLeastEl, /*max_wins=*/false};
+  bool candidate_ = false;
+  bool decided_ = false;
+  bool saw_wave_this_epoch_ = false;
+  Round epoch_start_ = 0;
+  std::uint64_t epochs_ = 0;
+};
+
+/// Factory for run_election().
+ProcessFactory make_least_el(LeastElConfig cfg);
+
+}  // namespace ule

@@ -1,0 +1,159 @@
+// Wave flooding with per-wave feedback ("PIF": propagation of information
+// with feedback) — the paper's echo mechanism, factored out.
+//
+// The least-element-list construction of [11] (Section 4.2), the size
+// estimation of Corollary 4.5, and the flood-max baseline all follow the same
+// skeleton: nodes originate *waves* carrying a totally ordered key; a node
+// *adopts* a wave strictly better than its current best (recording the parent
+// port and re-flooding), and immediately *echoes* every non-adopted copy.
+// When all of a node's forwards have been echoed, it echoes to its own
+// parent; when the origin collects all echoes, its wave is complete.  The
+// globally best wave is adopted by every node, so its origin's completion is
+// a correct termination signal after <= 3D+O(1) rounds.
+//
+// Accounting matches the paper: each node forwards each newly added
+// least-element-list entry once over each incident edge (Lemma 4.3 bounds
+// the expected number of adopted entries by O(min(log f(n), D))), and every
+// forward triggers exactly one echo.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/outbox.hpp"
+#include "net/process.hpp"
+
+namespace ule {
+
+/// Totally ordered wave identity.  `primary` is the rank (or size-estimate
+/// coin count); `tiebreak` is the unique ID (Corollary 4.5) or a private
+/// random value.  Keys colliding across distinct origins is precisely the
+/// Monte-Carlo failure mode the rank-domain ablation measures.
+struct WaveKey {
+  std::uint64_t primary = 0;
+  std::uint64_t tiebreak = 0;
+  auto operator<=>(const WaveKey&) const = default;
+};
+
+/// Forward or echo of a wave on one channel.  Wire size: a tag, two id-sized
+/// fields and two flags — O(log n) bits, CONGEST-legal.
+struct WaveMsg final : Message {
+  std::uint8_t channel = 0;
+  bool is_echo = false;
+  bool adopted = false;  ///< echo only: sender adopted this wave from us
+  WaveKey key;
+
+  std::uint32_t size_bits() const override {
+    return wire::kTypeTag + 2 * wire::kIdField + 2 * wire::kFlag;
+  }
+  std::string debug_string() const override;
+};
+
+/// Per-node wave bookkeeping for one channel.
+class WavePool {
+ public:
+  struct Events {
+    bool improved = false;      ///< best changed to a foreign wave this round
+    bool own_complete = false;  ///< our originated wave collected all echoes
+    bool any_wave_seen = false; ///< at least one forward arrived this round
+  };
+
+  /// `max_wins`: true = larger key is better (flood-max, size estimate);
+  /// false = smaller key is better (least-element ranks).
+  WavePool(std::uint8_t channel, bool max_wins)
+      : channel_(channel), max_wins_(max_wins) {}
+
+  /// Restrict the pool to an overlay: waves are forwarded only over these
+  /// ports (Algorithm 1 runs its election on the sparsified network).  Must
+  /// be called before any wave activity; arrivals on other ports are a
+  /// protocol error.  Both endpoints of an overlay edge must agree on it.
+  void restrict_ports(std::vector<PortId> ports) { ports_ = std::move(ports); }
+
+  /// Route all sends through a caller-owned outbox (CONGEST pacing: one
+  /// message per port per round).  The caller must flush the outbox once per
+  /// round and stay runnable while it reports backlog.  Without an outbox
+  /// the pool sends directly, which can put an echo and a re-flood on the
+  /// same port in one round (counted as a CONGEST violation by the engine).
+  void pace_through(PortOutbox* outbox) { outbox_ = outbox; }
+
+  /// Originate our own wave (the node becomes a "candidate" on this channel).
+  /// Must be called at most once, before any foreign wave has been adopted.
+  /// Returns true when the wave is complete on the spot — the degree-0 case
+  /// (an isolated node, or an empty overlay): there is nobody to flood to,
+  /// so no echo will ever fire own_complete through on_round, and the
+  /// caller must treat the origination itself as the completion signal.
+  [[nodiscard]] bool originate(Context& ctx, WaveKey key);
+
+  /// Feed this round's inbox; handles forwards/echoes of our channel and
+  /// ignores everything else.  Sends any required messages through ctx.
+  Events on_round(Context& ctx, std::span<const Envelope> inbox);
+
+  bool has_best() const { return best_.has_value(); }
+  WaveKey best() const { return *best_; }
+  bool originated() const { return originated_; }
+  WaveKey own() const { return own_; }
+  /// We originated and our key still equals the best we know (nobody better
+  /// has been seen).  Combined with own_complete, this is the win condition.
+  bool own_is_best() const { return originated_ && best_ && *best_ == own_; }
+
+  /// Parent port of an adopted wave (kNoPort for self-originated).
+  PortId parent_of(const WaveKey& k) const;
+  /// Ports that adopted wave `k` from us (known once they echoed).
+  std::vector<PortId> adopted_children(const WaveKey& k) const;
+
+  /// Number of adopted entries — the size of the node's least-element list
+  /// |le_v| (Lemma 4.3's measured quantity).  Counts the own wave if any.
+  std::size_t adopted_count() const { return waves_.size(); }
+
+  /// Reset all state (Las Vegas epoch restart, Corollary 4.6).
+  void reset();
+
+ private:
+  struct WaveRec {
+    PortId parent = kNoPort;
+    std::uint32_t pending = 0;
+    bool echoed_up = false;
+    std::vector<PortId> children;
+  };
+
+  bool better(const WaveKey& a, const WaveKey& b) const {
+    return max_wins_ ? (b < a) : (a < b);
+  }
+  void emit(Context& ctx, PortId port, MessagePtr msg) {
+    if (outbox_ != nullptr) {
+      outbox_->queue(port, std::move(msg));
+    } else {
+      ctx.send(port, std::move(msg));
+    }
+  }
+  void adopt(Context& ctx, WaveKey key, PortId from);
+  void maybe_echo_up(Context& ctx, const WaveKey& key, WaveRec& rec,
+                     Events& ev);
+  std::size_t active_degree(const Context& ctx) const {
+    return ports_.empty() ? ctx.degree() : ports_.size();
+  }
+  template <typename Fn>
+  void for_each_port(const Context& ctx, Fn&& fn) const {
+    if (ports_.empty()) {
+      for (PortId p = 0; p < ctx.degree(); ++p) fn(p);
+    } else {
+      for (const PortId p : ports_) fn(p);
+    }
+  }
+
+  std::uint8_t channel_;
+  bool max_wins_;
+  PortOutbox* outbox_ = nullptr;  ///< not owned; nullptr = direct sends
+  std::vector<PortId> ports_;     ///< empty = all ports
+  bool originated_ = false;
+  WaveKey own_{};
+  std::optional<WaveKey> best_;
+  std::map<WaveKey, WaveRec> waves_;
+};
+
+}  // namespace ule

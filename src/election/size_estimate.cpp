@@ -1,0 +1,116 @@
+#include "election/size_estimate.hpp"
+
+#include <memory>
+#include <string>
+
+namespace ule {
+
+std::string SizeDoneMsg::debug_string() const {
+  return "size-done(" + std::to_string(x) + ")";
+}
+
+namespace {
+std::uint64_t saturating_pow4(std::uint64_t v) {
+  constexpr std::uint64_t cap = std::uint64_t{1} << 62;
+  std::uint64_t r = 1;
+  for (int i = 0; i < 4; ++i) {
+    if (v != 0 && r > cap / v) return cap;
+    r *= v;
+  }
+  return r < 2 ? 2 : r;
+}
+}  // namespace
+
+void SizeEstimateElectProcess::on_wake(Context& ctx,
+                                       std::span<const Envelope> inbox) {
+  // Geometric coin count: flips until the first heads, inclusive.
+  x_ = 1;
+  while (!ctx.rng().flip()) ++x_;
+
+  const std::uint64_t tb = ctx.anonymous() ? ctx.rng()() : ctx.uid();
+  if (estimate_.originate(ctx, WaveKey{x_, tb})) {
+    begin_phase_b(ctx, x_);  // isolated node: the global maximum is ours
+  }
+
+  if (!inbox.empty()) {
+    on_round(ctx, inbox);
+  } else {
+    finish_round(ctx);
+  }
+}
+
+void SizeEstimateElectProcess::finish_round(Context& ctx) {
+  if (outbox_.flush(ctx)) return;  // backlog: stay runnable for the next round
+  ctx.idle();
+}
+
+void SizeEstimateElectProcess::begin_phase_b(Context& ctx,
+                                             std::uint64_t x_bar) {
+  phase_b_ = true;
+  n_hat_ = (x_bar >= 62) ? (std::uint64_t{1} << 62)
+                         : std::max<std::uint64_t>(2, std::uint64_t{1} << x_bar);
+
+  // Forward DONE down the estimation wave tree (children lists are final
+  // by the time the origin completes — echoes precede completion).  Queued:
+  // the election flood below starts on the same ports in the same round.
+  auto done = std::make_shared<SizeDoneMsg>();
+  done->x = x_bar;
+  for (const PortId p : estimate_.adopted_children(estimate_.best()))
+    outbox_.queue(p, done);
+
+  // Become a candidate (f(n̂) = n̂: every node) unless a foreign election
+  // wave already arrived — then we cannot win and simply participate.
+  if (!elect_.has_best()) {
+    WaveKey key;
+    key.primary = ctx.rng().in_range(1, saturating_pow4(n_hat_));
+    key.tiebreak = ctx.anonymous() ? ctx.rng()() : ctx.uid();
+    if (elect_.originate(ctx, key)) {
+      ctx.set_status(Status::Elected);
+      decided_ = true;
+    }
+    originated_election_ = true;
+  } else if (!decided_) {
+    ctx.set_status(Status::NonElected);
+    decided_ = true;
+  }
+}
+
+void SizeEstimateElectProcess::on_round(Context& ctx,
+                                        std::span<const Envelope> inbox) {
+  // DONE from our estimation-tree parent?
+  for (const auto& env : inbox) {
+    if (const auto* done = dynamic_cast<const SizeDoneMsg*>(env.msg.get())) {
+      if (!phase_b_) begin_phase_b(ctx, done->x);
+    }
+  }
+
+  const WavePool::Events est_ev = estimate_.on_round(ctx, inbox);
+  if (est_ev.own_complete && estimate_.own_is_best() && !phase_b_) {
+    // We hold the global maximum: the estimate is X̄ = our own x.
+    begin_phase_b(ctx, x_);
+  }
+
+  const WavePool::Events el_ev = elect_.on_round(ctx, inbox);
+  if (!decided_) {
+    if (originated_election_ && elect_.has_best() && !elect_.own_is_best()) {
+      ctx.set_status(Status::NonElected);
+      decided_ = true;
+    } else if (!originated_election_ && elect_.has_best()) {
+      // Degenerate: an election wave overtook our DONE (only possible after
+      // an estimation-key collision).  We cannot win; bow out.
+      ctx.set_status(Status::NonElected);
+      decided_ = true;
+    } else if (originated_election_ && el_ev.own_complete &&
+               elect_.own_is_best()) {
+      ctx.set_status(Status::Elected);
+      decided_ = true;
+    }
+  }
+  finish_round(ctx);
+}
+
+ProcessFactory make_size_estimate_elect() {
+  return [](NodeId) { return std::make_unique<SizeEstimateElectProcess>(); };
+}
+
+}  // namespace ule

@@ -1,0 +1,66 @@
+// Corollary 4.5: universal leader election with NO knowledge of n (or D, m).
+//
+// Phase A (size estimation): every node u flips a fair coin until heads;
+// X_u = number of flips.  The maximum X̄ = max_u X_u satisfies, whp,
+// log2(n) - log2(log n) <= X̄ <= 2 log2(n), so n̂ = 2^X̄ ∈ [n/log n, n^2].
+// The maxima flood through a max-wins wave pool; the node holding the global
+// maximum detects termination through echoes (the paper's echo mechanism)
+// and broadcasts DONE(X̄) down its wave tree, which spans every node.
+//
+// Phase B (election): upon DONE, every node becomes a candidate (f(n̂) = n̂),
+// draws a rank from [1, n̂^4], and runs the least-element-list election with
+// the *unique node ID as tiebreak* — this makes the algorithm succeed with
+// probability 1 (Las Vegas) while keeping O(D) time and, whp,
+// O(m·min(log n, D)) messages.  In anonymous networks the tiebreak falls
+// back to 64 private random bits (failure probability ~2^-64 per pair).
+
+#pragma once
+
+#include "election/channels.hpp"
+#include "election/election.hpp"
+#include "election/pif.hpp"
+#include "net/process.hpp"
+
+namespace ule {
+
+/// DONE(x): the completed maximum X̄ flowing down the estimation wave tree.
+struct SizeDoneMsg final : Message {
+  std::uint64_t x = 0;
+  std::uint32_t size_bits() const override {
+    return wire::kTypeTag + wire::kIdField;
+  }
+  std::string debug_string() const override;
+};
+
+class SizeEstimateElectProcess final : public Process {
+ public:
+  SizeEstimateElectProcess() {
+    estimate_.pace_through(&outbox_);
+    elect_.pace_through(&outbox_);
+  }
+
+  void on_wake(Context& ctx, std::span<const Envelope> inbox) override;
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override;
+
+  // Instrumentation.
+  std::uint64_t coin_flips() const { return x_; }
+  std::uint64_t n_hat() const { return n_hat_; }  ///< 0 until DONE received
+  std::size_t le_list_size() const { return elect_.adopted_count(); }
+
+ private:
+  void begin_phase_b(Context& ctx, std::uint64_t x_bar);
+  void finish_round(Context& ctx);
+
+  PortOutbox outbox_;
+  WavePool estimate_{channel::kSizeEstimate, /*max_wins=*/true};
+  WavePool elect_{channel::kLeastEl, /*max_wins=*/false};
+  std::uint64_t x_ = 0;
+  std::uint64_t n_hat_ = 0;
+  bool phase_b_ = false;
+  bool originated_election_ = false;
+  bool decided_ = false;
+};
+
+ProcessFactory make_size_estimate_elect();
+
+}  // namespace ule

@@ -1,0 +1,132 @@
+#include "election/sublinear_complete.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "net/ids.hpp"
+#include "net/message.hpp"
+
+namespace ule {
+
+namespace {
+
+struct SublinearMsg final : Message {
+  bool verdict = false;  ///< false: QUERY(rank); true: VERDICT(max rank)
+  std::uint64_t rank = 0;
+  std::uint64_t tiebreak = 0;
+
+  std::uint32_t size_bits() const override {
+    return wire::kTypeTag + 2 * wire::kIdField + wire::kFlag;
+  }
+  std::string debug_string() const override {
+    return std::string(verdict ? "verdict(" : "query(") +
+           std::to_string(rank) + ")";
+  }
+};
+
+}  // namespace
+
+void SublinearCompleteProcess::on_wake(Context& ctx,
+                                       std::span<const Envelope> inbox) {
+  const std::uint64_t n = ctx.knowledge().require_n();
+  if (ctx.degree() + 1 != n) {
+    throw std::logic_error(
+        "sublinear election requires a complete graph (degree = n-1)");
+  }
+
+  const double dn = static_cast<double>(n);
+  const double ln_n = std::log(std::max(2.0, dn));
+  candidate_ = ctx.rng().bernoulli(
+      std::min(1.0, cfg_.candidate_factor * ln_n / dn));
+
+  if (!candidate_) {
+    ctx.set_status(Status::NonElected);
+    decided_ = true;
+    ctx.idle();
+    if (!inbox.empty()) on_round(ctx, inbox);
+    return;
+  }
+
+  const std::uint64_t space =
+      cfg_.rank_space != 0 ? cfg_.rank_space : id_space_size(n);
+  rank_ = ctx.rng().in_range(1, space);
+  tiebreak_ = ctx.rng()();
+
+  const auto want = static_cast<std::size_t>(
+      std::ceil(cfg_.referee_factor * std::sqrt(dn * ln_n)));
+  const std::size_t r = std::min(ctx.degree(), want);
+  expected_verdicts_ = r;
+  if (r == 0) {  // n == 1: the sole node is the sole candidate
+    ctx.set_status(Status::Elected);
+    decided_ = true;
+    ctx.idle();
+    return;
+  }
+
+  // r distinct random ports via a partial Fisher–Yates shuffle.
+  std::vector<PortId> ports(ctx.degree());
+  for (PortId p = 0; p < ctx.degree(); ++p) ports[p] = p;
+  for (std::size_t i = 0; i < r; ++i) {
+    const std::size_t j = i + ctx.rng().below(ports.size() - i);
+    std::swap(ports[i], ports[j]);
+    auto q = std::make_shared<SublinearMsg>();
+    q->rank = rank_;
+    q->tiebreak = tiebreak_;
+    ctx.send(ports[i], q);
+  }
+  ctx.idle();
+  if (!inbox.empty()) on_round(ctx, inbox);
+}
+
+void SublinearCompleteProcess::on_round(Context& ctx,
+                                        std::span<const Envelope> inbox) {
+  // Referee duty: answer this round's queries with the maximum (rank,
+  // tiebreak) among them — every query arrives in the same round under
+  // simultaneous wakeup, so one pass suffices.
+  std::uint64_t best_rank = 0, best_tb = 0;
+  std::vector<PortId> query_ports;
+  for (const auto& env : inbox) {
+    const auto* sm = dynamic_cast<const SublinearMsg*>(env.msg.get());
+    if (!sm || sm->verdict) continue;
+    ++queries_seen_;
+    query_ports.push_back(env.port);
+    if (std::pair(sm->rank, sm->tiebreak) > std::pair(best_rank, best_tb)) {
+      best_rank = sm->rank;
+      best_tb = sm->tiebreak;
+    }
+  }
+  if (!query_ports.empty()) {
+    auto v = std::make_shared<SublinearMsg>();
+    v->verdict = true;
+    v->rank = best_rank;
+    v->tiebreak = best_tb;
+    for (const PortId p : query_ports) ctx.send(p, v);
+  }
+
+  // Candidate duty: tally verdicts.
+  if (candidate_ && !decided_) {
+    for (const auto& env : inbox) {
+      const auto* sm = dynamic_cast<const SublinearMsg*>(env.msg.get());
+      if (!sm || !sm->verdict) continue;
+      ++verdicts_seen_;
+      if (std::pair(sm->rank, sm->tiebreak) > std::pair(rank_, tiebreak_))
+        lost_ = true;
+    }
+    if (verdicts_seen_ >= expected_verdicts_) {
+      ctx.set_status(lost_ ? Status::NonElected : Status::Elected);
+      decided_ = true;
+    }
+  }
+  ctx.idle();
+}
+
+ProcessFactory make_sublinear_complete(SublinearConfig cfg) {
+  return [cfg](NodeId) {
+    return std::make_unique<SublinearCompleteProcess>(cfg);
+  };
+}
+
+}  // namespace ule

@@ -1,0 +1,11 @@
+#include "election/trivial_random.hpp"
+
+#include <memory>
+
+namespace ule {
+
+ProcessFactory make_trivial_random() {
+  return [](NodeId) { return std::make_unique<TrivialRandomProcess>(); };
+}
+
+}  // namespace ule

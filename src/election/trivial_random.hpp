@@ -1,0 +1,27 @@
+// The introduction's strawman: "each node elects itself with probability
+// 1/n".  One round, zero messages, success probability n·(1/n)(1-1/n)^{n-1}
+// ≈ 1/e ≈ 0.368.  Exists to demonstrate why the lower bounds require a
+// *suitably large* constant success probability (Theorems 3.1 / 3.13 demand
+// > 53/56 and > 15/16 respectively — this algorithm clears neither).
+
+#pragma once
+
+#include "election/election.hpp"
+#include "net/process.hpp"
+
+namespace ule {
+
+class TrivialRandomProcess final : public Process {
+ public:
+  void on_wake(Context& ctx, std::span<const Envelope>) override {
+    const double n = static_cast<double>(ctx.knowledge().require_n());
+    ctx.set_status(ctx.rng().bernoulli(1.0 / n) ? Status::Elected
+                                                : Status::NonElected);
+    ctx.halt();
+  }
+  void on_round(Context&, std::span<const Envelope>) override {}
+};
+
+ProcessFactory make_trivial_random();
+
+}  // namespace ule

@@ -1,0 +1,39 @@
+#include "graphgen/clique_cycle.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ule {
+
+CliqueCycle make_clique_cycle(std::size_t n, std::size_t D) {
+  if (D < 3 || n < 4) throw std::invalid_argument("need D >= 3 and n >= 4");
+
+  CliqueCycle cc;
+  cc.d_prime = 4 * ((D + 3) / 4);
+  cc.gamma = (n + cc.d_prime - 1) / cc.d_prime;
+  if (cc.gamma == 0) cc.gamma = 1;
+  cc.n_actual = cc.gamma * cc.d_prime;
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const std::size_t per_arc = cc.d_prime / 4;
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < per_arc; ++j) {
+      // Clique c_{i,j}.
+      for (std::size_t a = 0; a < cc.gamma; ++a)
+        for (std::size_t b = a + 1; b < cc.gamma; ++b)
+          edges.emplace_back(cc.slot(i, j, a), cc.slot(i, j, b));
+      // Chain to the next clique in the same arc.
+      if (j + 1 < per_arc)
+        edges.emplace_back(cc.slot(i, j, cc.gamma - 1), cc.slot(i, j + 1, 0));
+    }
+    // Arc boundary: last clique of arc i to first clique of arc i+1 mod 4.
+    edges.emplace_back(cc.slot(i, per_arc - 1, cc.gamma - 1),
+                       cc.slot((i + 1) % 4, 0, 0));
+  }
+
+  cc.graph = Graph::from_edges(cc.n_actual, edges);
+  return cc;
+}
+
+}  // namespace ule

@@ -1,0 +1,40 @@
+// The clique-cycle construction of Theorem 3.13 / Figure 1 (time lower bound).
+//
+// D' = 4*ceil(D/4) cliques of size γ arranged in a cycle and partitioned into
+// four arcs C_0..C_3.  γ is the smallest integer with γ·D' >= n, so the graph
+// has n' = γ·D' ∈ Θ(n) nodes and diameter Θ(D).  The construction is
+// 4-fold rotation symmetric: φ(v_{i,j,k}) = v_{(i+1 mod 4),j,k} is a graph
+// automorphism, which is what forces any algorithm that stops in o(D) rounds
+// to elect leaders in opposite arcs independently (and hence to sometimes
+// elect 0 or >= 2 leaders).
+
+#pragma once
+
+#include <cstddef>
+
+#include "net/graph.hpp"
+
+namespace ule {
+
+struct CliqueCycle {
+  Graph graph;
+  std::size_t d_prime = 0;   ///< number of cliques (multiple of 4)
+  std::size_t gamma = 0;     ///< clique size
+  std::size_t n_actual = 0;  ///< gamma * d_prime
+
+  /// Slot of v_{i,j,k}: arc i in 0..3, clique j in 0..d_prime/4-1, member k.
+  NodeId slot(std::size_t i, std::size_t j, std::size_t k) const {
+    return static_cast<NodeId>((i * (d_prime / 4) + j) * gamma + k);
+  }
+
+  /// The rotation automorphism φ of the proof of Claim 3.14.
+  NodeId rotate(NodeId v) const {
+    const std::size_t per_arc = (d_prime / 4) * gamma;
+    return static_cast<NodeId>((v + per_arc) % n_actual);
+  }
+};
+
+/// Build the construction for the requested n and D (paper: 2 < D < n).
+CliqueCycle make_clique_cycle(std::size_t n, std::size_t D);
+
+}  // namespace ule

@@ -1,0 +1,80 @@
+#include "graphgen/dumbbell.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ule {
+
+namespace {
+/// Canonical list of clique-edge endpoint pairs (i < j) for K_kappa.
+std::vector<std::pair<NodeId, NodeId>> clique_edges(std::size_t kappa) {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  e.reserve(kappa * (kappa - 1) / 2);
+  for (NodeId i = 0; i < kappa; ++i)
+    for (NodeId j = i + 1; j < kappa; ++j) e.emplace_back(i, j);
+  return e;
+}
+}  // namespace
+
+std::size_t dumbbell_clique_size(std::size_t m) {
+  std::size_t kappa = 1;
+  while ((kappa + 1) * (kappa + 2) / 2 <= m) ++kappa;
+  return kappa;
+}
+
+std::size_t dumbbell_open_edge_count(std::size_t m) {
+  const std::size_t kappa = dumbbell_clique_size(m);
+  return kappa * (kappa - 1) / 2;
+}
+
+Dumbbell make_dumbbell(std::size_t n, std::size_t m, std::size_t open_left,
+                       std::size_t open_right) {
+  const std::size_t kappa = dumbbell_clique_size(m);
+  if (kappa < 2) throw std::invalid_argument("m too small: need m >= 3");
+  if (n < kappa + 1)
+    throw std::invalid_argument("n too small for clique + path construction");
+  const auto ce = clique_edges(kappa);
+  if (open_left >= ce.size() || open_right >= ce.size())
+    throw std::invalid_argument("open edge index out of range");
+
+  // Slot layout per side: clique nodes 0..kappa-1, path nodes kappa..n-1
+  // with b_1 = kappa adjacent to every clique node.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const auto side = [&](std::size_t offset, std::size_t open_idx) {
+    for (std::size_t k = 0; k < ce.size(); ++k) {
+      if (k == open_idx) continue;  // the opened edge
+      edges.emplace_back(static_cast<NodeId>(offset + ce[k].first),
+                         static_cast<NodeId>(offset + ce[k].second));
+    }
+    if (kappa < n) {
+      for (NodeId c = 0; c < kappa; ++c)
+        edges.emplace_back(static_cast<NodeId>(offset + kappa),
+                           static_cast<NodeId>(offset + c));
+      for (std::size_t p = kappa; p + 1 < n; ++p)
+        edges.emplace_back(static_cast<NodeId>(offset + p),
+                           static_cast<NodeId>(offset + p + 1));
+    }
+  };
+  side(0, open_left);
+  side(n, open_right);
+
+  // Bridges: (v', v'') and (w', w'') where e' = (v', w'), ID(v') < ID(w')
+  // (we use slot order, matching the paper's concreteness convention).
+  const auto [vl, wl] = ce[open_left];
+  const auto [vr, wr] = ce[open_right];
+  const std::size_t bridge1_pos = edges.size();
+  edges.emplace_back(vl, static_cast<NodeId>(n + vr));
+  const std::size_t bridge2_pos = edges.size();
+  edges.emplace_back(wl, static_cast<NodeId>(n + wr));
+
+  Dumbbell d;
+  d.graph = Graph::from_edges(2 * n, edges);
+  d.bridge1 = static_cast<EdgeId>(bridge1_pos);
+  d.bridge2 = static_cast<EdgeId>(bridge2_pos);
+  d.kappa = kappa;
+  d.side_n = n;
+  d.diameter = (n > kappa) ? 2 * (n - kappa) + 1 : 2;
+  return d;
+}
+
+}  // namespace ule

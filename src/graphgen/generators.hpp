@@ -1,0 +1,44 @@
+// Graph family generators.
+//
+// Everything the benchmark harness sweeps over: classical families (cycle,
+// complete, star, grid, hypercube, ...), random connected G(n,m) (the "any n
+// and m" of Theorem 3.1's statement), random regular graphs (expanders, the
+// family where [14] beats the Ω(n) folklore bound), and the lollipop graph
+// that is the G0 building block of the dumbbell construction.
+
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.hpp"
+#include "net/rng.hpp"
+
+namespace ule {
+
+Graph make_path(std::size_t n);
+Graph make_cycle(std::size_t n);
+Graph make_star(std::size_t n);                 ///< node 0 is the hub
+Graph make_complete(std::size_t n);
+Graph make_complete_bipartite(std::size_t a, std::size_t b);
+Graph make_grid(std::size_t rows, std::size_t cols);
+Graph make_torus(std::size_t rows, std::size_t cols);
+Graph make_hypercube(unsigned dim);
+Graph make_balanced_tree(std::size_t n, std::size_t arity);
+
+/// Clique K_k with a path of `tail` extra nodes attached to clique node 0.
+/// (The fixed-diameter dumbbell halves are built from these.)
+Graph make_lollipop(std::size_t clique, std::size_t tail);
+
+/// Two cliques K_k joined by a path of `bridge_len` edges.
+Graph make_barbell(std::size_t clique, std::size_t bridge_len);
+
+/// Connected uniform-ish G(n,m): a random spanning tree plus m-(n-1) random
+/// extra edges (requires n-1 <= m <= n(n-1)/2).
+Graph make_random_connected(std::size_t n, std::size_t m, Rng& rng);
+
+/// Random d-regular graph via the pairing model with restarts (n*d even,
+/// d < n).  Connected with high probability for d >= 3; retries until
+/// simple AND connected so callers can rely on it.
+Graph make_random_regular(std::size_t n, std::size_t d, Rng& rng);
+
+}  // namespace ule

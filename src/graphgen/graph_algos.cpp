@@ -1,0 +1,72 @@
+#include "graphgen/graph_algos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ule {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  std::vector<std::uint32_t> dist(g.n(), kUnreachable);
+  std::vector<NodeId> frontier{src}, next;
+  dist[src] = 0;
+  std::uint32_t d = 0;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (const auto& he : g.ports(u)) {
+        if (dist[he.to] == kUnreachable) {
+          dist[he.to] = d;
+          next.push_back(he.to);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId src) {
+  const auto dist = bfs_distances(g, src);
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t d : dist) {
+    if (d == kUnreachable) throw std::runtime_error("graph is disconnected");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.n() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::uint32_t diameter_exact(const Graph& g) {
+  std::uint32_t best = 0;
+  for (NodeId u = 0; u < g.n(); ++u) best = std::max(best, eccentricity(g, u));
+  return best;
+}
+
+std::pair<std::uint32_t, std::uint32_t> diameter_double_sweep(const Graph& g) {
+  // Sweep 1: farthest node from 0.  Sweep 2: eccentricity of that node is a
+  // lower bound; twice the BFS-tree height from its midpoint-ish node bounds
+  // above.  We settle for lb and 2*lb as the (lb, ub) pair plus one repair
+  // sweep, which is the standard cheap estimate.
+  if (g.n() == 0) return {0, 0};
+  auto d0 = bfs_distances(g, 0);
+  NodeId far = 0;
+  for (NodeId u = 0; u < g.n(); ++u) {
+    if (d0[u] == kUnreachable) throw std::runtime_error("disconnected");
+    if (d0[u] > d0[far]) far = u;
+  }
+  const std::uint32_t lb = eccentricity(g, far);
+  return {lb, 2 * lb};
+}
+
+std::uint32_t hop_distance(const Graph& g, NodeId a, NodeId b) {
+  return bfs_distances(g, a)[b];
+}
+
+}  // namespace ule

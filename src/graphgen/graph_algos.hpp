@@ -1,0 +1,34 @@
+// Centralized graph algorithms (harness-side only — distributed algorithms
+// never call these; they exist to set up experiments and verify claims).
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace ule {
+
+inline constexpr std::uint32_t kUnreachable = 0xFFFFFFFFu;
+
+/// BFS hop distances from src (kUnreachable where disconnected).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src);
+
+/// Max finite distance from src; throws if the graph is disconnected.
+std::uint32_t eccentricity(const Graph& g, NodeId src);
+
+bool is_connected(const Graph& g);
+
+/// Exact diameter via all-pairs BFS; O(n*m), fine for harness sizes.
+std::uint32_t diameter_exact(const Graph& g);
+
+/// Double-sweep heuristic: returns (lower_bound, upper_bound) on the
+/// diameter using a handful of BFS passes.  For large instances.
+std::pair<std::uint32_t, std::uint32_t> diameter_double_sweep(const Graph& g);
+
+/// Hop distance between two nodes.
+std::uint32_t hop_distance(const Graph& g, NodeId a, NodeId b);
+
+}  // namespace ule

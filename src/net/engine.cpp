@@ -1,0 +1,321 @@
+#include "net/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace ule {
+
+// ---------------------------------------------------------------------------
+// Context implementation
+// ---------------------------------------------------------------------------
+
+class SyncEngine::Ctx final : public Context {
+ public:
+  Ctx(SyncEngine& eng) : eng_(eng) {}
+
+  void bind(NodeId slot) { slot_ = slot; }
+
+  NodeId slot() const override { return slot_; }
+  std::size_t degree() const override { return eng_.graph_.degree(slot_); }
+  bool anonymous() const override { return eng_.uids_.empty(); }
+  Uid uid() const override {
+    if (eng_.uids_.empty())
+      throw std::logic_error("uid() requested in an anonymous network");
+    return eng_.uids_[slot_];
+  }
+  Round round() const override { return eng_.round_; }
+  Rng& rng() override { return eng_.nodes_[slot_].rng; }
+  const Knowledge& knowledge() const override { return eng_.knowledge_; }
+
+  void send(PortId port, MessagePtr msg) override {
+    eng_.do_send(slot_, port, std::move(msg));
+  }
+
+  void set_status(Status s) override {
+    auto& st = eng_.nodes_[slot_].status;
+    if (st != s) {
+      st = s;
+      eng_.result_.last_status_change = eng_.round_;
+      if (eng_.cfg_.trace_limit > 0) {
+        TraceEvent ev;
+        ev.kind = TraceEvent::Kind::StatusChange;
+        ev.round = eng_.round_;
+        ev.node = slot_;
+        ev.status = s;
+        eng_.record(std::move(ev));
+      }
+    }
+  }
+  Status status() const override { return eng_.nodes_[slot_].status; }
+
+  void idle() override {
+    auto& n = eng_.nodes_[slot_];
+    n.state = RunState::Sleeping;
+    n.wake_at = kRoundForever;
+  }
+  void sleep_until(Round r) override {
+    auto& n = eng_.nodes_[slot_];
+    n.state = RunState::Sleeping;
+    n.wake_at = r;
+  }
+  void halt() override { eng_.nodes_[slot_].state = RunState::Halted; }
+
+ private:
+  SyncEngine& eng_;
+  NodeId slot_ = kNoNode;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+SyncEngine::SyncEngine(const Graph& g, EngineConfig cfg)
+    : graph_(g), cfg_(std::move(cfg)) {
+  const std::size_t n = graph_.n();
+  nodes_.resize(n);
+  procs_.resize(n);
+  inbox_.resize(n);
+  sent_by_node_.assign(n, 0);
+  for (NodeId s = 0; s < n; ++s) nodes_[s].rng = node_rng(cfg_.seed, s);
+
+  if (cfg_.record_edge_traffic) edge_traffic_.assign(graph_.m(), 0);
+
+  if (!cfg_.watch_edges.empty()) {
+    watch_index_.assign(graph_.m(), 0);
+    for (EdgeId e : cfg_.watch_edges) {
+      watch_reports_.push_back(WatchReport{e, kRoundForever, 0});
+      watch_index_[e] = static_cast<std::uint32_t>(watch_reports_.size());
+    }
+  }
+
+  if (cfg_.congest != CongestMode::Off) {
+    dir_port_offset_.resize(n + 1, 0);
+    for (NodeId s = 0; s < n; ++s)
+      dir_port_offset_[s + 1] = dir_port_offset_[s] + graph_.degree(s);
+    last_send_round_.assign(dir_port_offset_[n], kRoundForever);
+  }
+}
+
+void SyncEngine::set_uids(std::vector<Uid> uids) {
+  if (!uids.empty() && uids.size() != graph_.n())
+    throw std::invalid_argument("uid vector size mismatch");
+  uids_ = std::move(uids);
+}
+
+void SyncEngine::set_wakeup(std::vector<Round> wake_rounds) {
+  if (wake_rounds.size() != graph_.n())
+    throw std::invalid_argument("wakeup vector size mismatch");
+  for (NodeId s = 0; s < graph_.n(); ++s) nodes_[s].wake_at = wake_rounds[s];
+}
+
+void SyncEngine::set_process(NodeId slot, std::unique_ptr<Process> p) {
+  procs_[slot] = std::move(p);
+}
+
+std::uint64_t SyncEngine::messages_before(Round r) const {
+  std::uint64_t count = 0;
+  for (const auto& [round, cumulative] : message_timeline_) {
+    if (round >= r) break;
+    count = cumulative;
+  }
+  return count;
+}
+
+std::uint32_t SyncEngine::congest_budget() const {
+  if (cfg_.congest_bits != 0) return cfg_.congest_bits;
+  // Room for a tag plus a handful of id-sized fields.  Ids are Θ(log n)
+  // conceptually; the wire format sizes them at 64 bits, so a constant
+  // number of fields stays O(log n) for every n we can simulate.
+  return wire::kTypeTag + 8 * wire::kIdField;
+}
+
+void SyncEngine::do_send(NodeId from, PortId port, MessagePtr msg) {
+  if (port >= graph_.degree(from))
+    throw std::out_of_range("send on invalid port " + std::to_string(port) +
+                            " at node " + std::to_string(from));
+  if (!msg) throw std::invalid_argument("null message");
+
+  if (cfg_.congest != CongestMode::Off) {
+    const std::size_t dp = dir_port_offset_[from] + port;
+    const bool dup = last_send_round_[dp] == round_;
+    const bool too_big = msg->size_bits() > congest_budget();
+    if (dup || too_big) {
+      if (cfg_.congest == CongestMode::Enforce) {
+        throw std::runtime_error(
+            std::string("CONGEST violation at node ") + std::to_string(from) +
+            (dup ? " (two messages on one port in a round)"
+                 : " (message of " + std::to_string(msg->size_bits()) +
+                       " bits exceeds budget " +
+                       std::to_string(congest_budget()) + ")"));
+      }
+      ++result_.congest_violations;
+    }
+    last_send_round_[dp] = round_;
+  }
+
+  const Graph::HalfEdge& he = graph_.half_edge(from, port);
+
+  if (cfg_.trace_limit > 0) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::Send;
+    ev.round = round_;
+    ev.node = from;
+    ev.port = port;
+    ev.peer = he.to;
+    ev.detail = msg->debug_string();
+    record(std::move(ev));
+  }
+
+  ++result_.messages;
+  result_.bits += msg->size_bits();
+  ++sent_by_node_[from];
+  if (cfg_.record_edge_traffic) ++edge_traffic_[he.edge];
+  if (!watch_index_.empty()) {
+    if (const std::uint32_t wi = watch_index_[he.edge]; wi != 0) {
+      WatchReport& w = watch_reports_[wi - 1];
+      if (w.first_cross == kRoundForever) {
+        w.first_cross = round_;
+        w.messages_before_cross = result_.messages - 1;
+      }
+    }
+  }
+
+  outgoing_.push_back(InFlight{he.to, he.rev, he.edge, std::move(msg)});
+}
+
+RunResult SyncEngine::run() {
+  if (ran_) throw std::logic_error("SyncEngine::run() called twice");
+  ran_ = true;
+  for (NodeId s = 0; s < graph_.n(); ++s) {
+    if (!procs_[s]) throw std::logic_error("node without a process");
+  }
+
+  Ctx ctx(*this);
+  std::vector<NodeId> runnable;
+  runnable.reserve(graph_.n());
+
+  while (true) {
+    if (round_ >= cfg_.max_rounds) {
+      result_.completed = false;
+      break;
+    }
+
+    // Deliver messages sent last round.
+    for (NodeId s : touched_) inbox_[s].clear();
+    touched_.clear();
+    for (auto& f : inflight_) {
+      if (inbox_[f.to].empty()) touched_.push_back(f.to);
+      inbox_[f.to].push_back(Envelope{f.at_port, std::move(f.msg)});
+    }
+    inflight_.clear();
+
+    // Who runs this round?  (Deterministic: ascending slot order.)
+    runnable.clear();
+    for (NodeId s = 0; s < graph_.n(); ++s) {
+      const NodeState& n = nodes_[s];
+      switch (n.state) {
+        case RunState::Halted:
+          break;  // still receives (messages already counted) but never runs
+        case RunState::Running:
+          runnable.push_back(s);
+          break;
+        case RunState::Unwoken:
+        case RunState::Sleeping:
+          if (n.wake_at <= round_ || !inbox_[s].empty()) runnable.push_back(s);
+          break;
+      }
+    }
+
+    if (runnable.empty()) {
+      // Nothing to do this round.  Jump to the next scheduled wake, if any.
+      Round next_wake = kRoundForever;
+      for (const NodeState& n : nodes_) {
+        if (n.state == RunState::Unwoken || n.state == RunState::Sleeping)
+          next_wake = std::min(next_wake, n.wake_at);
+      }
+      if (next_wake == kRoundForever) {
+        result_.completed = true;  // global quiescence
+        break;
+      }
+      round_ = cfg_.fast_forward ? next_wake : round_ + 1;
+      continue;
+    }
+
+    for (NodeId s : runnable) {
+      NodeState& n = nodes_[s];
+      ctx.bind(s);
+      const std::span<const Envelope> in{inbox_[s].data(), inbox_[s].size()};
+      if (n.state == RunState::Unwoken) {
+        n.state = RunState::Running;
+        if (cfg_.trace_limit > 0) {
+          TraceEvent ev;
+          ev.kind = TraceEvent::Kind::Wake;
+          ev.round = round_;
+          ev.node = s;
+          record(std::move(ev));
+        }
+        procs_[s]->on_wake(ctx, in);
+      } else {
+        n.state = RunState::Running;  // woken sleepers resume running
+        procs_[s]->on_round(ctx, in);
+      }
+    }
+
+    if (cfg_.record_message_timeline)
+      message_timeline_.emplace_back(round_, result_.messages);
+
+    inflight_ = std::move(outgoing_);
+    outgoing_.clear();
+    ++round_;
+  }
+
+  result_.rounds = round_;
+  for (const NodeState& n : nodes_) {
+    switch (n.status) {
+      case Status::Elected: ++result_.elected; break;
+      case Status::NonElected: ++result_.non_elected; break;
+      case Status::Undecided: ++result_.undecided; break;
+    }
+  }
+  return result_;
+}
+
+std::string format_trace(const SyncEngine& eng, std::size_t max_lines) {
+  std::string out;
+  Round current = kRoundForever;
+  std::size_t lines = 0;
+  for (const TraceEvent& ev : eng.trace()) {
+    if (lines >= max_lines) {
+      out += "... (truncated at " + std::to_string(max_lines) + " lines)\n";
+      return out;
+    }
+    if (ev.round != current) {
+      current = ev.round;
+      out += "--- round " + std::to_string(current) + " ---\n";
+    }
+    switch (ev.kind) {
+      case TraceEvent::Kind::Wake:
+        out += "  n" + std::to_string(ev.node) + " wakes\n";
+        break;
+      case TraceEvent::Kind::Send:
+        out += "  n" + std::to_string(ev.node) + " -> n" +
+               std::to_string(ev.peer) + " (port " + std::to_string(ev.port) +
+               "): " + ev.detail + "\n";
+        break;
+      case TraceEvent::Kind::StatusChange:
+        out += "  n" + std::to_string(ev.node) + " status := " +
+               (ev.status == Status::Elected
+                    ? "elected"
+                    : ev.status == Status::NonElected ? "non-elected" : "?") +
+               "\n";
+        break;
+    }
+    ++lines;
+  }
+  if (eng.trace_truncated()) out += "... (event buffer full)\n";
+  return out;
+}
+
+}  // namespace ule

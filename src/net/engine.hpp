@@ -1,0 +1,198 @@
+// The synchronous message-passing engine.
+//
+// Realizes the paper's model (Section 2): computation advances in synchronous
+// rounds; in every round nodes receive the messages their neighbours sent in
+// the previous round, compute locally, and send at most one message per edge
+// (CONGEST, optionally enforced).  The engine is deterministic: a run is a
+// pure function of (graph, processes, config.seed).
+//
+// Instrumentation: total messages and bits, per-node send counts, optional
+// per-edge traffic, and *edge watches* — per-edge records of the first round
+// a message crossed, used to operationalize the bridge-crossing (BC) problem
+// from the Theorem 3.1 lower-bound proof.
+//
+// Fast-forward: rounds where no process is runnable and no message is in
+// flight are skipped in O(1); logical round numbers still advance, so time
+// complexity is measured faithfully.  Theorem 4.1's algorithm (agents step
+// every 2^ID rounds) relies on this.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/knowledge.hpp"
+#include "net/message.hpp"
+#include "net/process.hpp"
+#include "net/rng.hpp"
+#include "net/types.hpp"
+
+namespace ule {
+
+enum class CongestMode : std::uint8_t {
+  Off,      ///< no checking (LOCAL model)
+  Count,    ///< record violations, do not fail
+  Enforce,  ///< throw on violation
+};
+
+struct EngineConfig {
+  std::uint64_t seed = 1;
+  Round max_rounds = 50'000'000;
+  CongestMode congest = CongestMode::Off;
+  /// Per-message bit budget for CONGEST checks.  0 = auto: room for a small
+  /// constant number of id-sized fields (ids live in [1, n^4], i.e. Θ(log n)
+  /// bits; our wire format sizes them at 64 bits uniformly).
+  std::uint32_t congest_bits = 0;
+  bool fast_forward = true;
+  bool record_edge_traffic = false;
+  /// Record up to this many TraceEvents (0 = tracing off).  Wakes, sends
+  /// (with payload debug strings) and status changes, in execution order —
+  /// the round-by-round story of a run, for debugging and teaching.
+  std::size_t trace_limit = 0;
+  /// Record (round, cumulative messages) after every executed round — used
+  /// by e.g. the majority-broadcast experiment ("messages until > n/2
+  /// informed").
+  bool record_message_timeline = false;
+  std::vector<EdgeId> watch_edges;
+};
+
+struct RunResult {
+  Round rounds = 0;          ///< logical rounds until global quiescence
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  bool completed = false;    ///< quiesced before max_rounds
+  std::uint64_t congest_violations = 0;
+  std::size_t elected = 0;
+  std::size_t non_elected = 0;
+  std::size_t undecided = 0;
+  Round last_status_change = 0;  ///< the paper's "from round T on" T
+};
+
+/// One recorded engine event (requires cfg.trace_limit > 0).
+struct TraceEvent {
+  enum class Kind : std::uint8_t { Wake, Send, StatusChange };
+  Kind kind = Kind::Send;
+  Round round = 0;
+  NodeId node = kNoNode;
+  PortId port = kNoPort;   ///< Send only: the sending port
+  NodeId peer = kNoNode;   ///< Send only: the receiving node
+  Status status = Status::Undecided;  ///< StatusChange only
+  std::string detail;      ///< Send only: the payload's debug string
+};
+
+class SyncEngine;
+
+/// Render a recorded trace round-by-round (up to max_lines lines).
+std::string format_trace(const SyncEngine& eng, std::size_t max_lines = 200);
+
+/// First-crossing record for a watched edge (bridge-crossing experiments).
+struct WatchReport {
+  EdgeId edge = kNoEdge;
+  Round first_cross = kRoundForever;       ///< round of first traversal
+  std::uint64_t messages_before_cross = 0; ///< total sends strictly before it
+};
+
+class SyncEngine {
+ public:
+  SyncEngine(const Graph& g, EngineConfig cfg = {});
+
+  // --- run setup (call before run()) ---
+  /// Assign application-level unique IDs; empty vector = anonymous network.
+  void set_uids(std::vector<Uid> uids);
+  /// Wakeup schedule: absolute wake round per node (default: all zero, the
+  /// simultaneous-wakeup model the lower bounds assume).  Nodes also wake on
+  /// message arrival.  At least one entry must be 0 in adversarial schedules.
+  void set_wakeup(std::vector<Round> wake_rounds);
+  void set_knowledge(Knowledge k) { knowledge_ = k; }
+  void set_process(NodeId slot, std::unique_ptr<Process> p);
+
+  template <typename Factory>
+  void init_processes(Factory&& make) {
+    for (NodeId s = 0; s < graph_.n(); ++s) set_process(s, make(s));
+  }
+
+  RunResult run();
+
+  // --- post-run inspection ---
+  const Graph& graph() const { return graph_; }
+  Status status(NodeId slot) const { return nodes_[slot].status; }
+  Process* process(NodeId slot) { return procs_[slot].get(); }
+  const Process* process(NodeId slot) const { return procs_[slot].get(); }
+  Uid uid_of(NodeId slot) const { return uids_.empty() ? 0 : uids_[slot]; }
+  bool anonymous() const { return uids_.empty(); }
+  const RunResult& result() const { return result_; }
+  std::uint64_t messages_sent() const { return result_.messages; }
+  const std::vector<std::uint64_t>& sent_by_node() const { return sent_by_node_; }
+  /// Requires cfg.record_edge_traffic.
+  const std::vector<std::uint64_t>& edge_traffic() const { return edge_traffic_; }
+  const std::vector<WatchReport>& watch_reports() const { return watch_reports_; }
+  /// Requires cfg.record_message_timeline.
+  const std::vector<std::pair<Round, std::uint64_t>>& message_timeline() const {
+    return message_timeline_;
+  }
+  /// Requires cfg.trace_limit > 0.  Truncated at trace_limit events.
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+  bool trace_truncated() const { return trace_truncated_; }
+  /// Cumulative messages sent in rounds < r (requires timeline recording).
+  std::uint64_t messages_before(Round r) const;
+
+ private:
+  enum class RunState : std::uint8_t { Unwoken, Running, Sleeping, Halted };
+
+  struct NodeState {
+    RunState state = RunState::Unwoken;
+    Round wake_at = 0;  ///< Unwoken: scheduled wakeup; Sleeping: deadline.
+    Status status = Status::Undecided;
+    Rng rng;
+  };
+
+  struct InFlight {
+    NodeId to;
+    PortId at_port;
+    EdgeId edge;
+    MessagePtr msg;
+  };
+
+  class Ctx;  // Context implementation, defined in engine.cpp
+
+  void do_send(NodeId from, PortId port, MessagePtr msg);
+  std::uint32_t congest_budget() const;
+
+  const Graph& graph_;
+  EngineConfig cfg_;
+  Knowledge knowledge_;
+  std::vector<Uid> uids_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::unique_ptr<Process>> procs_;
+
+  Round round_ = 0;
+  std::vector<InFlight> inflight_;   // arriving this round
+  std::vector<InFlight> outgoing_;   // sent this round, arriving next
+  std::vector<std::vector<Envelope>> inbox_;
+  std::vector<NodeId> touched_;      // nodes with non-empty inbox this round
+
+  void record(TraceEvent ev) {
+    if (trace_.size() < cfg_.trace_limit) {
+      trace_.push_back(std::move(ev));
+    } else {
+      trace_truncated_ = true;
+    }
+  }
+
+  RunResult result_;
+  std::vector<TraceEvent> trace_;
+  bool trace_truncated_ = false;
+  std::vector<std::uint64_t> sent_by_node_;
+  std::vector<std::uint64_t> edge_traffic_;
+  std::vector<std::pair<Round, std::uint64_t>> message_timeline_;
+  std::vector<WatchReport> watch_reports_;
+  std::vector<std::uint32_t> watch_index_;     // edge -> index+1, 0 = none
+  std::vector<Round> last_send_round_;         // per directed port
+  std::vector<std::size_t> dir_port_offset_;   // node -> base directed index
+  bool ran_ = false;
+};
+
+}  // namespace ule

@@ -1,0 +1,61 @@
+#include "net/ids.hpp"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace ule {
+
+std::uint64_t id_space_size(std::size_t n) {
+  // n^4, saturating so Uids stay well inside 64 bits.
+  constexpr std::uint64_t cap = 1ULL << 62;
+  std::uint64_t r = 1;
+  for (int i = 0; i < 4; ++i) {
+    if (r > cap / (n == 0 ? 1 : n)) return cap;
+    r *= n;
+  }
+  return r < 2 ? 2 : r;
+}
+
+std::vector<Uid> assign_ids(std::size_t n, IdScheme scheme, Rng& rng) {
+  std::vector<Uid> ids(n);
+  switch (scheme) {
+    case IdScheme::Sequential:
+      std::iota(ids.begin(), ids.end(), Uid{1});
+      break;
+    case IdScheme::ReverseSequential:
+      for (std::size_t i = 0; i < n; ++i) ids[i] = n - i;
+      break;
+    case IdScheme::RandomPermutation: {
+      std::iota(ids.begin(), ids.end(), Uid{1});
+      for (std::size_t i = n; i > 1; --i)
+        std::swap(ids[i - 1], ids[rng.below(i)]);
+      break;
+    }
+    case IdScheme::RandomFromZ: {
+      const std::uint64_t z = id_space_size(n);
+      std::unordered_set<Uid> used;
+      used.reserve(n * 2);
+      for (std::size_t i = 0; i < n; ++i) {
+        Uid candidate;
+        do {
+          candidate = rng.in_range(1, z);
+        } while (!used.insert(candidate).second);
+        ids[i] = candidate;
+      }
+      break;
+    }
+  }
+  return ids;
+}
+
+const char* to_string(IdScheme s) {
+  switch (s) {
+    case IdScheme::Sequential: return "sequential";
+    case IdScheme::ReverseSequential: return "reverse";
+    case IdScheme::RandomPermutation: return "permutation";
+    case IdScheme::RandomFromZ: return "random-Z";
+  }
+  return "?";
+}
+
+}  // namespace ule

@@ -1,0 +1,34 @@
+// Adversarial ID assignment strategies.
+//
+// The paper lets an adversary choose unique IDs from an arbitrary integer set
+// Z of size n^4 (Section 2).  Lower bounds must hold for every assignment;
+// upper-bound analyses assume nothing about them (ranks are separate, private
+// random choices).  The harness sweeps these strategies to exercise the
+// adversary's degrees of freedom.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/rng.hpp"
+#include "net/types.hpp"
+
+namespace ule {
+
+enum class IdScheme : std::uint8_t {
+  Sequential,        ///< 1, 2, ..., n
+  ReverseSequential, ///< n, n-1, ..., 1
+  RandomPermutation, ///< random permutation of 1..n
+  RandomFromZ,       ///< n distinct values drawn from [1, n^4]
+};
+
+/// Produce a unique-ID assignment for n nodes under the given scheme.
+std::vector<Uid> assign_ids(std::size_t n, IdScheme scheme, Rng& rng);
+
+/// The size of the ID space Z = [1, n^4] (saturating at 2^62).
+std::uint64_t id_space_size(std::size_t n);
+
+const char* to_string(IdScheme s);
+
+}  // namespace ule

@@ -1,0 +1,41 @@
+// What global parameters a node is allowed to know.
+//
+// The paper is explicit about knowledge assumptions per result (Table 1):
+// Theorem 4.4 needs n; Corollary 4.6 needs n and D; Corollary 4.5 needs
+// nothing; the lower bounds hold even when n, m, and D are all known.  The
+// harness grants exactly the knowledge the algorithm under test is entitled
+// to, and algorithms must fail fast if run without their prerequisites.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+namespace ule {
+
+struct Knowledge {
+  std::optional<std::uint64_t> n;  ///< number of nodes
+  std::optional<std::uint64_t> m;  ///< number of edges
+  std::optional<std::uint64_t> diameter;
+
+  static Knowledge none() { return {}; }
+  static Knowledge of_n(std::uint64_t n) { return {n, std::nullopt, std::nullopt}; }
+  static Knowledge of_n_d(std::uint64_t n, std::uint64_t d) {
+    return {n, std::nullopt, d};
+  }
+  static Knowledge all(std::uint64_t n, std::uint64_t m, std::uint64_t d) {
+    return {n, m, d};
+  }
+
+  std::uint64_t require_n() const {
+    if (!n) throw std::logic_error("algorithm requires knowledge of n");
+    return *n;
+  }
+  std::uint64_t require_diameter() const {
+    if (!diameter) throw std::logic_error("algorithm requires knowledge of D");
+    return *diameter;
+  }
+};
+
+}  // namespace ule

@@ -1,0 +1,49 @@
+// Messages and their CONGEST accounting.
+//
+// Algorithms define their own concrete message types derived from Message.
+// Each type reports its own size in bits so the engine can (a) total up the
+// bit complexity and (b) enforce the CONGEST bound of O(log n) bits per edge
+// per round when asked to.  Broadcast-style sends share one immutable payload
+// through shared_ptr, so fan-out is cheap.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/types.hpp"
+
+namespace ule {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Size of the encoded message in bits (header + payload).  CONGEST allows
+  /// O(log n) bits; helpers below size common field kinds consistently.
+  virtual std::uint32_t size_bits() const = 0;
+
+  /// For traces and test failure diagnostics.
+  virtual std::string debug_string() const { return "msg"; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// A received message, tagged with the local port it arrived on.
+struct Envelope {
+  PortId port = kNoPort;
+  MessagePtr msg;
+};
+
+/// Conventional field sizes, in bits.  IDs/ranks come from a set of size
+/// n^4, i.e. 4*log2(n) bits; we account a uniform 64-bit field for them so
+/// measured "bits" scale like Theta(messages * log n) for the n we simulate.
+namespace wire {
+inline constexpr std::uint32_t kTypeTag = 8;    ///< message discriminator
+inline constexpr std::uint32_t kIdField = 64;   ///< node id / rank / edge id
+inline constexpr std::uint32_t kCounter = 32;   ///< hop counters, phase nums
+inline constexpr std::uint32_t kFlag = 1;       ///< booleans
+}  // namespace wire
+
+}  // namespace ule

@@ -1,0 +1,76 @@
+// CONGEST pacing: a per-port send queue draining one message per port per
+// round.
+//
+// The model allows at most one message per edge-direction per round.  An
+// algorithm frequently *generates* more than that in a single round — e.g.
+// the wave pools answer a non-adopted forward with an echo while also
+// re-flooding a freshly adopted wave over the same port, and Algorithm 1
+// starts its election flood in the round it forwards the final DOWN-DONE of
+// phase 2.  Real CONGEST executions serialize such sends over consecutive
+// rounds; PortOutbox does exactly that.  Message counts are unchanged (every
+// queued message is eventually sent and billed); only timing is affected,
+// and only by the queue length, which for our algorithms is bounded by the
+// number of concurrently outstanding protocol items per edge (a constant or
+// O(log n)).
+//
+// Usage pattern inside a Process:
+//
+//   outbox_.queue(port, msg);           // instead of ctx.send(port, msg)
+//   ...
+//   if (outbox_.flush(ctx)) return;     // backlog: stay runnable this round
+//   ctx.idle();                         // or the process's usual sleep rule
+//
+// flush() must be called exactly once per round (last), and the process must
+// remain runnable while the outbox is non-empty — otherwise queued messages
+// would sit until the next inbound message wakes the node.
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/process.hpp"
+
+namespace ule {
+
+class PortOutbox {
+ public:
+  /// Queue `msg` for port `port`; it is sent by the first flush() that finds
+  /// no earlier message queued ahead of it on the same port.
+  void queue(PortId port, MessagePtr msg) {
+    if (queues_.size() <= port) queues_.resize(std::size_t{port} + 1);
+    queues_[port].push_back(std::move(msg));
+    ++queued_;
+  }
+
+  /// Queue the same payload on every port of `ctx` (paced broadcast).
+  void queue_broadcast(const Context& ctx, const MessagePtr& msg) {
+    for (PortId p = 0; p < ctx.degree(); ++p) queue(p, msg);
+  }
+
+  /// Send the head of every non-empty port queue (at most one message per
+  /// port, the CONGEST allowance).  Returns true iff messages remain queued,
+  /// in which case the caller must stay runnable for the next round.
+  bool flush(Context& ctx) {
+    for (PortId p = 0; p < queues_.size(); ++p) {
+      auto& q = queues_[p];
+      if (!q.empty()) {
+        ctx.send(p, std::move(q.front()));
+        q.pop_front();
+        --queued_;
+      }
+    }
+    return queued_ > 0;
+  }
+
+  bool empty() const { return queued_ == 0; }
+  std::size_t backlog() const { return queued_; }
+
+ private:
+  std::vector<std::deque<MessagePtr>> queues_;
+  std::size_t queued_ = 0;
+};
+
+}  // namespace ule

@@ -1,0 +1,29 @@
+// Basic identifier types shared by the whole library.
+//
+// A node is addressed by its *slot* (dense index 0..n-1) inside the engine;
+// its application-level unique identifier (the "ID" of the paper, drawn from
+// an adversarial set Z with |Z| = n^4) is a separate 64-bit value assigned per
+// run.  Ports are local per node (0..deg-1) and edges have dense global ids.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ule {
+
+using NodeId = std::uint32_t;  ///< Dense node slot, 0..n-1.
+using PortId = std::uint32_t;  ///< Local port index at a node, 0..deg-1.
+using EdgeId = std::uint32_t;  ///< Dense undirected edge index, 0..m-1.
+using Uid = std::uint64_t;     ///< Application-level unique identifier.
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+inline constexpr PortId kNoPort = std::numeric_limits<PortId>::max();
+inline constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+
+/// Rounds are unbounded (Theorem 4.1 runs for up to 2^ID rounds).
+using Round = std::uint64_t;
+
+inline constexpr Round kRoundForever = std::numeric_limits<Round>::max();
+
+}  // namespace ule

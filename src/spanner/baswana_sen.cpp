@@ -1,0 +1,178 @@
+#include "spanner/baswana_sen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace ule {
+
+namespace {
+
+/// Cluster-state flood: (center, sampled-bit for this phase, sender depth).
+struct StateMsg final : Message {
+  std::uint64_t center = 0;
+  bool sampled = false;
+  std::uint32_t depth = 0;
+  std::uint32_t phase = 0;
+
+  std::uint32_t size_bits() const override {
+    return wire::kTypeTag + wire::kIdField + 2 * wire::kCounter + wire::kFlag;
+  }
+  std::string debug_string() const override {
+    return "spanner-state(c" + std::to_string(center) +
+           (sampled ? ",S" : ",u") + ")";
+  }
+};
+
+/// "The edge we share is in the spanner."
+struct AddEdgeMsg final : Message {
+  std::uint32_t size_bits() const override { return wire::kTypeTag; }
+  std::string debug_string() const override { return "spanner-add-edge"; }
+};
+
+}  // namespace
+
+Round spanner_finish_round(std::uint32_t k) {
+  Round start = 0;
+  for (std::uint32_t i = 1; i < k; ++i) start += i + 2;
+  return start + k + 2;
+}
+
+Round BaswanaSenProcess::window_start(std::uint32_t phase) const {
+  Round start = 0;
+  for (std::uint32_t i = 1; i < phase; ++i) start += i + 2;
+  return start;
+}
+
+void BaswanaSenProcess::add_spanner_port(Context& /*ctx*/, PortId p,
+                                         bool notify) {
+  if (in_spanner_[p]) return;
+  in_spanner_[p] = true;
+  spanner_ports_.push_back(p);
+  if (notify) outbox_.queue(p, std::make_shared<AddEdgeMsg>());
+}
+
+void BaswanaSenProcess::begin_window(Context& ctx, std::uint32_t phase) {
+  nbr_.assign(ctx.degree(), NbrState{});
+  have_bit_ = false;
+  sampled_ = false;
+  if (!clustered_) return;
+  if (center_ == token_) {
+    // We are a cluster center.  Sample in the growth phases; the final
+    // phase floods state only (everyone acts as unsampled).
+    const auto n = static_cast<double>(ctx.knowledge().require_n());
+    const double p = std::pow(n, -1.0 / static_cast<double>(cfg_.k));
+    sampled_ = (phase < cfg_.k) && ctx.rng().bernoulli(p);
+    have_bit_ = true;
+    auto m = std::make_shared<StateMsg>();
+    m->center = center_;
+    m->sampled = sampled_;
+    m->depth = 0;
+    m->phase = phase;
+    outbox_.queue_broadcast(ctx, m);
+  }
+}
+
+void BaswanaSenProcess::decide(Context& ctx, std::uint32_t phase) {
+  if (!clustered_) return;
+  if (!have_bit_)
+    throw std::logic_error("cluster sampled-bit did not arrive in time");
+
+  if (phase < cfg_.k) {
+    if (sampled_) return;  // sampled clusters ride into the next phase
+    // Unsampled: join an adjacent sampled cluster if one exists...
+    for (PortId p = 0; p < nbr_.size(); ++p) {
+      if (nbr_[p].clustered && nbr_[p].sampled) {
+        center_ = nbr_[p].center;
+        depth_ = nbr_[p].depth + 1;
+        parent_ = p;
+        add_spanner_port(ctx, p, /*notify=*/true);
+        return;
+      }
+    }
+    // ...otherwise add one edge per adjacent foreign cluster and leave.
+    clustered_ = false;
+  }
+  // Discard step / final phase: one representative edge per adjacent
+  // foreign cluster (smallest port wins — any fixed rule works).
+  std::vector<std::uint64_t> seen;
+  for (PortId p = 0; p < nbr_.size(); ++p) {
+    if (!nbr_[p].clustered || nbr_[p].center == center_) continue;
+    if (std::find(seen.begin(), seen.end(), nbr_[p].center) != seen.end())
+      continue;
+    seen.push_back(nbr_[p].center);
+    add_spanner_port(ctx, p, /*notify=*/true);
+  }
+}
+
+void BaswanaSenProcess::spanner_round(Context& ctx,
+                                      std::span<const Envelope> inbox) {
+  const Round r = ctx.round();
+  if (phase_ <= cfg_.k && r == window_start(phase_)) begin_window(ctx, phase_);
+
+  for (const auto& env : inbox) {
+    if (dynamic_cast<const AddEdgeMsg*>(env.msg.get()) != nullptr) {
+      add_spanner_port(ctx, env.port, /*notify=*/false);
+      continue;
+    }
+    const auto* sm = dynamic_cast<const StateMsg*>(env.msg.get());
+    if (!sm) continue;
+    nbr_[env.port] =
+        NbrState{true, sm->center, sm->sampled, sm->depth};
+    if (clustered_ && sm->center == center_ && !have_bit_ &&
+        sm->phase == phase_) {
+      have_bit_ = true;
+      sampled_ = sm->sampled;
+      auto m = std::make_shared<StateMsg>();
+      m->center = center_;
+      m->sampled = sampled_;
+      m->depth = depth_;
+      m->phase = phase_;
+      outbox_.queue_broadcast(ctx, m);
+    }
+  }
+
+  if (phase_ <= cfg_.k && r == window_start(phase_) + phase_) {
+    decide(ctx, phase_);
+    ++phase_;
+  }
+
+  if (r >= spanner_finish_round(cfg_.k) && !done_) {
+    done_ = true;
+    on_spanner_complete(ctx);
+  }
+}
+
+void BaswanaSenProcess::on_wake(Context& ctx, std::span<const Envelope> inbox) {
+  token_ = ctx.anonymous() ? ctx.rng()() : ctx.uid();
+  center_ = token_;
+  depth_ = 0;
+  clustered_ = true;
+  nbr_.assign(ctx.degree(), NbrState{});
+  in_spanner_.assign(ctx.degree(), false);
+  on_round(ctx, inbox);
+}
+
+void BaswanaSenProcess::on_round(Context& ctx, std::span<const Envelope> inbox) {
+  if (!done_) {
+    // The construction runs on a fixed round schedule: stay runnable for
+    // the whole window regardless of traffic.
+    spanner_round(ctx, inbox);
+    outbox_.flush(ctx);
+    return;
+  }
+  app_round(ctx, inbox);
+  if (outbox_.flush(ctx)) return;  // backlog: stay runnable
+  ctx.idle();
+}
+
+ProcessFactory make_baswana_sen(SpannerConfig cfg) {
+  return [cfg](NodeId) { return std::make_unique<BaswanaSenProcess>(cfg); };
+}
+
+}  // namespace ule

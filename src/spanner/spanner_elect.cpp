@@ -1,0 +1,46 @@
+#include "spanner/spanner_elect.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "net/ids.hpp"
+
+namespace ule {
+
+std::uint32_t spanner_k_for_epsilon(double epsilon) {
+  return static_cast<std::uint32_t>(std::ceil(2.0 / epsilon));
+}
+
+void SpannerElectProcess::on_spanner_complete(Context& ctx) {
+  elect_.restrict_ports(spanner_ports());
+
+  std::uint64_t space = ecfg_.rank_space;
+  if (space == 0) space = id_space_size(ctx.knowledge().require_n());
+  WaveKey key;
+  key.primary = ctx.rng().in_range(1, space);
+  key.tiebreak = ctx.anonymous() ? ctx.rng()() : ctx.uid();
+  if (elect_.originate(ctx, key)) {
+    ctx.set_status(Status::Elected);  // empty spanner overlay: n == 1
+    decided_ = true;
+  }
+}
+
+void SpannerElectProcess::app_round(Context& ctx,
+                                    std::span<const Envelope> inbox) {
+  const WavePool::Events ev = elect_.on_round(ctx, inbox);
+  if (!decided_) {
+    if (elect_.has_best() && !elect_.own_is_best()) {
+      ctx.set_status(Status::NonElected);
+      decided_ = true;
+    } else if (ev.own_complete && elect_.own_is_best()) {
+      ctx.set_status(Status::Elected);
+      decided_ = true;
+    }
+  }
+}
+
+ProcessFactory make_spanner_elect(SpannerElectConfig cfg) {
+  return [cfg](NodeId) { return std::make_unique<SpannerElectProcess>(cfg); };
+}
+
+}  // namespace ule

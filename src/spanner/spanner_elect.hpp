@@ -1,0 +1,50 @@
+// Corollary 4.2: leader election in O(D) time and expected O(m) messages for
+// graphs with m > n^{1+ε}, by electing on a Baswana–Sen spanner.
+//
+// With k = ceil(2/ε) the spanner has O(n^{1+ε/2}) edges; running the
+// least-element-list election (Theorem 4.4 with f(n) = n) on it costs
+// O(n^{1+ε/2} log n) ⊆ O(m) expected messages, while the spanner itself
+// costs O(km) = O(m) messages and O(k^2) = O(1) rounds.  The spanner
+// finishes on a fixed global round, so all nodes enter the election
+// simultaneously; its diameter is at most (2k-1)·D + 2k = O(D), keeping the
+// overall time O(D).
+
+#pragma once
+
+#include "election/channels.hpp"
+#include "election/pif.hpp"
+#include "spanner/baswana_sen.hpp"
+
+namespace ule {
+
+struct SpannerElectConfig {
+  /// Choose k = ceil(2/epsilon) to match the paper's parameterization.
+  std::uint32_t k = 3;
+  std::uint64_t rank_space = 0;  ///< 0 = auto n^4
+};
+
+class SpannerElectProcess final : public BaswanaSenProcess {
+ public:
+  explicit SpannerElectProcess(SpannerElectConfig cfg)
+      : BaswanaSenProcess(SpannerConfig{cfg.k}), ecfg_(cfg) {
+    elect_.pace_through(&outbox_);
+  }
+
+  std::size_t le_list_size() const { return elect_.adopted_count(); }
+
+ protected:
+  void on_spanner_complete(Context& ctx) override;
+  void app_round(Context& ctx, std::span<const Envelope> inbox) override;
+
+ private:
+  SpannerElectConfig ecfg_;
+  WavePool elect_{channel::kLeastEl, /*max_wins=*/false};
+  bool decided_ = false;
+};
+
+ProcessFactory make_spanner_elect(SpannerElectConfig cfg = {});
+
+/// k for a given epsilon (m > n^{1+epsilon}).
+std::uint32_t spanner_k_for_epsilon(double epsilon);
+
+}  // namespace ule

@@ -1,0 +1,60 @@
+#include "bounds/bridge_crossing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "election/flood_max.hpp"
+#include "election/least_el.hpp"
+
+namespace ule {
+namespace {
+
+TEST(BridgeCrossing, LeaderElectionAlwaysCrosses) {
+  // A correct universal algorithm must achieve BC on every dumbbell —
+  // otherwise two sides would decide independently (Lemma 3.8's engine).
+  const auto sum = run_bridge_crossing(12, 20, make_flood_max(), 6, 1);
+  EXPECT_EQ(sum.crossing_fraction, 1.0);
+  for (const auto& run : sum.runs) {
+    EXPECT_TRUE(run.unique_leader);
+    EXPECT_NE(run.first_cross, kRoundForever);
+  }
+}
+
+TEST(BridgeCrossing, MessagesBeforeCrossingScaleWithM) {
+  // The operational Lemma 3.5: mean messages-before-crossing grows
+  // linearly in the per-side edge budget m.
+  std::vector<double> means;
+  std::vector<std::size_t> side_ms;
+  for (const std::size_t m : {30u, 120u, 480u}) {
+    const auto sum =
+        run_bridge_crossing(m, m, make_flood_max(), 8, 3);
+    EXPECT_GT(sum.crossing_fraction, 0.99);
+    means.push_back(sum.mean_messages_before_cross);
+    side_ms.push_back(sum.side_m);
+  }
+  // Linear shape: quadrupling m at least triples the pre-crossing cost.
+  EXPECT_GE(means[1], means[0] * 2.0);
+  EXPECT_GE(means[2], means[1] * 2.0);
+  // And it is a constant fraction of the side size.
+  for (std::size_t i = 0; i < means.size(); ++i)
+    EXPECT_GE(means[i], 0.2 * static_cast<double>(side_ms[i]));
+}
+
+TEST(BridgeCrossing, LeastElAlsoPaysOmegaM) {
+  LeastElConfig cfg = LeastElConfig::all_candidates();
+  const auto sum = run_bridge_crossing(40, 120, make_least_el(cfg), 6, 7);
+  EXPECT_GT(sum.crossing_fraction, 0.99);
+  EXPECT_GE(sum.mean_messages_before_cross, 0.2 * sum.side_m);
+}
+
+TEST(BridgeCrossing, ReportsPerRunDetails) {
+  const auto sum = run_bridge_crossing(10, 15, make_flood_max(), 4, 9);
+  ASSERT_EQ(sum.runs.size(), 4u);
+  EXPECT_GT(sum.kappa, 1u);
+  for (const auto& r : sum.runs) {
+    EXPECT_LT(r.open_left, dumbbell_open_edge_count(15));
+    EXPECT_LE(r.messages_before_cross, r.messages_total);
+  }
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,52 @@
+#include "bounds/truncation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphgen/clique_cycle.hpp"
+#include "graphgen/generators.hpp"
+#include "graphgen/graph_algos.hpp"
+
+namespace ule {
+namespace {
+
+TEST(Truncation, FullHorizonAlwaysElects) {
+  const Graph g = make_cycle(20);
+  const auto st = run_truncation_trials(g, /*horizon=*/12, 20, 1);
+  EXPECT_EQ(st.unique_leader, st.trials);
+}
+
+TEST(Truncation, ZeroHorizonElectsEverybody) {
+  const Graph g = make_cycle(10);
+  const auto st = run_truncation_trials(g, 0, 5, 2);
+  EXPECT_EQ(st.multi_leaders, st.trials);  // nobody hears anything
+}
+
+TEST(Truncation, ShortHorizonFailsOnCliqueCycle) {
+  // Theorem 3.13's engine: with horizon < D'/4 the arcs are causally
+  // independent, so multiple local maxima survive and multiple leaders
+  // are elected with substantial probability.
+  const CliqueCycle cc = make_clique_cycle(64, 32);
+  const Round quarter = cc.d_prime / 4 - 1;
+  const auto st = run_truncation_trials(cc.graph, quarter / 2, 40, 3);
+  EXPECT_LT(st.success_rate(), 15.0 / 16.0)
+      << "short-horizon success too high for the bound to bind";
+  EXPECT_GT(st.multi_leaders, 0u);
+}
+
+TEST(Truncation, SuccessImprovesWithHorizon) {
+  const CliqueCycle cc = make_clique_cycle(48, 24);
+  const auto diam = diameter_exact(cc.graph);
+  const auto short_h = run_truncation_trials(cc.graph, diam / 8, 30, 5);
+  const auto full_h = run_truncation_trials(cc.graph, diam + 1, 30, 5);
+  EXPECT_LT(short_h.success_rate(), full_h.success_rate());
+  EXPECT_EQ(full_h.unique_leader, full_h.trials);
+}
+
+TEST(Truncation, StatsAddUp) {
+  const CliqueCycle cc = make_clique_cycle(32, 16);
+  const auto st = run_truncation_trials(cc.graph, 2, 25, 7);
+  EXPECT_EQ(st.unique_leader + st.zero_leaders + st.multi_leaders, st.trials);
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,173 @@
+#include "election/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "election/least_el.hpp"
+#include "graphgen/generators.hpp"
+#include "graphgen/graph_algos.hpp"
+#include "net/engine.hpp"
+
+namespace ule {
+namespace {
+
+RunOptions with_n(const Graph& g, std::uint64_t seed) {
+  RunOptions opt;
+  opt.seed = seed;
+  opt.knowledge = Knowledge::of_n(g.n());
+  return opt;
+}
+
+TEST(Clustering, ElectsUniqueLeader) {
+  Rng rng(2);
+  const Graph g = make_random_connected(60, 180, rng);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto rep = run_election(g, make_clustering(), with_n(g, seed));
+    EXPECT_TRUE(rep.verdict.unique_leader) << "seed " << seed;
+  }
+}
+
+TEST(Clustering, WorksOnAllBasicFamilies) {
+  Rng rng(4);
+  for (const Graph& g :
+       {make_cycle(30), make_star(20), make_complete(14), make_grid(5, 6),
+        make_path(25), make_random_connected(50, 100, rng)}) {
+    const auto rep = run_election(g, make_clustering(), with_n(g, 7));
+    EXPECT_TRUE(rep.verdict.unique_leader) << g.summary();
+  }
+}
+
+TEST(Clustering, ClusterCountNearEightLogN) {
+  Rng rng(6);
+  const Graph g = make_random_connected(400, 1200, rng);
+  EngineConfig cfg;
+  cfg.seed = 13;
+  SyncEngine eng(g, cfg);
+  Rng id_rng(3);
+  eng.set_uids(assign_ids(g.n(), IdScheme::RandomFromZ, id_rng));
+  eng.set_knowledge(Knowledge::of_n(g.n()));
+  eng.init_processes(make_clustering());
+  eng.run();
+
+  std::set<std::uint64_t> clusters;
+  std::size_t candidates = 0;
+  for (NodeId s = 0; s < g.n(); ++s) {
+    const auto* p = dynamic_cast<const ClusteringProcess*>(eng.process(s));
+    candidates += p->is_candidate();
+    ASSERT_NE(p->cluster(), 0u) << "node " << s << " never joined";
+    clusters.insert(p->cluster());
+  }
+  EXPECT_EQ(clusters.size(), candidates);
+  const double expected = 8.0 * std::log(400.0);  // ≈ 48
+  EXPECT_GE(static_cast<double>(candidates), expected / 3.0);
+  EXPECT_LE(static_cast<double>(candidates), expected * 3.0);
+}
+
+TEST(Clustering, IntergraphStaysPolylog) {
+  // After sparsification the broadcast inter-cluster graph has at most one
+  // entry per ordered cluster pair: O(log^2 n) whp.
+  Rng rng(8);
+  const Graph g = make_random_connected(300, 2000, rng);
+  EngineConfig cfg;
+  cfg.seed = 99;
+  SyncEngine eng(g, cfg);
+  Rng id_rng(9);
+  eng.set_uids(assign_ids(g.n(), IdScheme::RandomFromZ, id_rng));
+  eng.set_knowledge(Knowledge::of_n(g.n()));
+  eng.init_processes(make_clustering());
+  const RunResult res = eng.run();
+  EXPECT_EQ(res.elected, 1u);
+
+  std::set<std::uint64_t> clusters;
+  std::size_t max_ig = 0;
+  for (NodeId s = 0; s < g.n(); ++s) {
+    const auto* p = dynamic_cast<const ClusteringProcess*>(eng.process(s));
+    clusters.insert(p->cluster());
+    max_ig = std::max(max_ig, p->final_intergraph_size());
+  }
+  EXPECT_LE(max_ig, clusters.size());  // one entry per foreign cluster
+}
+
+TEST(Clustering, MessageBoundMPlusNLogN) {
+  // Theorem 4.7: O(m + n log n) messages.
+  Rng rng(10);
+  const Graph g = make_random_connected(256, 3000, rng);  // dense-ish
+  double msgs = 0;
+  const std::size_t trials = 5;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    const auto rep = run_election(g, make_clustering(), with_n(g, seed));
+    EXPECT_TRUE(rep.verdict.unique_leader);
+    msgs += static_cast<double>(rep.run.messages);
+  }
+  const double n = static_cast<double>(g.n());
+  const double bound = 6.0 * (g.m() + n * std::log2(n));
+  EXPECT_LE(msgs / trials, bound);
+}
+
+TEST(Clustering, BeatsPlainLeastElOnDenseGraphs) {
+  // The sparsification pays off when m >> n log n: Algorithm 1 spends
+  // O(m + n log n) while the f(n)=n least-element election spends
+  // Θ(m log n).
+  Rng rng(12);
+  const Graph g = make_random_connected(200, 6000, rng);
+  std::uint64_t clustering_msgs = 0, leastel_msgs = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    clustering_msgs +=
+        run_election(g, make_clustering(), with_n(g, seed)).run.messages;
+    leastel_msgs +=
+        run_election(g, make_least_el(LeastElConfig::all_candidates()),
+                     with_n(g, seed))
+            .run.messages;
+  }
+  EXPECT_LT(clustering_msgs, leastel_msgs);
+}
+
+TEST(Clustering, TimeWithinDLogN) {
+  Rng rng(14);
+  const Graph g = make_random_connected(100, 300, rng);
+  const auto d = diameter_exact(g);
+  const auto rep = run_election(g, make_clustering(), with_n(g, 3));
+  EXPECT_TRUE(rep.verdict.unique_leader);
+  const double bound =
+      20.0 * std::max<double>(1.0, d) * std::log2(100.0) + 50.0;
+  EXPECT_LE(static_cast<double>(rep.run.rounds), bound);
+}
+
+TEST(Clustering, AnonymousNetworksSupported) {
+  const Graph g = make_torus(5, 5);
+  RunOptions opt = with_n(g, 17);
+  opt.anonymous = true;
+  const auto rep = run_election(g, make_clustering(), opt);
+  EXPECT_TRUE(rep.verdict.unique_leader);
+}
+
+TEST(Clustering, CongestClean) {
+  const Graph g = make_complete(16);
+  RunOptions opt = with_n(g, 5);
+  opt.congest = CongestMode::Count;
+  const auto rep = run_election(g, make_clustering(), opt);
+  EXPECT_TRUE(rep.verdict.unique_leader);
+  EXPECT_EQ(rep.run.congest_violations, 0u);
+}
+
+TEST(Clustering, LowCandidateFactorCanFail) {
+  // Ablation: with the candidate factor near zero the probability of zero
+  // candidates is material, and failures are clean (no leader, undecided).
+  const Graph g = make_cycle(20);
+  ClusteringConfig cfg;
+  cfg.candidate_factor = 0.05;
+  std::size_t failures = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto rep = run_election(g, make_clustering(cfg), with_n(g, seed));
+    if (!rep.verdict.unique_leader) {
+      ++failures;
+      EXPECT_EQ(rep.verdict.elected, 0u);
+    }
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,123 @@
+#include "election/dfs_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphgen/generators.hpp"
+#include "net/engine.hpp"
+#include "net/wakeup.hpp"
+
+namespace ule {
+namespace {
+
+RunOptions dfs_options(std::uint64_t seed) {
+  RunOptions opt;
+  opt.seed = seed;
+  opt.ids = IdScheme::RandomPermutation;  // keep 2^ID delays simulable
+  opt.max_rounds = Round{1} << 62;
+  return opt;
+}
+
+TEST(DfsElection, ElectsMinIdNode) {
+  const Graph g = make_cycle(12);
+  const auto rep = run_election(g, make_dfs_election(), dfs_options(3));
+  ASSERT_TRUE(rep.verdict.unique_leader);
+  const Uid min_uid = *std::min_element(rep.uids.begin(), rep.uids.end());
+  EXPECT_EQ(rep.uids[rep.verdict.leader_slot], min_uid);
+}
+
+TEST(DfsElection, MessagesLinearInM) {
+  // Theorem 4.1: <= ~4m messages regardless of topology (simultaneous wake).
+  Rng rng(1);
+  for (const Graph& g :
+       {make_cycle(30), make_complete(12), make_grid(5, 6),
+        make_random_connected(40, 160, rng)}) {
+    const auto rep = run_election(g, make_dfs_election(), dfs_options(5));
+    EXPECT_TRUE(rep.verdict.unique_leader) << g.summary();
+    EXPECT_LE(rep.run.messages, 4 * g.m() + 2 * g.n()) << g.summary();
+  }
+}
+
+TEST(DfsElection, TimeExponentialInMinId) {
+  // The paper: time ≈ 4m · 2^{i_min}.  Shifting all ids up by k doubles
+  // the running time k times.
+  const Graph g = make_path(6);
+  std::vector<Round> rounds;
+  for (const Uid base : {1u, 2u, 3u}) {
+    EngineConfig cfg;
+    cfg.max_rounds = Round{1} << 62;
+    SyncEngine eng(g, cfg);
+    std::vector<Uid> ids(g.n());
+    for (NodeId s = 0; s < g.n(); ++s) ids[s] = base + s;
+    eng.set_uids(ids);
+    eng.init_processes(make_dfs_election());
+    const RunResult res = eng.run();
+    EXPECT_EQ(res.elected, 1u);
+    rounds.push_back(res.rounds);
+  }
+  EXPECT_GE(rounds[1], rounds[0] * 3 / 2);
+  EXPECT_GE(rounds[2], rounds[1] * 3 / 2);
+}
+
+TEST(DfsElection, FastForwardMakesItFeasible) {
+  // Logical rounds are huge; simulation stays fast because quiet rounds
+  // are skipped.  Sanity: logical rounds >> messages.
+  const Graph g = make_cycle(10);
+  EngineConfig cfg;
+  cfg.max_rounds = Round{1} << 62;
+  SyncEngine eng(g, cfg);
+  std::vector<Uid> ids(g.n());
+  for (NodeId s = 0; s < g.n(); ++s) ids[s] = 12 + s;  // min id 12
+  eng.set_uids(ids);
+  eng.init_processes(make_dfs_election());
+  const RunResult res = eng.run();
+  EXPECT_EQ(res.elected, 1u);
+  EXPECT_GE(res.rounds, (Round{1} << 12));  // ≥ 2^{i_min}
+}
+
+TEST(DfsElection, AllLosersDecideNonElected) {
+  const Graph g = make_grid(4, 5);
+  const auto rep = run_election(g, make_dfs_election(), dfs_options(9));
+  EXPECT_TRUE(rep.verdict.unique_leader);
+  EXPECT_EQ(rep.verdict.non_elected, g.n() - 1);
+  EXPECT_EQ(rep.verdict.undecided, 0u);
+}
+
+TEST(DfsElection, AdversarialWakeupWithBroadcast) {
+  const Graph g = make_cycle(14);
+  DfsConfig dcfg;
+  dcfg.wake_broadcast = true;
+  RunOptions opt = dfs_options(11);
+  opt.wakeup = single_wakeup(g.n(), 5);
+  const auto rep = run_election(g, make_dfs_election(dcfg), opt);
+  ASSERT_TRUE(rep.verdict.unique_leader);
+  const Uid min_uid = *std::min_element(rep.uids.begin(), rep.uids.end());
+  EXPECT_EQ(rep.uids[rep.verdict.leader_slot], min_uid);
+  // Wakeup flood adds 2m; agents stay within ~4m + wake distance terms.
+  EXPECT_LE(rep.run.messages, 6 * g.m() + 2 * g.n() + 20);
+}
+
+TEST(DfsElection, StaggeredWakeupStillUniqueLeader) {
+  Rng graph_rng(77);
+  const Graph g = make_random_connected(25, 60, graph_rng);
+  DfsConfig dcfg;
+  dcfg.wake_broadcast = true;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RunOptions opt = dfs_options(seed);
+    Rng wk(seed * 31);
+    opt.wakeup = random_wakeup(g.n(), 10, wk);
+    const auto rep = run_election(g, make_dfs_election(dcfg), opt);
+    EXPECT_TRUE(rep.verdict.unique_leader) << "seed " << seed;
+  }
+}
+
+TEST(DfsElection, SequentialIdsWinnerIsSlotOfIdOne) {
+  const Graph g = make_star(9);
+  RunOptions opt = dfs_options(2);
+  opt.ids = IdScheme::Sequential;
+  const auto rep = run_election(g, make_dfs_election(), opt);
+  ASSERT_TRUE(rep.verdict.unique_leader);
+  EXPECT_EQ(rep.uids[rep.verdict.leader_slot], 1u);
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,82 @@
+#include "election/flood_max.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphgen/generators.hpp"
+#include "net/engine.hpp"
+
+namespace ule {
+namespace {
+
+TEST(FloodMax, ElectsMaxIdDeterministically) {
+  const Graph g = make_cycle(15);
+  RunOptions opt;
+  opt.seed = 4;
+  opt.ids = IdScheme::RandomFromZ;
+  const auto rep = run_election(g, make_flood_max(), opt);
+  ASSERT_TRUE(rep.verdict.unique_leader);
+  // The leader holds the maximum assigned ID.
+  const Uid max_uid = *std::max_element(rep.uids.begin(), rep.uids.end());
+  EXPECT_EQ(rep.uids[rep.verdict.leader_slot], max_uid);
+}
+
+TEST(FloodMax, AllIdSchemesElect) {
+  const Graph g = make_grid(4, 4);
+  for (const IdScheme s :
+       {IdScheme::Sequential, IdScheme::ReverseSequential,
+        IdScheme::RandomPermutation, IdScheme::RandomFromZ}) {
+    RunOptions opt;
+    opt.ids = s;
+    opt.seed = 77;
+    const auto rep = run_election(g, make_flood_max(), opt);
+    EXPECT_TRUE(rep.verdict.unique_leader) << to_string(s);
+  }
+}
+
+TEST(FloodMax, TimeLinearInDiameter) {
+  for (std::size_t n : {8u, 32u, 64u}) {
+    const Graph g = make_cycle(n);
+    RunOptions opt;
+    opt.seed = 9;
+    const auto rep = run_election(g, make_flood_max(), opt);
+    EXPECT_TRUE(rep.verdict.unique_leader);
+    EXPECT_LE(rep.run.rounds, 3 * (n / 2) + 5) << "n=" << n;
+  }
+}
+
+TEST(FloodMax, AdversarialIdPlacementCostsMoreMessages) {
+  // On a path with ids increasing away from one end, every prefix node
+  // adopts Θ(D) improvements: messages blow up towards Θ(m·D) — the
+  // classic reason flood-max is NOT message-optimal.
+  const std::size_t n = 64;
+  const Graph g = make_path(n);
+  RunOptions asc;
+  asc.ids = IdScheme::Sequential;  // slot i gets id i+1: worst case
+  asc.seed = 1;
+  const auto worst = run_election(g, make_flood_max(), asc);
+  RunOptions rnd;
+  rnd.ids = IdScheme::RandomPermutation;
+  rnd.seed = 1;
+  const auto avg = run_election(g, make_flood_max(), rnd);
+  EXPECT_TRUE(worst.verdict.unique_leader);
+  EXPECT_TRUE(avg.verdict.unique_leader);
+  EXPECT_GT(worst.run.messages, 2 * avg.run.messages);
+}
+
+TEST(FloodMax, AnonymousThrows) {
+  const Graph g = make_path(4);
+  RunOptions opt;
+  opt.anonymous = true;
+  EXPECT_THROW(run_election(g, make_flood_max(), opt), std::logic_error);
+}
+
+TEST(FloodMax, NoKnowledgeNeeded) {
+  const Graph g = make_star(12);
+  RunOptions opt;  // Knowledge::none()
+  opt.seed = 3;
+  const auto rep = run_election(g, make_flood_max(), opt);
+  EXPECT_TRUE(rep.verdict.unique_leader);
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,99 @@
+// Corollary 4.6: the Las Vegas variant (n and D known, restart epochs).
+
+#include <gtest/gtest.h>
+
+#include "election/least_el.hpp"
+#include "graphgen/generators.hpp"
+#include "graphgen/graph_algos.hpp"
+#include "net/engine.hpp"
+
+namespace ule {
+namespace {
+
+RunOptions nd_options(const Graph& g, std::uint32_t d, std::uint64_t seed) {
+  RunOptions opt;
+  opt.seed = seed;
+  opt.knowledge = Knowledge::of_n_d(g.n(), d);
+  return opt;
+}
+
+TEST(LasVegas, AlwaysElectsEventually) {
+  const Graph g = make_cycle(16);
+  const auto cfg = LeastElConfig::las_vegas(8);
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto rep =
+        run_election(g, make_least_el(cfg), nd_options(g, 8, seed));
+    EXPECT_TRUE(rep.verdict.unique_leader) << "seed " << seed;
+  }
+}
+
+TEST(LasVegas, RestartsHappenWhenNoCandidate) {
+  // Expected candidates f = 2; P(zero candidates) = (1-2/n)^n ≈ e^-2 ≈ 0.135.
+  // Over 60 seeds, some run must take more than one epoch AND all succeed.
+  const Graph g = make_grid(4, 4);
+  const std::uint32_t d = diameter_exact(g);
+  const auto cfg = LeastElConfig::las_vegas(d);
+  bool saw_restart = false;
+  double total_epochs = 0;
+  const std::size_t trials = 60;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    RunOptions opt = nd_options(g, d, seed);
+    EngineConfig ecfg;
+    ecfg.seed = opt.seed;
+    SyncEngine eng(g, ecfg);
+    Rng id_rng(seed);
+    eng.set_uids(assign_ids(g.n(), IdScheme::RandomFromZ, id_rng));
+    eng.set_knowledge(opt.knowledge);
+    eng.init_processes(make_least_el(cfg));
+    const RunResult res = eng.run();
+    EXPECT_EQ(res.elected, 1u) << "seed " << seed;
+
+    const auto* p = dynamic_cast<const LeastElProcess*>(eng.process(0));
+    total_epochs += static_cast<double>(p->epochs_started());
+    saw_restart |= p->epochs_started() > 1;
+  }
+  EXPECT_TRUE(saw_restart);
+  // Expected epochs = 1/(1 - e^-2) ≈ 1.16: the mean must stay small.
+  EXPECT_LE(total_epochs / trials, 1.6);
+}
+
+TEST(LasVegas, ExpectedTimeAndMessagesNearOptimal) {
+  Rng rng(41);
+  const Graph g = make_random_connected(100, 500, rng);
+  const std::uint32_t d = diameter_exact(g);
+  const auto cfg = LeastElConfig::las_vegas(d);
+  double rounds = 0, msgs = 0;
+  const std::size_t trials = 20;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    const auto rep = run_election(g, make_least_el(cfg), nd_options(g, d, seed));
+    EXPECT_TRUE(rep.verdict.unique_leader);
+    rounds += static_cast<double>(rep.run.rounds);
+    msgs += static_cast<double>(rep.run.messages);
+  }
+  // Expected O(D) time: mean within a constant times the epoch length.
+  EXPECT_LE(rounds / trials, 3.0 * (3.0 * d + 4.0));
+  // Expected O(m) messages: Θ(1) candidates -> constant expected list size.
+  EXPECT_LE(msgs / trials, 10.0 * static_cast<double>(g.m()));
+}
+
+TEST(LasVegas, EpochsAgreeAcrossNodes) {
+  const Graph g = make_path(9);
+  const std::uint32_t d = 8;
+  const auto cfg = LeastElConfig::las_vegas(d);
+  EngineConfig ecfg;
+  ecfg.seed = 1234;
+  SyncEngine eng(g, ecfg);
+  Rng id_rng(5);
+  eng.set_uids(assign_ids(g.n(), IdScheme::RandomFromZ, id_rng));
+  eng.set_knowledge(Knowledge::of_n_d(g.n(), d));
+  eng.init_processes(make_least_el(cfg));
+  eng.run();
+  const auto* p0 = dynamic_cast<const LeastElProcess*>(eng.process(0));
+  for (NodeId s = 1; s < g.n(); ++s) {
+    const auto* p = dynamic_cast<const LeastElProcess*>(eng.process(s));
+    EXPECT_EQ(p->epochs_started(), p0->epochs_started()) << "slot " << s;
+  }
+}
+
+}  // namespace
+}  // namespace ule

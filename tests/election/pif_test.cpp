@@ -1,0 +1,197 @@
+#include "election/pif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graphgen/generators.hpp"
+#include "net/engine.hpp"
+
+namespace ule {
+namespace {
+
+/// Minimal harness: every node originates a wave with a preset key.
+class WaveHarness : public Process {
+ public:
+  WaveHarness(WaveKey key, bool max_wins, bool originate)
+      : pool_(1, max_wins), key_(key), originate_(originate) {}
+
+  void on_wake(Context& ctx, std::span<const Envelope> inbox) override {
+    if (originate_) (void)pool_.originate(ctx, key_);
+    on_round(ctx, inbox);
+  }
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    const auto ev = pool_.on_round(ctx, inbox);
+    if (ev.own_complete) complete_round = ctx.round();
+    ctx.idle();
+  }
+
+  WavePool pool_;
+  Round complete_round = kRoundForever;
+
+ private:
+  WaveKey key_;
+  bool originate_;
+};
+
+TEST(WavePool, MinWaveWinsAndCompletes) {
+  const Graph g = make_path(6);
+  SyncEngine eng(g);
+  eng.init_processes([](NodeId slot) {
+    return std::make_unique<WaveHarness>(WaveKey{slot + 10, slot}, false, true);
+  });
+  const RunResult res = eng.run();
+  EXPECT_TRUE(res.completed);
+  for (NodeId s = 0; s < g.n(); ++s) {
+    auto* p = dynamic_cast<WaveHarness*>(eng.process(s));
+    EXPECT_TRUE(p->pool_.has_best());
+    EXPECT_EQ(p->pool_.best().primary, 10u);  // node 0's key is minimal
+  }
+  // Only the minimal origin completes with its own as best.
+  auto* winner = dynamic_cast<WaveHarness*>(eng.process(0));
+  EXPECT_NE(winner->complete_round, kRoundForever);
+  EXPECT_TRUE(winner->pool_.own_is_best());
+}
+
+TEST(WavePool, MaxWaveWins) {
+  const Graph g = make_cycle(8);
+  SyncEngine eng(g);
+  eng.init_processes([](NodeId slot) {
+    return std::make_unique<WaveHarness>(WaveKey{slot + 1, slot}, true, true);
+  });
+  eng.run();
+  for (NodeId s = 0; s < g.n(); ++s) {
+    auto* p = dynamic_cast<WaveHarness*>(eng.process(s));
+    EXPECT_EQ(p->pool_.best().primary, 8u);
+  }
+  auto* winner = dynamic_cast<WaveHarness*>(eng.process(7));
+  EXPECT_NE(winner->complete_round, kRoundForever);
+}
+
+TEST(WavePool, CompletionWithinThreeDiameters) {
+  const Graph g = make_path(20);  // D = 19
+  SyncEngine eng(g);
+  eng.init_processes([](NodeId slot) {
+    return std::make_unique<WaveHarness>(WaveKey{slot + 1, slot}, false, true);
+  });
+  const RunResult res = eng.run();
+  auto* winner = dynamic_cast<WaveHarness*>(eng.process(0));
+  EXPECT_LE(winner->complete_round, 3 * 19u + 3);
+  EXPECT_TRUE(res.completed);
+}
+
+TEST(WavePool, SingleOriginFormsSpanningTree) {
+  const Graph g = make_grid(4, 5);
+  SyncEngine eng(g);
+  eng.init_processes([](NodeId slot) {
+    return std::make_unique<WaveHarness>(WaveKey{1, 1}, false, slot == 7);
+  });
+  eng.run();
+  const WaveKey k{1, 1};
+  // Every node adopted; parent pointers form a tree rooted at 7 and
+  // children lists mirror the parents.
+  std::size_t child_links = 0;
+  for (NodeId s = 0; s < g.n(); ++s) {
+    auto* p = dynamic_cast<WaveHarness*>(eng.process(s));
+    ASSERT_TRUE(p->pool_.has_best());
+    EXPECT_EQ(p->pool_.best(), k);
+    if (s != 7) {
+      EXPECT_NE(p->pool_.parent_of(k), kNoPort);
+    } else {
+      EXPECT_EQ(p->pool_.parent_of(k), kNoPort);
+    }
+    child_links += p->pool_.adopted_children(k).size();
+  }
+  EXPECT_EQ(child_links, g.n() - 1);  // spanning tree edge count
+}
+
+TEST(WavePool, AdoptedCountBoundedByRoundsProperty) {
+  // At most one adoption per round: on a path with keys descending away
+  // from node 0, node 0 adopts at most D entries.
+  const std::size_t n = 15;
+  const Graph g = make_path(n);
+  SyncEngine eng(g);
+  eng.init_processes([n](NodeId slot) {
+    // Node i has key n - i: improvements arrive at node 0 one per round.
+    return std::make_unique<WaveHarness>(WaveKey{n - slot, slot}, false, true);
+  });
+  eng.run();
+  auto* p0 = dynamic_cast<WaveHarness*>(eng.process(0));
+  EXPECT_LE(p0->pool_.adopted_count(), n);
+  EXPECT_GE(p0->pool_.adopted_count(), 2u);
+}
+
+TEST(WavePool, RestrictPortsKeepsWaveOnOverlay) {
+  // Cycle of 6, overlay = the path 0-1-2-3-4-5: drop the closing edge
+  // (port 1 at node 0 leads to 5, port 1 at node 5 leads to 0 — the cycle
+  // generator appends the closing edge last).
+  const Graph g = make_cycle(6);
+  ASSERT_EQ(g.half_edge(0, 1).to, 5u);
+  ASSERT_EQ(g.half_edge(5, 1).to, 0u);
+
+  class Restricted : public WaveHarness {
+   public:
+    Restricted(WaveKey k) : WaveHarness(k, false, false), key_(k) {}
+    void on_wake(Context& ctx, std::span<const Envelope> inbox) override {
+      std::vector<PortId> overlay;
+      for (PortId p = 0; p < ctx.degree(); ++p) overlay.push_back(p);
+      if (ctx.slot() == 0 || ctx.slot() == 5) overlay = {0};
+      pool_.restrict_ports(overlay);
+      (void)pool_.originate(ctx, key_);
+      WaveHarness::on_round(ctx, inbox);
+    }
+
+   private:
+    WaveKey key_;
+  };
+  SyncEngine eng(g);
+  eng.init_processes([](NodeId slot) {
+    return std::make_unique<Restricted>(WaveKey{slot + 1, slot});
+  });
+  const RunResult res = eng.run();
+  EXPECT_TRUE(res.completed);
+  // The wave still reaches everyone over the path overlay.
+  for (NodeId s = 0; s < g.n(); ++s) {
+    auto* p = dynamic_cast<WaveHarness*>(eng.process(s));
+    EXPECT_EQ(p->pool_.best().primary, 1u);
+  }
+}
+
+TEST(WavePool, DoubleOriginateThrows) {
+  WavePool pool(1, false);
+  const Graph g = make_path(2);
+  class Bad : public Process {
+   public:
+    void on_wake(Context& ctx, std::span<const Envelope>) override {
+      WavePool pool(1, false);
+      (void)pool.originate(ctx, WaveKey{1, 1});
+      EXPECT_THROW((void)pool.originate(ctx, WaveKey{2, 2}), std::logic_error);
+      ctx.halt();
+    }
+    void on_round(Context&, std::span<const Envelope>) override {}
+  };
+  SyncEngine eng(g);
+  eng.init_processes([](NodeId) { return std::make_unique<Bad>(); });
+  eng.run();
+}
+
+TEST(WavePool, EqualKeysBothComplete) {
+  // Two origins with identical keys: neither adopts the other's wave, both
+  // complete believing they are best — the collision failure mode.
+  const Graph g = make_path(4);
+  SyncEngine eng(g);
+  eng.init_processes([](NodeId slot) {
+    const bool orig = slot == 0 || slot == 3;
+    return std::make_unique<WaveHarness>(WaveKey{5, 5}, false, orig);
+  });
+  eng.run();
+  auto* a = dynamic_cast<WaveHarness*>(eng.process(0));
+  auto* b = dynamic_cast<WaveHarness*>(eng.process(3));
+  EXPECT_NE(a->complete_round, kRoundForever);
+  EXPECT_NE(b->complete_round, kRoundForever);
+  EXPECT_TRUE(a->pool_.own_is_best());
+  EXPECT_TRUE(b->pool_.own_is_best());
+}
+
+}  // namespace
+}  // namespace ule

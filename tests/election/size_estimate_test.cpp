@@ -1,0 +1,100 @@
+#include "election/size_estimate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphgen/generators.hpp"
+#include "net/engine.hpp"
+
+namespace ule {
+namespace {
+
+TEST(SizeEstimate, ElectsWithNoKnowledgeAtAll) {
+  // Corollary 4.5's whole point: no n, no m, no D.
+  const Graph g = make_cycle(30);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RunOptions opt;
+    opt.seed = seed;  // Knowledge::none()
+    const auto rep = run_election(g, make_size_estimate_elect(), opt);
+    EXPECT_TRUE(rep.verdict.unique_leader) << "seed " << seed;
+  }
+}
+
+TEST(SizeEstimate, EstimateWithinPaperBounds) {
+  // whp: n/log n <= n_hat <= n^2 (we allow the constant-factor slack the
+  // paper's union bounds hide: n_hat in [n/(4 log n), 4 n^2]).
+  Rng rng(3);
+  const Graph g = make_random_connected(128, 400, rng);
+  const double n = 128.0;
+  std::size_t in_range = 0;
+  const std::size_t trials = 20;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    RunOptions opt;
+    opt.seed = seed * 101;
+    EngineConfig cfg;
+    cfg.seed = opt.seed;
+    SyncEngine eng(g, cfg);
+    Rng id_rng(seed);
+    eng.set_uids(assign_ids(g.n(), IdScheme::RandomFromZ, id_rng));
+    eng.init_processes(make_size_estimate_elect());
+    eng.run();
+    const auto* p = dynamic_cast<const SizeEstimateElectProcess*>(eng.process(0));
+    ASSERT_GT(p->n_hat(), 0u) << "phase B never started";
+    const double nh = static_cast<double>(p->n_hat());
+    in_range += (nh >= n / (4.0 * std::log2(n)) && nh <= 4.0 * n * n);
+  }
+  EXPECT_GE(in_range, trials - 2);
+}
+
+TEST(SizeEstimate, AllNodesAgreeOnEstimate) {
+  const Graph g = make_grid(5, 6);
+  EngineConfig cfg;
+  cfg.seed = 77;
+  SyncEngine eng(g, cfg);
+  Rng id_rng(7);
+  eng.set_uids(assign_ids(g.n(), IdScheme::RandomFromZ, id_rng));
+  eng.init_processes(make_size_estimate_elect());
+  eng.run();
+  const auto* p0 = dynamic_cast<const SizeEstimateElectProcess*>(eng.process(0));
+  for (NodeId s = 1; s < g.n(); ++s) {
+    const auto* p = dynamic_cast<const SizeEstimateElectProcess*>(eng.process(s));
+    EXPECT_EQ(p->n_hat(), p0->n_hat());
+  }
+}
+
+TEST(SizeEstimate, TimeLinearInDiameter) {
+  for (std::size_t n : {16u, 48u}) {
+    const Graph g = make_cycle(n);
+    RunOptions opt;
+    opt.seed = 5;
+    const auto rep = run_election(g, make_size_estimate_elect(), opt);
+    EXPECT_TRUE(rep.verdict.unique_leader);
+    // Phase A <= 3D + D (done broadcast) plus phase B <= 3D + slack.
+    EXPECT_LE(rep.run.rounds, 8u * (n / 2) + 10u) << "n=" << n;
+  }
+}
+
+TEST(SizeEstimate, WorksAnonymously) {
+  const Graph g = make_hypercube(4);
+  RunOptions opt;
+  opt.seed = 21;
+  opt.anonymous = true;
+  const auto rep = run_election(g, make_size_estimate_elect(), opt);
+  EXPECT_TRUE(rep.verdict.unique_leader);
+}
+
+TEST(SizeEstimate, MessagesWithinMLogN) {
+  Rng rng(9);
+  const Graph g = make_random_connected(200, 700, rng);
+  RunOptions opt;
+  opt.seed = 31;
+  const auto rep = run_election(g, make_size_estimate_elect(), opt);
+  EXPECT_TRUE(rep.verdict.unique_leader);
+  // Two wave phases, forwards+echoes: generous constant on m log2 n.
+  const double bound = 8.0 * g.m() * std::log2(static_cast<double>(g.n()));
+  EXPECT_LE(static_cast<double>(rep.run.messages), bound);
+}
+
+}  // namespace
+}  // namespace ule

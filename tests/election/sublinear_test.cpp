@@ -1,0 +1,150 @@
+// The [14] context algorithm: sublinear-message election on complete graphs.
+// This is what makes the paper's universal Ω(m) bound non-obvious — on the
+// clique the bound simply does not apply, and this algorithm demonstrates it.
+
+#include "election/sublinear_complete.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphgen/generators.hpp"
+#include "net/engine.hpp"
+
+namespace ule {
+namespace {
+
+RunOptions opts(std::size_t n, std::uint64_t seed) {
+  RunOptions o;
+  o.seed = seed;
+  o.knowledge = Knowledge::of_n(n);
+  return o;
+}
+
+TEST(SublinearComplete, ElectsWhpAcrossSeeds) {
+  const std::size_t n = 128;
+  const Graph g = make_complete(n);
+  std::size_t ok = 0;
+  const std::size_t trials = 60;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    ok += run_election(g, make_sublinear_complete(), opts(n, seed))
+              .verdict.unique_leader;
+  }
+  EXPECT_GE(ok, trials - 1);  // whp: allow at most one unlucky seed
+}
+
+TEST(SublinearComplete, ConstantRounds) {
+  const std::size_t n = 96;
+  const Graph g = make_complete(n);
+  const auto rep = run_election(g, make_sublinear_complete(), opts(n, 4));
+  ASSERT_TRUE(rep.verdict.unique_leader);
+  EXPECT_LE(rep.run.rounds, 4u);  // the paper's O(1) time
+}
+
+TEST(SublinearComplete, MessagesCollapseRelativeToM) {
+  // On K_n the algorithm beats Θ(m) = Θ(n^2) — the point of the intro's
+  // citation of [14].  Θ(sqrt(n) polylog) / Θ(n^2) collapses: the msgs/m
+  // ratio must drop by >~ 4x per 4x in n, and be well below m already at
+  // moderate sizes.
+  double prev_ratio = 0;
+  for (const std::size_t n : {64u, 256u, 1024u}) {
+    const Graph g = make_complete(n);
+    const auto rep = run_election(g, make_sublinear_complete(), opts(n, 7));
+    ASSERT_TRUE(rep.verdict.unique_leader) << n;
+    const double ratio = static_cast<double>(rep.run.messages) /
+                         static_cast<double>(g.m());
+    if (prev_ratio > 0) {
+      EXPECT_LE(ratio, prev_ratio / 2.5) << n;
+    }
+    prev_ratio = ratio;
+  }
+  EXPECT_LT(prev_ratio, 0.02);  // n=1024: less than 2% of the edges used
+}
+
+TEST(SublinearComplete, MessagesTrackSqrtNPolylog) {
+  // messages / (sqrt(n) log^{3/2} n) stays bounded as n quadruples.
+  std::vector<double> ratios;
+  for (const std::size_t n : {64u, 256u, 1024u}) {
+    const Graph g = make_complete(n);
+    double msgs = 0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+      const auto rep =
+          run_election(g, make_sublinear_complete(), opts(n, 11 + t));
+      EXPECT_TRUE(rep.verdict.unique_leader) << n;
+      msgs += static_cast<double>(rep.run.messages);
+    }
+    const double dn = static_cast<double>(n);
+    ratios.push_back((msgs / trials) /
+                     (std::sqrt(dn) * std::pow(std::log2(dn), 1.5)));
+  }
+  // Bounded and not exploding: largest/smallest within a small factor.
+  const auto [lo, hi] = std::minmax_element(ratios.begin(), ratios.end());
+  EXPECT_LE(*hi / *lo, 3.0);
+}
+
+TEST(SublinearComplete, WorksAnonymously) {
+  const std::size_t n = 64;
+  const Graph g = make_complete(n);
+  RunOptions o = opts(n, 3);
+  o.anonymous = true;
+  const auto rep = run_election(g, make_sublinear_complete(), o);
+  EXPECT_TRUE(rep.verdict.unique_leader);
+}
+
+TEST(SublinearComplete, RefusesNonCompleteGraphs) {
+  const Graph g = make_cycle(16);
+  EXPECT_THROW(
+      run_election(g, make_sublinear_complete(), opts(16, 1)),
+      std::logic_error);
+}
+
+TEST(SublinearComplete, RequiresN) {
+  const Graph g = make_complete(8);
+  RunOptions o;
+  o.seed = 1;
+  EXPECT_THROW(run_election(g, make_sublinear_complete(), o),
+               std::logic_error);
+}
+
+TEST(SublinearComplete, CongestClean) {
+  const std::size_t n = 48;
+  const Graph g = make_complete(n);
+  RunOptions o = opts(n, 9);
+  o.congest = CongestMode::Count;
+  const auto rep = run_election(g, make_sublinear_complete(), o);
+  ASSERT_TRUE(rep.verdict.unique_leader);
+  EXPECT_EQ(rep.run.congest_violations, 0u);
+}
+
+TEST(SublinearComplete, SingleNode) {
+  const Graph g = make_path(1);
+  const auto rep = run_election(g, make_sublinear_complete(), opts(1, 1));
+  EXPECT_TRUE(rep.verdict.unique_leader);
+}
+
+TEST(SublinearComplete, RefereeFactorAblation) {
+  // Tiny referee sets break the shared-referee argument: success drops
+  // measurably, which is exactly the knob the whp analysis turns on.
+  const std::size_t n = 256;
+  const Graph g = make_complete(n);
+  const std::size_t trials = 40;
+  auto rate = [&](double rf) {
+    std::size_t ok = 0;
+    for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+      SublinearConfig cfg;
+      cfg.referee_factor = rf;
+      ok += run_election(g, make_sublinear_complete(cfg),
+                         opts(n, seed * 31 + 5))
+                .verdict.unique_leader;
+    }
+    return static_cast<double>(ok) / static_cast<double>(trials);
+  };
+  const double starved = rate(0.05);  // ~4 referees: frequent splits
+  const double healthy = rate(2.0);
+  EXPECT_GE(healthy, 0.95);
+  EXPECT_LT(starved, healthy);
+}
+
+}  // namespace
+}  // namespace ule

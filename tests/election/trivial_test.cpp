@@ -1,0 +1,60 @@
+#include "election/trivial_random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphgen/generators.hpp"
+#include "net/engine.hpp"
+
+namespace ule {
+namespace {
+
+TEST(TrivialRandom, ZeroMessagesOneRound) {
+  const Graph g = make_cycle(20);
+  RunOptions opt;
+  opt.knowledge = Knowledge::of_n(g.n());
+  const auto rep = run_election(g, make_trivial_random(), opt);
+  EXPECT_EQ(rep.run.messages, 0u);
+  EXPECT_LE(rep.run.rounds, 1u);
+}
+
+TEST(TrivialRandom, SuccessRateNearOneOverE) {
+  // The introduction's observation: P(exactly one leader) ≈ 1/e ≈ 0.368.
+  const Graph g = make_cycle(64);
+  std::size_t ok = 0;
+  const std::size_t trials = 600;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    RunOptions opt;
+    opt.seed = seed;
+    opt.knowledge = Knowledge::of_n(g.n());
+    const auto rep = run_election(g, make_trivial_random(), opt);
+    ok += rep.verdict.unique_leader;
+  }
+  const double rate = static_cast<double>(ok) / trials;
+  EXPECT_NEAR(rate, 1.0 / std::exp(1.0), 0.07);
+}
+
+TEST(TrivialRandom, FailsBelowLowerBoundThreshold) {
+  // The paper's lower bounds demand success > 53/56 ≈ 0.946; the strawman
+  // cannot reach it — hence zero-message election contradicts nothing.
+  const Graph g = make_cycle(64);
+  std::size_t ok = 0;
+  const std::size_t trials = 300;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    RunOptions opt;
+    opt.seed = seed * 13;
+    opt.knowledge = Knowledge::of_n(g.n());
+    ok += run_election(g, make_trivial_random(), opt).verdict.unique_leader;
+  }
+  EXPECT_LT(static_cast<double>(ok) / trials, 53.0 / 56.0);
+}
+
+TEST(TrivialRandom, RequiresN) {
+  const Graph g = make_path(4);
+  RunOptions opt;
+  EXPECT_THROW(run_election(g, make_trivial_random(), opt), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ule

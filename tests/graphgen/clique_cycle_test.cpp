@@ -1,0 +1,76 @@
+#include "graphgen/clique_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graphgen/graph_algos.hpp"
+
+namespace ule {
+namespace {
+
+TEST(CliqueCycle, SizesMatchTheorem) {
+  // n' = gamma * D' with D' = 4*ceil(D/4), n' >= n, n' in Theta(n).
+  for (const auto& [n, D] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{24, 8}, {100, 20},
+                                                        {64, 17}, {37, 5}}) {
+    const CliqueCycle cc = make_clique_cycle(n, D);
+    EXPECT_EQ(cc.d_prime % 4, 0u);
+    EXPECT_GE(cc.d_prime, D);
+    EXPECT_LT(cc.d_prime, D + 4);
+    EXPECT_EQ(cc.n_actual, cc.gamma * cc.d_prime);
+    EXPECT_GE(cc.n_actual, n);
+    EXPECT_LT(cc.n_actual, n + cc.d_prime);  // Θ(n)
+    EXPECT_EQ(cc.graph.n(), cc.n_actual);
+    EXPECT_TRUE(is_connected(cc.graph));
+  }
+}
+
+TEST(CliqueCycle, DiameterIsThetaD) {
+  for (const auto& [n, D] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{24, 8}, {60, 16},
+                                                        {48, 12}}) {
+    const CliqueCycle cc = make_clique_cycle(n, D);
+    const auto diam = diameter_exact(cc.graph);
+    EXPECT_GE(diam, cc.d_prime / 2);      // at least D'/2 hops around
+    EXPECT_LE(diam, 2 * cc.d_prime + 2);  // Θ(D)
+  }
+}
+
+TEST(CliqueCycle, GammaOneIsARing) {
+  const CliqueCycle cc = make_clique_cycle(8, 8);
+  EXPECT_EQ(cc.gamma, 1u);
+  for (NodeId u = 0; u < cc.graph.n(); ++u) EXPECT_EQ(cc.graph.degree(u), 2u);
+  EXPECT_EQ(diameter_exact(cc.graph), cc.graph.n() / 2);
+}
+
+TEST(CliqueCycle, RotationIsAnAutomorphism) {
+  // φ(v_{i,j,k}) = v_{(i+1 mod 4),j,k} must preserve adjacency — the
+  // symmetry that drives Claim 3.14.
+  const CliqueCycle cc = make_clique_cycle(32, 8);
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < cc.graph.m(); ++e) {
+    auto [u, v] = cc.graph.edge_endpoints(e);
+    edges.insert({std::min(u, v), std::max(u, v)});
+  }
+  for (const auto& [u, v] : edges) {
+    const NodeId pu = cc.rotate(u), pv = cc.rotate(v);
+    EXPECT_TRUE(edges.count({std::min(pu, pv), std::max(pu, pv)}))
+        << "edge (" << u << "," << v << ") image missing";
+  }
+}
+
+TEST(CliqueCycle, SlotLayout) {
+  const CliqueCycle cc = make_clique_cycle(24, 8);
+  EXPECT_EQ(cc.slot(0, 0, 0), 0u);
+  EXPECT_EQ(cc.rotate(cc.slot(0, 1, 0)), cc.slot(1, 1, 0));
+  EXPECT_EQ(cc.rotate(cc.slot(3, 0, 0)), cc.slot(0, 0, 0));
+}
+
+TEST(CliqueCycle, RejectsBadParameters) {
+  EXPECT_THROW(make_clique_cycle(2, 8), std::invalid_argument);
+  EXPECT_THROW(make_clique_cycle(24, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,93 @@
+#include "graphgen/dumbbell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphgen/graph_algos.hpp"
+
+namespace ule {
+namespace {
+
+TEST(Dumbbell, CliqueSizeMaximal) {
+  // kappa(kappa+1)/2 <= m < (kappa+1)(kappa+2)/2
+  for (std::size_t m : {3u, 6u, 10u, 17u, 50u, 200u}) {
+    const std::size_t k = dumbbell_clique_size(m);
+    EXPECT_LE(k * (k + 1) / 2, m);
+    EXPECT_GT((k + 1) * (k + 2) / 2, m);
+  }
+}
+
+TEST(Dumbbell, NodeAndEdgeCounts) {
+  const std::size_t n = 20, m = 30;
+  const Dumbbell d = make_dumbbell(n, m, 0, 1);
+  EXPECT_EQ(d.graph.n(), 2 * n);
+  // Per side: C(kappa,2)-1 clique edges + kappa hub edges + path, + 2 bridges.
+  const std::size_t k = d.kappa;
+  const std::size_t per_side = (k * (k - 1) / 2 - 1) + k + (n - k - 1);
+  EXPECT_EQ(d.graph.m(), 2 * per_side + 2);
+  EXPECT_TRUE(is_connected(d.graph));
+}
+
+TEST(Dumbbell, DiameterIndependentOfOpenedEdges) {
+  // The crux of the fixed-diameter construction: whatever e', e'' are
+  // opened, Diam(Dumbbell(G'[e'], G''[e''])) is the same.
+  const std::size_t n = 14, m = 21;
+  const std::size_t choices = dumbbell_open_edge_count(m);
+  ASSERT_GE(choices, 3u);
+  std::uint32_t expect = 0;
+  for (const auto& [l, r] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, 0}, {1, choices - 1}, {choices / 2, 1}, {choices - 1, 0}}) {
+    const Dumbbell d = make_dumbbell(n, m, l, r);
+    const std::uint32_t diam = diameter_exact(d.graph);
+    EXPECT_EQ(diam, d.diameter) << "l=" << l << " r=" << r;
+    if (expect == 0) expect = diam;
+    EXPECT_EQ(diam, expect);
+  }
+}
+
+TEST(Dumbbell, DiameterFormulaMatches) {
+  const std::size_t n = 16, m = 28;
+  const Dumbbell d = make_dumbbell(n, m, 2, 3);
+  EXPECT_EQ(d.diameter, 2 * (n - d.kappa) + 1);
+  EXPECT_EQ(diameter_exact(d.graph), d.diameter);
+}
+
+TEST(Dumbbell, BridgesConnectTheSides) {
+  const Dumbbell d = make_dumbbell(12, 15, 0, 0);
+  const auto [a1, b1] = d.graph.edge_endpoints(d.bridge1);
+  const auto [a2, b2] = d.graph.edge_endpoints(d.bridge2);
+  // One endpoint on each side.
+  EXPECT_LT(a1, d.side_n);
+  EXPECT_GE(b1, d.side_n);
+  EXPECT_LT(a2, d.side_n);
+  EXPECT_GE(b2, d.side_n);
+}
+
+TEST(Dumbbell, BridgesAreTheOnlyCut) {
+  // Removing both bridges disconnects the graph — the property that forces
+  // bridge crossing on any leader election algorithm.
+  const Dumbbell d = make_dumbbell(10, 12, 1, 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < d.graph.m(); ++e) {
+    if (e == d.bridge1 || e == d.bridge2) continue;
+    edges.push_back(d.graph.edge_endpoints(e));
+  }
+  const Graph cut = Graph::from_edges(d.graph.n(), edges);
+  EXPECT_FALSE(is_connected(cut));
+}
+
+TEST(Dumbbell, SidesHaveThetaMEdges) {
+  for (std::size_t m : {20u, 60u, 150u}) {
+    const Dumbbell d = make_dumbbell(40, m, 0, 0);
+    const double side_m = (d.graph.m() - 2.0) / 2.0;
+    EXPECT_GE(side_m, 0.4 * m);  // Θ(m): at least a constant fraction
+  }
+}
+
+TEST(Dumbbell, RejectsBadParameters) {
+  EXPECT_THROW(make_dumbbell(10, 2, 0, 0), std::invalid_argument);
+  EXPECT_THROW(make_dumbbell(2, 10, 0, 0), std::invalid_argument);
+  EXPECT_THROW(make_dumbbell(10, 10, 1000, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ule

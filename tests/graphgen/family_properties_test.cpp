@@ -1,0 +1,159 @@
+// Structural properties of every generated family, checked exhaustively:
+// port tables must be involutive (he.rev round-trips), edge ids dense and
+// consistent, diameters must match the closed forms where they exist, and
+// the paper's constructions must deliver the exact n/m/D their proofs need.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graphgen/clique_cycle.hpp"
+#include "graphgen/dumbbell.hpp"
+#include "graphgen/generators.hpp"
+#include "graphgen/graph_algos.hpp"
+#include "helpers.hpp"
+
+namespace ule {
+namespace {
+
+void check_structure(const Graph& g) {
+  // Port table involution: the rev port at the neighbour points back here.
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (PortId p = 0; p < g.degree(u); ++p) {
+      const auto& he = g.half_edge(u, p);
+      ASSERT_LT(he.to, g.n());
+      const auto& back = g.half_edge(he.to, he.rev);
+      EXPECT_EQ(back.to, u);
+      EXPECT_EQ(back.rev, p);
+      EXPECT_EQ(back.edge, he.edge);
+      ASSERT_LT(he.edge, g.m());
+      // The endpoint table agrees with the adjacency.
+      const auto [a, b] = g.edge_endpoints(he.edge);
+      EXPECT_TRUE((a == u && b == he.to) || (a == he.to && b == u));
+    }
+  }
+  // Handshake: degree sum = 2m; every edge id appears exactly twice.
+  std::uint64_t degsum = 0;
+  std::vector<int> edge_refs(g.m(), 0);
+  for (NodeId u = 0; u < g.n(); ++u) {
+    degsum += g.degree(u);
+    for (PortId p = 0; p < g.degree(u); ++p)
+      ++edge_refs[g.half_edge(u, p).edge];
+  }
+  EXPECT_EQ(degsum, 2 * g.m());
+  for (const int refs : edge_refs) EXPECT_EQ(refs, 2);
+  EXPECT_TRUE(is_connected(g));
+}
+
+class FamilyStructure : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FamilyStructure, PortsEdgesConnectivity) {
+  static const auto fams = testing::standard_families();
+  check_structure(fams[GetParam()].graph);
+}
+
+TEST_P(FamilyStructure, ShuffledPortsPreserveStructure) {
+  static const auto fams = testing::standard_families();
+  Graph g = fams[GetParam()].graph;
+  Rng rng(GetParam() * 7 + 1);
+  g.shuffle_ports(rng);
+  check_structure(g);
+  EXPECT_EQ(g.n(), fams[GetParam()].graph.n());
+  EXPECT_EQ(g.m(), fams[GetParam()].graph.m());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyStructure,
+                         ::testing::Range<std::size_t>(0, 16));
+
+TEST(FamilyDiameters, ClosedFormsHold) {
+  EXPECT_EQ(diameter_exact(make_path(17)), 16u);
+  EXPECT_EQ(diameter_exact(make_cycle(24)), 12u);
+  EXPECT_EQ(diameter_exact(make_cycle(25)), 12u);
+  EXPECT_EQ(diameter_exact(make_star(16)), 2u);
+  EXPECT_EQ(diameter_exact(make_complete(12)), 1u);
+  EXPECT_EQ(diameter_exact(make_complete_bipartite(5, 7)), 2u);
+  EXPECT_EQ(diameter_exact(make_grid(4, 6)), 4u + 6u - 2u);
+  EXPECT_EQ(diameter_exact(make_torus(4, 6)), 4u / 2 + 6u / 2);
+  EXPECT_EQ(diameter_exact(make_hypercube(4)), 4u);
+  EXPECT_EQ(diameter_exact(make_lollipop(8, 10)), 11u);  // clique + tail
+  EXPECT_EQ(diameter_exact(make_barbell(6, 5)), 7u);     // 1 + bridge + 1
+}
+
+TEST(FamilyEdgeCounts, ClosedFormsHold) {
+  EXPECT_EQ(make_path(17).m(), 16u);
+  EXPECT_EQ(make_cycle(24).m(), 24u);
+  EXPECT_EQ(make_star(16).m(), 15u);
+  EXPECT_EQ(make_complete(12).m(), 12u * 11u / 2);
+  EXPECT_EQ(make_complete_bipartite(5, 7).m(), 35u);
+  EXPECT_EQ(make_grid(4, 6).m(), 3u * 6u + 4u * 5u);
+  EXPECT_EQ(make_torus(4, 6).m(), 2u * 4u * 6u);
+  EXPECT_EQ(make_hypercube(5).m(), 5u * 32u / 2);
+  EXPECT_EQ(make_lollipop(8, 10).m(), 8u * 7u / 2 + 10u);
+  EXPECT_EQ(make_barbell(6, 5).m(), 2u * (6u * 5u / 2) + 5u);
+}
+
+TEST(DumbbellConstruction, FixedDiameterAcrossCutChoices) {
+  // Theorem 3.1's repaired construction: whichever clique edges e', e'' are
+  // opened, the dumbbell's diameter is the same (the proof feeds DIAM to
+  // nodes and needs all class members to share it).
+  const std::size_t side_m = 60;
+  std::set<std::uint64_t> diameters;
+  std::set<std::size_t> ns, ms;
+  for (std::uint32_t cut = 0; cut < 6; ++cut) {
+    const auto d = make_dumbbell(16, side_m, cut, cut + 1);
+    diameters.insert(diameter_exact(d.graph));
+    ns.insert(d.graph.n());
+    ms.insert(d.graph.m());
+    check_structure(d.graph);
+    // Both bridges exist and are watchable.
+    ASSERT_NE(d.bridge1, kNoEdge);
+    ASSERT_NE(d.bridge2, kNoEdge);
+    ASSERT_NE(d.bridge1, d.bridge2);
+    EXPECT_EQ(diameter_exact(d.graph), d.diameter);
+  }
+  EXPECT_EQ(diameters.size(), 1u);
+  EXPECT_EQ(ns.size(), 1u);
+  EXPECT_EQ(ms.size(), 1u);
+}
+
+TEST(CliqueCycleConstruction, MatchesFigureOne) {
+  // D' cliques of size gamma in a cycle, 4 arcs (Figure 1: D' = 8, n = 24,
+  // gamma = 3).
+  const auto cc = make_clique_cycle(24, 8);
+  EXPECT_EQ(cc.graph.n(), 24u);
+  EXPECT_EQ(cc.d_prime, 8u);
+  EXPECT_EQ(cc.gamma, 3u);
+  EXPECT_EQ(cc.n_actual, cc.graph.n());
+  check_structure(cc.graph);
+  // Diameter Θ(D'): the cycle of cliques dominates.
+  const auto d = diameter_exact(cc.graph);
+  EXPECT_GE(d, cc.d_prime / 2);
+  EXPECT_LE(d, 2 * cc.d_prime);
+  // The rotation automorphism of Claim 3.14 is a bijection of period 4.
+  NodeId v = cc.slot(0, 0, 0);
+  NodeId w = v;
+  for (int i = 0; i < 4; ++i) w = cc.rotate(w);
+  EXPECT_EQ(w, v);
+}
+
+TEST(RandomFamilies, SweepRespectsParameters) {
+  Rng rng(41);
+  for (const std::size_t n : {10u, 33u, 77u}) {
+    for (const std::size_t extra : {0u, 5u, 40u}) {
+      const std::size_t m = n - 1 + extra;
+      if (m > n * (n - 1) / 2) continue;
+      const Graph g = make_random_connected(n, m, rng);
+      EXPECT_EQ(g.n(), n);
+      EXPECT_EQ(g.m(), m);
+      check_structure(g);
+    }
+  }
+  for (const std::size_t d : {3u, 4u, 6u, 8u, 12u}) {
+    const Graph g = make_random_regular(24, d, rng);
+    for (NodeId u = 0; u < g.n(); ++u) EXPECT_EQ(g.degree(u), d);
+    check_structure(g);
+  }
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,120 @@
+#include "graphgen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphgen/graph_algos.hpp"
+
+namespace ule {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = make_path(10);
+  EXPECT_EQ(g.n(), 10u);
+  EXPECT_EQ(g.m(), 9u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 9u);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = make_cycle(10);
+  EXPECT_EQ(g.m(), 10u);
+  EXPECT_EQ(diameter_exact(g), 5u);
+  for (NodeId u = 0; u < g.n(); ++u) EXPECT_EQ(g.degree(u), 2u);
+}
+
+TEST(Generators, Star) {
+  const Graph g = make_star(9);
+  EXPECT_EQ(g.m(), 8u);
+  EXPECT_EQ(g.degree(0), 8u);
+  EXPECT_EQ(diameter_exact(g), 2u);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = make_complete(7);
+  EXPECT_EQ(g.m(), 21u);
+  EXPECT_EQ(diameter_exact(g), 1u);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(3, 4);
+  EXPECT_EQ(g.n(), 7u);
+  EXPECT_EQ(g.m(), 12u);
+  EXPECT_EQ(diameter_exact(g), 2u);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = make_grid(3, 5);
+  EXPECT_EQ(g.n(), 15u);
+  EXPECT_EQ(g.m(), 3 * 4 + 2 * 5u);
+  EXPECT_EQ(diameter_exact(g), 2u + 4u);
+}
+
+TEST(Generators, Torus) {
+  const Graph g = make_torus(4, 6);
+  EXPECT_EQ(g.n(), 24u);
+  EXPECT_EQ(g.m(), 48u);
+  for (NodeId u = 0; u < g.n(); ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_EQ(diameter_exact(g), 2u + 3u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = make_hypercube(5);
+  EXPECT_EQ(g.n(), 32u);
+  EXPECT_EQ(g.m(), 5 * 32 / 2u);
+  EXPECT_EQ(diameter_exact(g), 5u);
+}
+
+TEST(Generators, BalancedTree) {
+  const Graph g = make_balanced_tree(15, 2);
+  EXPECT_EQ(g.m(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 6u);  // leaf -> root -> other leaf
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = make_lollipop(5, 4);
+  EXPECT_EQ(g.n(), 9u);
+  EXPECT_EQ(g.m(), 10u + 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = make_barbell(4, 3);
+  EXPECT_EQ(g.n(), 4 + 4 + 2u);
+  EXPECT_EQ(g.m(), 6 + 6 + 3u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 1 + 3 + 1u);
+}
+
+TEST(Generators, RandomConnectedRespectsParameters) {
+  Rng rng(11);
+  for (const auto& [n, m] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {10, 9}, {10, 20}, {50, 200}, {30, 29}}) {
+    const Graph g = make_random_connected(n, m, rng);
+    EXPECT_EQ(g.n(), n);
+    EXPECT_EQ(g.m(), m);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomConnectedRejectsBadM) {
+  Rng rng(1);
+  EXPECT_THROW(make_random_connected(10, 8, rng), std::invalid_argument);
+  EXPECT_THROW(make_random_connected(10, 46, rng), std::invalid_argument);
+}
+
+TEST(Generators, RandomRegular) {
+  Rng rng(3);
+  const Graph g = make_random_regular(20, 4, rng);
+  EXPECT_EQ(g.n(), 20u);
+  for (NodeId u = 0; u < g.n(); ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  Rng rng(1);
+  EXPECT_THROW(make_random_regular(5, 3, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,152 @@
+// Cross-cutting complexity-shape checks: the Table 1 claims as assertions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "election/clustering.hpp"
+#include "election/dfs_election.hpp"
+#include "election/kingdom.hpp"
+#include "election/least_el.hpp"
+#include "graphgen/generators.hpp"
+#include "graphgen/graph_algos.hpp"
+#include "helpers.hpp"
+#include "net/engine.hpp"
+
+namespace ule {
+namespace {
+
+TEST(Complexity, LeastElTimeScalesWithDiameterNotN) {
+  // Same n, different D: time tracks D.
+  Rng rng(1);
+  const Graph dense = make_random_connected(120, 1500, rng);  // small D
+  const Graph ring = make_cycle(120);                         // D = 60
+  RunOptions opt;
+  opt.knowledge = Knowledge::of_n(120);
+  opt.seed = 5;
+  const auto fast = run_election(
+      dense, make_least_el(LeastElConfig::all_candidates()), opt);
+  const auto slow = run_election(
+      ring, make_least_el(LeastElConfig::all_candidates()), opt);
+  EXPECT_TRUE(fast.verdict.unique_leader);
+  EXPECT_TRUE(slow.verdict.unique_leader);
+  EXPECT_LT(fast.run.rounds * 4, slow.run.rounds);
+}
+
+TEST(Complexity, LeastElMessagesScaleLinearlyWithM) {
+  // Fixed n, growing m: messages/m stays within a narrow band (the log n
+  // factor is constant across the sweep).
+  Rng rng(2);
+  const std::size_t n = 150;
+  std::vector<double> ratio;
+  for (const std::size_t m : {300u, 900u, 2700u}) {
+    const Graph g = make_random_connected(n, m, rng);
+    RunOptions opt;
+    opt.knowledge = Knowledge::of_n(n);
+    opt.seed = 9;
+    const auto rep = run_election(
+        g, make_least_el(LeastElConfig::all_candidates()), opt);
+    EXPECT_TRUE(rep.verdict.unique_leader);
+    ratio.push_back(static_cast<double>(rep.run.messages) / m);
+  }
+  for (std::size_t i = 1; i < ratio.size(); ++i) {
+    EXPECT_LT(ratio[i], ratio[0] * 2.5) << "superlinear growth in m";
+    EXPECT_GT(ratio[i], ratio[0] / 2.5);
+  }
+}
+
+TEST(Complexity, DfsMessagesFlatAcrossDiameters) {
+  // Theorem 4.1's O(m) is universal: messages/m in a tight band on graphs
+  // with wildly different diameters.
+  Rng rng(3);
+  const std::vector<Graph> graphs = {make_cycle(100), make_complete(15),
+                                     make_star(100),
+                                     make_random_connected(80, 320, rng)};
+  for (const Graph& g : graphs) {
+    RunOptions opt;
+    opt.ids = IdScheme::RandomPermutation;
+    opt.seed = 13;
+    opt.max_rounds = Round{1} << 62;
+    const auto rep = run_election(g, make_dfs_election(), opt);
+    EXPECT_TRUE(rep.verdict.unique_leader) << g.summary();
+    const double ratio = static_cast<double>(rep.run.messages) /
+                         static_cast<double>(g.m());
+    EXPECT_LE(ratio, 4.5) << g.summary();
+  }
+}
+
+TEST(Complexity, CandidateReductionOrdersMessageCosts) {
+  // f(n) = n  >  f(n) = log n  >  f(n) = const, in expected messages
+  // (Theorem 4.4's trade-off), all on the same dense graph.
+  Rng rng(4);
+  const Graph g = make_random_connected(250, 2500, rng);
+  auto mean_msgs = [&](LeastElConfig cfg) {
+    std::uint64_t total = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      RunOptions opt;
+      opt.knowledge = Knowledge::of_n(g.n());
+      opt.seed = seed;
+      total += run_election(g, make_least_el(cfg), opt).run.messages;
+    }
+    return total / 5;
+  };
+  const auto full = mean_msgs(LeastElConfig::all_candidates());
+  const auto logn = mean_msgs(LeastElConfig::variant_A(g.n()));
+  // A genuinely small constant f: variant_B(eps) = 4 ln(1/eps) only drops
+  // below log2 n for n > 2^{4 ln(1/eps)} -- at n = 250 that needs
+  // eps >~ 0.25, so use f = 2 directly for an unambiguous ordering.
+  const auto constant = mean_msgs(LeastElConfig::theorem_4_4(2.0));
+  EXPECT_GT(full, logn);
+  EXPECT_GE(logn, constant);
+}
+
+TEST(Complexity, KingdomMessagesTrackMLogN) {
+  // Ratio messages/(m log n) stays bounded across sizes.
+  std::vector<double> ratios;
+  Rng rng(5);
+  for (const std::size_t n : {32u, 64u, 128u}) {
+    const Graph g = make_random_connected(n, 4 * n, rng);
+    RunOptions opt;
+    opt.seed = 3;
+    const auto rep = run_election(g, make_kingdom(), opt);
+    EXPECT_TRUE(rep.verdict.unique_leader);
+    ratios.push_back(static_cast<double>(rep.run.messages) /
+                     (g.m() * std::log2(static_cast<double>(n))));
+  }
+  for (const double r : ratios) EXPECT_LE(r, 16.0);
+}
+
+TEST(Complexity, ClusteringWinsOnDenseLosesOnSparse) {
+  // The regime split the paper's Theorem 4.7 motivates: on dense graphs
+  // O(m + n log n) < O(m log n); on very sparse graphs the overhead can
+  // flip the order.
+  Rng rng(6);
+  const Graph dense = make_random_connected(150, 4000, rng);
+  RunOptions opt;
+  opt.knowledge = Knowledge::of_n(150);
+  opt.seed = 21;
+  const auto cl = run_election(dense, make_clustering(), opt);
+  const auto le = run_election(
+      dense, make_least_el(LeastElConfig::all_candidates()), opt);
+  EXPECT_TRUE(cl.verdict.unique_leader);
+  EXPECT_TRUE(le.verdict.unique_leader);
+  EXPECT_LT(cl.run.messages, le.run.messages);
+}
+
+TEST(Complexity, StatusesStabilizeBeforeQuiescence) {
+  // Section 2's definition: "from round T on" — last_status_change is a
+  // valid T and never exceeds total rounds.
+  const auto fams = testing::standard_families();
+  for (const auto& fam : fams) {
+    RunOptions opt;
+    opt.knowledge = Knowledge::of_n(fam.graph.n());
+    opt.seed = 2;
+    const auto rep = run_election(
+        fam.graph, make_least_el(LeastElConfig::all_candidates()), opt);
+    EXPECT_TRUE(rep.verdict.unique_leader) << fam.name;
+    EXPECT_LE(rep.run.last_status_change, rep.run.rounds) << fam.name;
+  }
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,141 @@
+// CONGEST honesty, checked everywhere: every algorithm x every graph family
+// must send at most one O(log n)-bit message per edge direction per round.
+// The engine counts violations; a clean implementation has exactly zero.
+// This is what makes the Table-1 message/time measurements comparable to the
+// paper's CONGEST-model claims.
+
+#include <gtest/gtest.h>
+
+#include "election/clustering.hpp"
+#include "election/dfs_election.hpp"
+#include "election/explicit_elect.hpp"
+#include "election/flood_max.hpp"
+#include "election/kingdom.hpp"
+#include "election/least_el.hpp"
+#include "election/size_estimate.hpp"
+#include "helpers.hpp"
+#include "net/engine.hpp"
+#include "spanner/spanner_elect.hpp"
+
+namespace ule {
+namespace {
+
+using testing::Family;
+
+struct CongestAlgo {
+  std::string name;
+  std::function<ProcessFactory(const Family&, RunOptions&)> prepare;
+};
+
+std::vector<CongestAlgo> congest_algorithms() {
+  std::vector<CongestAlgo> algos;
+  algos.push_back({"flood_max", [](const Family&, RunOptions&) {
+                     return make_flood_max();
+                   }});
+  algos.push_back({"least_el_all", [](const Family& f, RunOptions& opt) {
+                     opt.knowledge = Knowledge::of_n(f.graph.n());
+                     return make_least_el(LeastElConfig::all_candidates());
+                   }});
+  algos.push_back({"least_el_logn", [](const Family& f, RunOptions& opt) {
+                     opt.knowledge = Knowledge::of_n(f.graph.n());
+                     return make_least_el(
+                         LeastElConfig::variant_A(f.graph.n()));
+                   }});
+  algos.push_back({"las_vegas", [](const Family& f, RunOptions& opt) {
+                     opt.knowledge = Knowledge::of_n_d(f.graph.n(), f.diameter);
+                     return make_least_el(LeastElConfig::las_vegas(f.diameter));
+                   }});
+  algos.push_back({"size_estimate", [](const Family&, RunOptions&) {
+                     return make_size_estimate_elect();
+                   }});
+  algos.push_back({"clustering", [](const Family& f, RunOptions& opt) {
+                     opt.knowledge = Knowledge::of_n(f.graph.n());
+                     return make_clustering();
+                   }});
+  algos.push_back({"kingdom", [](const Family&, RunOptions& opt) {
+                     opt.max_rounds = 1'000'000;
+                     return make_kingdom();
+                   }});
+  algos.push_back({"dfs", [](const Family&, RunOptions& opt) {
+                     opt.ids = IdScheme::RandomPermutation;
+                     opt.max_rounds = Round{1} << 62;
+                     return make_dfs_election();
+                   }});
+  algos.push_back({"spanner_elect", [](const Family& f, RunOptions& opt) {
+                     opt.knowledge = Knowledge::of_n(f.graph.n());
+                     return make_spanner_elect(SpannerElectConfig{3, 0});
+                   }});
+  algos.push_back({"explicit_flood_max", [](const Family&, RunOptions&) {
+                     return make_explicit(make_flood_max());
+                   }});
+  return algos;
+}
+
+class CongestMatrixTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CongestMatrixTest, ZeroViolations) {
+  static const std::vector<Family> fams = testing::standard_families();
+  static const std::vector<CongestAlgo> algos = congest_algorithms();
+  const auto [fi, ai] = GetParam();
+  const Family& fam = fams[fi];
+  const CongestAlgo& algo = algos[ai];
+
+  RunOptions opt;
+  opt.seed = 1000 + fi * 17 + ai;
+  opt.congest = CongestMode::Count;
+  const ProcessFactory factory = algo.prepare(fam, opt);
+  const ElectionReport rep = run_election(fam.graph, factory, opt);
+  EXPECT_EQ(rep.run.congest_violations, 0u)
+      << algo.name << " on " << fam.name;
+  EXPECT_TRUE(rep.verdict.unique_leader) << algo.name << " on " << fam.name;
+}
+
+std::string congest_name(
+    const ::testing::TestParamInfo<std::tuple<std::size_t, std::size_t>>&
+        info) {
+  static const std::vector<Family> fams = testing::standard_families();
+  static const std::vector<CongestAlgo> algos = congest_algorithms();
+  std::string s = algos[std::get<1>(info.param)].name + "_on_" +
+                  fams[std::get<0>(info.param)].name;
+  for (char& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, CongestMatrixTest,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 16),
+                       ::testing::Range<std::size_t>(0, 10)),
+    congest_name);
+
+// In Enforce mode the engine throws on the first violation; a clean
+// algorithm must survive an entire enforced run.
+TEST(CongestEnforce, LeastElSurvivesEnforcement) {
+  const Graph g = make_complete(12);
+  RunOptions opt;
+  opt.seed = 3;
+  opt.knowledge = Knowledge::of_n(g.n());
+  opt.congest = CongestMode::Enforce;
+  EXPECT_NO_THROW({
+    const auto rep =
+        run_election(g, make_least_el(LeastElConfig::all_candidates()), opt);
+    EXPECT_TRUE(rep.verdict.unique_leader);
+  });
+}
+
+TEST(CongestEnforce, KingdomSurvivesEnforcement) {
+  Rng rng(5);
+  const Graph g = make_random_connected(30, 90, rng);
+  RunOptions opt;
+  opt.seed = 4;
+  opt.congest = CongestMode::Enforce;
+  opt.max_rounds = 1'000'000;
+  EXPECT_NO_THROW({
+    const auto rep = run_election(g, make_kingdom(), opt);
+    EXPECT_TRUE(rep.verdict.unique_leader);
+  });
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,118 @@
+// The cross-product: every algorithm in the paper x every graph family.
+// Each cell asserts the algorithm's own success contract (deterministic /
+// Las Vegas algorithms must always elect; Monte Carlo ones must elect for
+// the tested seeds, which are chosen within the whp regime).
+
+#include <gtest/gtest.h>
+
+#include "election/clustering.hpp"
+#include "election/dfs_election.hpp"
+#include "election/flood_max.hpp"
+#include "election/kingdom.hpp"
+#include "election/least_el.hpp"
+#include "election/size_estimate.hpp"
+#include "graphgen/graph_algos.hpp"
+#include "helpers.hpp"
+#include "net/engine.hpp"
+#include "spanner/spanner_elect.hpp"
+
+namespace ule {
+namespace {
+
+using testing::Family;
+
+struct AlgoSpec {
+  std::string name;
+  /// Builds the factory and fills in required knowledge for this graph.
+  std::function<ProcessFactory(const Family&, RunOptions&)> prepare;
+};
+
+std::vector<AlgoSpec> algorithms() {
+  std::vector<AlgoSpec> algos;
+  algos.push_back({"flood_max", [](const Family&, RunOptions&) {
+                     return make_flood_max();
+                   }});
+  algos.push_back({"least_el_all", [](const Family& f, RunOptions& opt) {
+                     opt.knowledge = Knowledge::of_n(f.graph.n());
+                     return make_least_el(LeastElConfig::all_candidates());
+                   }});
+  algos.push_back({"least_el_logn", [](const Family& f, RunOptions& opt) {
+                     opt.knowledge = Knowledge::of_n(f.graph.n());
+                     return make_least_el(LeastElConfig::variant_A(f.graph.n()));
+                   }});
+  algos.push_back({"las_vegas", [](const Family& f, RunOptions& opt) {
+                     opt.knowledge = Knowledge::of_n_d(f.graph.n(), f.diameter);
+                     return make_least_el(
+                         LeastElConfig::las_vegas(f.diameter));
+                   }});
+  algos.push_back({"size_estimate", [](const Family&, RunOptions&) {
+                     return make_size_estimate_elect();
+                   }});
+  algos.push_back({"clustering", [](const Family& f, RunOptions& opt) {
+                     opt.knowledge = Knowledge::of_n(f.graph.n());
+                     return make_clustering();
+                   }});
+  algos.push_back({"kingdom", [](const Family&, RunOptions& opt) {
+                     opt.max_rounds = 1'000'000;
+                     return make_kingdom();
+                   }});
+  algos.push_back({"kingdom_knownD", [](const Family& f, RunOptions& opt) {
+                     opt.knowledge = Knowledge::of_n_d(f.graph.n(), f.diameter);
+                     KingdomConfig cfg;
+                     cfg.known_diameter = std::max<std::uint64_t>(1, f.diameter);
+                     return make_kingdom(cfg);
+                   }});
+  algos.push_back({"dfs", [](const Family&, RunOptions& opt) {
+                     opt.ids = IdScheme::RandomPermutation;
+                     opt.max_rounds = Round{1} << 62;
+                     return make_dfs_election();
+                   }});
+  algos.push_back({"spanner_elect", [](const Family& f, RunOptions& opt) {
+                     opt.knowledge = Knowledge::of_n(f.graph.n());
+                     return make_spanner_elect(SpannerElectConfig{3, 0});
+                   }});
+  return algos;
+}
+
+class MatrixTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(MatrixTest, UniqueLeaderOnEveryFamily) {
+  static const std::vector<Family> fams = testing::standard_families();
+  static const std::vector<AlgoSpec> algos = algorithms();
+  const auto [fi, ai] = GetParam();
+  const Family& fam = fams[fi];
+  const AlgoSpec& algo = algos[ai];
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    RunOptions opt;
+    opt.seed = seed * 7919 + fi * 131 + ai;
+    const ProcessFactory factory = algo.prepare(fam, opt);
+    const ElectionReport rep = run_election(fam.graph, factory, opt);
+    EXPECT_TRUE(rep.verdict.unique_leader)
+        << algo.name << " on " << fam.name << " seed " << seed
+        << " elected=" << rep.verdict.elected
+        << " undecided=" << rep.verdict.undecided;
+    EXPECT_TRUE(rep.run.completed) << algo.name << " on " << fam.name;
+  }
+}
+
+std::string matrix_name(
+    const ::testing::TestParamInfo<std::tuple<std::size_t, std::size_t>>& info) {
+  static const std::vector<Family> fams = testing::standard_families();
+  static const std::vector<AlgoSpec> algos = algorithms();
+  std::string s = algos[std::get<1>(info.param)].name + "_on_" +
+                  fams[std::get<0>(info.param)].name;
+  for (char& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, MatrixTest,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 16),
+                       ::testing::Range<std::size_t>(0, 10)),
+    matrix_name);
+
+}  // namespace
+}  // namespace ule

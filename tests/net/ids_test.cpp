@@ -1,0 +1,62 @@
+#include "net/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ule {
+namespace {
+
+TEST(Ids, SequentialIsIota) {
+  Rng rng(1);
+  const auto ids = assign_ids(5, IdScheme::Sequential, rng);
+  EXPECT_EQ(ids, (std::vector<Uid>{1, 2, 3, 4, 5}));
+}
+
+TEST(Ids, ReverseSequential) {
+  Rng rng(1);
+  const auto ids = assign_ids(4, IdScheme::ReverseSequential, rng);
+  EXPECT_EQ(ids, (std::vector<Uid>{4, 3, 2, 1}));
+}
+
+TEST(Ids, PermutationIsPermutation) {
+  Rng rng(99);
+  const auto ids = assign_ids(50, IdScheme::RandomPermutation, rng);
+  std::set<Uid> s(ids.begin(), ids.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.begin(), 1u);
+  EXPECT_EQ(*s.rbegin(), 50u);
+}
+
+TEST(Ids, RandomFromZDistinctAndInRange) {
+  Rng rng(7);
+  const std::size_t n = 64;
+  const auto ids = assign_ids(n, IdScheme::RandomFromZ, rng);
+  std::set<Uid> s(ids.begin(), ids.end());
+  EXPECT_EQ(s.size(), n);
+  const auto z = id_space_size(n);
+  for (const Uid id : ids) {
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, z);
+  }
+}
+
+TEST(Ids, SpaceSizeIsNFourth) {
+  EXPECT_EQ(id_space_size(10), 10000u);
+  EXPECT_EQ(id_space_size(100), 100000000u);
+}
+
+TEST(Ids, SpaceSizeSaturates) {
+  EXPECT_EQ(id_space_size(1u << 20), std::uint64_t{1} << 62);
+}
+
+TEST(Ids, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(IdScheme::Sequential), "sequential");
+  EXPECT_STREQ(to_string(IdScheme::ReverseSequential), "reverse");
+  EXPECT_STREQ(to_string(IdScheme::RandomPermutation), "permutation");
+  EXPECT_STREQ(to_string(IdScheme::RandomFromZ), "random-Z");
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,96 @@
+#include "net/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace ule {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, InRangeInclusive) {
+  Rng r(5);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.in_range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    lo |= (v == 3);
+    hi |= (v == 6);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, FlipIsRoughlyFair) {
+  Rng r(31337);
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) heads += r.flip();
+  // 6 sigma around 10000 for p=1/2.
+  EXPECT_NEAR(heads, trials / 2, 6 * std::sqrt(trials / 4.0));
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(1);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(77);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += r.bernoulli(0.1);
+  EXPECT_NEAR(hits, trials / 10, 6 * std::sqrt(trials * 0.09));
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NodeRngsAreIndependentStreams) {
+  Rng a = node_rng(1, 0);
+  Rng b = node_rng(1, 1);
+  std::set<std::uint64_t> va, vb;
+  for (int i = 0; i < 32; ++i) {
+    va.insert(a());
+    vb.insert(b());
+  }
+  std::set<std::uint64_t> inter;
+  for (const auto v : va)
+    if (vb.count(v)) inter.insert(v);
+  EXPECT_TRUE(inter.empty());
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ule
