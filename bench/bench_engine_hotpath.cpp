@@ -1,0 +1,267 @@
+// Engine hot-path baseline: end-to-end wall-clock throughput of the
+// SyncEngine on the three topology regimes the Table-1 reproductions sweep
+// (ring / clique / dumbbell), plus a quiescent-heavy scheduler stressor.
+//
+// Writes BENCH_engine.json (schema documented in ROADMAP.md): one row per
+// (workload, n) with wall_ms and derived rounds/sec, messages/sec and
+// node-steps/sec ("ops").  Every future engine-perf PR reruns this bench and
+// must not regress the trajectory.
+//
+//   $ ./bench_engine_hotpath                 # full sweep, ring up to 10^6
+//   $ ./bench_engine_hotpath --quick         # CI smoke (tiny n, <1s)
+//   $ ./bench_engine_hotpath --max-n 100000  # cap every sweep
+//   $ ./bench_engine_hotpath --out FILE      # default BENCH_engine.json
+//
+// Workloads:
+//   ring_dfs         Theorem 4.1's DFS-agent election on a cycle.  Almost
+//                    every round has exactly one runnable node, so it
+//                    measures scheduler overhead per executed round.
+//   clique_sublinear The [14]-style sublinear election on K_n: few rounds,
+//                    dense delivery — measures the message path.
+//   dumbbell_least_el Least-element-list election on Dumbbell(n/2, n):
+//                    wave floods over a high-diameter graph.
+//   ring_quiescent   One spinning node on an otherwise unwoken ring, 1000
+//                    rounds, zero messages: pure per-round scheduler cost.
+//                    Wall time must be independent of n (the seed engine's
+//                    O(n)-scan scheduler fails this by orders of magnitude).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "election/dfs_election.hpp"
+#include "election/least_el.hpp"
+#include "election/sublinear_complete.hpp"
+#include "graphgen/dumbbell.hpp"
+#include "graphgen/generators.hpp"
+#include "net/engine.hpp"
+#include "net/wakeup.hpp"
+
+namespace ule {
+namespace {
+
+/// Stays runnable every round (without sending) until `limit`, then halts.
+class SpinProcess final : public Process {
+ public:
+  explicit SpinProcess(Round limit) : limit_(limit) {}
+  void on_wake(Context& ctx, std::span<const Envelope>) override {
+    if (ctx.round() + 1 >= limit_) ctx.halt();
+  }
+  void on_round(Context& ctx, std::span<const Envelope>) override {
+    if (ctx.round() + 1 >= limit_) ctx.halt();
+  }
+
+ private:
+  Round limit_;
+};
+
+struct Measured {
+  double wall_ms = 0;
+  RunResult run;
+  std::size_t m = 0;
+  bool unique_leader = false;
+};
+
+void report_row(bench::JsonReport& report, const char* workload,
+                const char* family, std::size_t n, std::uint64_t seed,
+                const Measured& mr) {
+  const double secs = mr.wall_ms / 1000.0;
+  auto rate = [&](std::uint64_t v) {
+    return secs > 0 ? static_cast<double>(v) / secs : 0.0;
+  };
+  report.add_row()
+      .set("workload", workload)
+      .set("family", family)
+      .set("n", static_cast<std::uint64_t>(n))
+      .set("m", static_cast<std::uint64_t>(mr.m))
+      .set("seed", seed)
+      .set("wall_ms", mr.wall_ms)
+      .set("logical_rounds", static_cast<std::uint64_t>(mr.run.rounds))
+      .set("executed_rounds",
+           static_cast<std::uint64_t>(mr.run.executed_rounds))
+      .set("node_steps", mr.run.node_steps)
+      .set("messages", mr.run.messages)
+      .set("bits", mr.run.bits)
+      .set("completed", mr.run.completed)
+      .set("elected", static_cast<std::uint64_t>(mr.run.elected))
+      .set("unique_leader", mr.unique_leader)
+      .set("rounds_per_sec", rate(mr.run.executed_rounds))
+      .set("messages_per_sec", rate(mr.run.messages))
+      .set("ops_per_sec", rate(mr.run.node_steps));
+  std::printf("%-18s %-9s n=%-8zu %10.2f ms  %9llu exec rounds  %10llu msgs"
+              "  %12.0f ops/s\n",
+              workload, family, n, mr.wall_ms,
+              static_cast<unsigned long long>(mr.run.executed_rounds),
+              static_cast<unsigned long long>(mr.run.messages),
+              rate(mr.run.node_steps));
+}
+
+Measured run_election_timed(const Graph& g, const ProcessFactory& factory,
+                            RunOptions opt) {
+  bench::WallTimer timer;
+  const ElectionReport rep = run_election(g, factory, opt);
+  Measured mr;
+  mr.wall_ms = timer.elapsed_ms();
+  mr.run = rep.run;
+  mr.m = g.m();
+  mr.unique_leader = rep.verdict.unique_leader;
+  return mr;
+}
+
+Measured run_quiescent(std::size_t n, Round rounds) {
+  const Graph g = make_cycle(n);
+  EngineConfig cfg;
+  cfg.congest = CongestMode::Off;
+  SyncEngine eng(g, cfg);
+  // Only node 0 ever wakes; everyone else stays unwoken forever, so the
+  // whole run is scheduler bookkeeping, no delivery, no messages.
+  eng.set_wakeup(single_wakeup(n, 0));
+  eng.init_processes(
+      [rounds](NodeId) { return std::make_unique<SpinProcess>(rounds); });
+  bench::WallTimer timer;
+  const RunResult run = eng.run();
+  Measured mr;
+  mr.wall_ms = timer.elapsed_ms();
+  mr.run = run;
+  mr.m = g.m();
+  mr.unique_leader = false;
+  return mr;
+}
+
+}  // namespace
+}  // namespace ule
+
+int main(int argc, char** argv) {
+  using namespace ule;
+
+  bool quick = false;
+  std::size_t max_n = 1'000'000;
+  std::string out = "BENCH_engine.json";
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--max-n") == 0 && i + 1 < argc)
+      max_n = static_cast<std::size_t>(std::atoll(argv[++i]));
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out = argv[++i];
+    else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
+      only = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--max-n N] [--only WORKLOAD] "
+                   "[--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const auto enabled = [&only](const char* workload) {
+    return only.empty() || std::string(workload).find(only) != std::string::npos;
+  };
+
+  bench::header("Engine hot path: wall-clock throughput",
+                "per-round cost O(runnable + delivered), not O(n)");
+  bench::JsonReport report("engine_hotpath");
+  const std::uint64_t seed = 1;
+
+  auto capped = [&](std::initializer_list<std::size_t> sizes) {
+    std::vector<std::size_t> out_sizes;
+    for (std::size_t s : sizes)
+      if (s <= max_n) out_sizes.push_back(s);
+    return out_sizes;
+  };
+
+  // --- ring_dfs ---
+  if (enabled("ring_dfs"))
+    for (std::size_t n :
+       capped(quick ? std::initializer_list<std::size_t>{64, 256}
+                    : std::initializer_list<std::size_t>{1'000, 10'000,
+                                                         100'000, 1'000'000})) {
+    const Graph g = make_cycle(n);
+    RunOptions opt;
+    opt.seed = seed;
+    opt.ids = IdScheme::RandomPermutation;
+    opt.max_rounds = Round{1} << 62;
+    opt.congest = CongestMode::Off;
+    report_row(report, "ring_dfs", "ring", n, seed,
+               run_election_timed(g, make_dfs_election(), opt));
+  }
+
+  // --- clique_sublinear ---
+  if (enabled("clique_sublinear"))
+    for (std::size_t n :
+       capped(quick ? std::initializer_list<std::size_t>{32, 64}
+                    : std::initializer_list<std::size_t>{512, 1'024, 2'048,
+                                                         4'096})) {
+    const Graph g = make_complete(n);
+    RunOptions opt;
+    opt.seed = seed;
+    opt.knowledge = Knowledge::of_n(n);
+    opt.congest = CongestMode::Off;
+    report_row(report, "clique_sublinear", "clique", n, seed,
+               run_election_timed(g, make_sublinear_complete(), opt));
+  }
+
+  // --- dumbbell_least_el ---
+  if (enabled("dumbbell_least_el"))
+    for (std::size_t n :
+       capped(quick ? std::initializer_list<std::size_t>{64, 128}
+                    : std::initializer_list<std::size_t>{1'000, 10'000,
+                                                         100'000})) {
+    const Dumbbell db = make_dumbbell(n / 2, n, 0, 1);
+    RunOptions opt;
+    opt.seed = seed;
+    opt.knowledge = Knowledge::of_n(db.graph.n());
+    opt.congest = CongestMode::Off;
+    report_row(report, "dumbbell_least_el", "dumbbell", db.graph.n(), seed,
+               run_election_timed(
+                   db.graph,
+                   make_least_el(LeastElConfig::variant_A(db.graph.n())),
+                   opt));
+  }
+
+  // --- ring_quiescent ---
+  const Round spin = 1'000;
+  if (enabled("ring_quiescent"))
+    for (std::size_t n :
+         capped(quick ? std::initializer_list<std::size_t>{1'000}
+                      : std::initializer_list<std::size_t>{10'000, 100'000,
+                                                           1'000'000})) {
+      const Measured mr = run_quiescent(n, spin);
+      report_row(report, "ring_quiescent", "ring", n, seed, mr);
+      // Per-round scheduler cost, setup-free: a run's wall time includes
+      // one-time O(n) work (wake-heap seeding, the final status tally), so
+      // take the difference quotient of a long and a short spin — with a
+      // window long enough to dominate setup noise, best of three.  This is
+      // the number that must be independent of n.
+      const Round window = 1'000'000;
+      double best_short = mr.wall_ms, best_long = 1e300;
+      for (int rep = 0; rep < 3; ++rep) {
+        best_short = std::min(best_short, run_quiescent(n, spin).wall_ms);
+        best_long =
+            std::min(best_long, run_quiescent(n, spin + window).wall_ms);
+      }
+      const double per_round_ns =
+          (best_long - best_short) * 1e6 / static_cast<double>(window);
+      report.add_row()
+          .set("workload", "ring_quiescent_perround")
+          .set("family", "ring")
+          .set("n", static_cast<std::uint64_t>(n))
+          .set("seed", seed)
+          .set("per_round_ns", per_round_ns);
+      std::printf("%-18s %-9s n=%-8zu %10.1f ns/round\n",
+                  "quiescent_perround", "ring", n, per_round_ns);
+    }
+
+  try {
+    report.write(out);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

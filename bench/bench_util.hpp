@@ -9,11 +9,14 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <numeric>
+#include <stdexcept>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "election/election.hpp"
@@ -21,6 +24,103 @@
 #include "net/graph.hpp"
 
 namespace ule::bench {
+
+// ---------------------------------------------------------------------------
+// Wall-clock timing + machine-readable output (the perf-baseline convention:
+// every perf-sensitive bench writes a BENCH_*.json so later PRs have a
+// trajectory to beat; see ROADMAP.md).
+// ---------------------------------------------------------------------------
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_ms() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One flat JSON object: ordered key -> (string | number | bool).  Enough for
+/// bench rows; no nesting, no escapes beyond the basics.
+class JsonObject {
+ public:
+  JsonObject& set(std::string key, std::string v) {
+    fields_.emplace_back(std::move(key), Value{std::move(v)});
+    return *this;
+  }
+  JsonObject& set(std::string key, const char* v) {
+    return set(std::move(key), std::string(v));
+  }
+  JsonObject& set(std::string key, double v) {
+    fields_.emplace_back(std::move(key), Value{v});
+    return *this;
+  }
+  JsonObject& set(std::string key, std::uint64_t v) {
+    fields_.emplace_back(std::move(key), Value{v});
+    return *this;
+  }
+  JsonObject& set(std::string key, bool v) {
+    fields_.emplace_back(std::move(key), Value{v});
+    return *this;
+  }
+
+  std::string to_string() const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : fields_) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + k + "\": ";
+      if (std::holds_alternative<std::string>(v)) {
+        out += "\"" + std::get<std::string>(v) + "\"";
+      } else if (std::holds_alternative<double>(v)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(v));
+        out += buf;
+      } else if (std::holds_alternative<std::uint64_t>(v)) {
+        out += std::to_string(std::get<std::uint64_t>(v));
+      } else {
+        out += std::get<bool>(v) ? "true" : "false";
+      }
+    }
+    return out + "}";
+  }
+
+ private:
+  using Value = std::variant<std::string, double, std::uint64_t, bool>;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// Collects rows and writes {"bench": ..., "rows": [...]} to a file.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  JsonObject& add_row() { return rows_.emplace_back(); }
+
+  void write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) throw std::runtime_error("cannot open " + path);
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n",
+                 bench_name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", rows_[i].to_string().c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<JsonObject> rows_;
+};
 
 inline void header(const std::string& title, const std::string& claim) {
   std::printf("\n=== %s ===\n", title.c_str());

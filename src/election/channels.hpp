@@ -17,5 +17,6 @@ inline constexpr std::uint8_t kClustering = 5;
 inline constexpr std::uint8_t kKingdom = 6;
 inline constexpr std::uint8_t kBroadcast = 7;
 inline constexpr std::uint8_t kDfs = 8;
+inline constexpr std::uint8_t kSublinear = 9;
 
 }  // namespace ule::channel

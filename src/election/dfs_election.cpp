@@ -4,34 +4,38 @@
 #include <stdexcept>
 #include <string>
 
+#include "election/channels.hpp"
+
 namespace ule {
 
 namespace {
 
-/// The agent crossing an edge.  Forward = exploring; Bounce = "target was
-/// already visited, agent returns"; Backtrack = "subtree done, agent
-/// returns to parent".
-struct AgentMsg final : Message {
-  enum class Kind : std::uint8_t { Forward, Bounce, Backtrack };
-  Uid id = 0;
-  Kind kind = Kind::Forward;
+// Flat wire format (net/message.hpp) on the DFS channel.  An agent message
+// is the agent crossing an edge: Forward = exploring; Bounce = "target was
+// already visited, agent returns"; Backtrack = "subtree done, agent returns
+// to parent".  The kind rides in the flag byte, the agent's ID in word a.
+constexpr std::uint16_t kAgentType = 1;
+constexpr std::uint16_t kWakeType = 2;  ///< wakeup flood (adversarial wakeup)
 
-  std::uint32_t size_bits() const override {
-    return wire::kTypeTag + wire::kIdField;
-  }
-  std::string debug_string() const override {
-    const char* k = kind == Kind::Forward   ? "fwd"
-                    : kind == Kind::Bounce  ? "bounce"
-                                            : "backtrack";
-    return std::string("agent-") + k + "(" + std::to_string(id) + ")";
-  }
-};
+enum class AgentKind : std::uint8_t { Forward, Bounce, Backtrack };
 
-/// Wakeup-phase flood (adversarial wakeup only).
-struct WakeMsg final : Message {
-  std::uint32_t size_bits() const override { return wire::kTypeTag; }
-  std::string debug_string() const override { return "wake"; }
-};
+FlatMsg agent_msg(Uid id, AgentKind kind) {
+  FlatMsg m;
+  m.type = kAgentType;
+  m.channel = channel::kDfs;
+  m.flags = static_cast<std::uint8_t>(kind);
+  m.bits = wire::kTypeTag + wire::kIdField;
+  m.a = id;
+  return m;
+}
+
+FlatMsg wake_msg() {
+  FlatMsg m;
+  m.type = kWakeType;
+  m.channel = channel::kDfs;
+  m.bits = wire::kTypeTag;
+  return m;
+}
 
 }  // namespace
 
@@ -65,9 +69,9 @@ void DfsElectionProcess::launch_own_agent(Context& ctx) {
 }
 
 void DfsElectionProcess::handle_arrival(Context& ctx, const Envelope& env) {
-  const auto* am = dynamic_cast<const AgentMsg*>(env.msg.get());
-  if (!am) return;
-  const Uid id = am->id;
+  if (env.flat.type != kAgentType || env.flat.channel != channel::kDfs) return;
+  const Uid id = env.flat.a;
+  const auto kind = static_cast<AgentKind>(env.flat.flags);
 
   // Destruction rule: arriving at a node a smaller agent has visited kills
   // the arrival (min_seen_ <= our own ID from the moment we launch).
@@ -83,8 +87,8 @@ void DfsElectionProcess::handle_arrival(Context& ctx, const Envelope& env) {
     }
   }
 
-  switch (am->kind) {
-    case AgentMsg::Kind::Forward: {
+  switch (kind) {
+    case AgentKind::Forward: {
       auto [it, inserted] = agents_.try_emplace(id);
       AgentRec& rec = it->second;
       if (inserted || !rec.visited) {
@@ -101,8 +105,8 @@ void DfsElectionProcess::handle_arrival(Context& ctx, const Envelope& env) {
       }
       break;
     }
-    case AgentMsg::Kind::Bounce:
-    case AgentMsg::Kind::Backtrack: {
+    case AgentKind::Bounce:
+    case AgentKind::Backtrack: {
       auto it = agents_.find(id);
       if (it == agents_.end() || !it->second.visited)
         throw std::logic_error("agent returned to a node it never visited");
@@ -121,15 +125,12 @@ void DfsElectionProcess::take_step(Context& ctx) {
   const Waiting w = *waiting_;
   waiting_.reset();
 
-  auto send_agent = [&](PortId p, AgentMsg::Kind kind) {
-    auto msg = std::make_shared<AgentMsg>();
-    msg->id = w.id;
-    msg->kind = kind;
-    ctx.send(p, msg);
+  auto send_agent = [&](PortId p, AgentKind kind) {
+    ctx.send(p, agent_msg(w.id, kind));
   };
 
   if (w.mode == StepMode::BounceBack) {
-    send_agent(w.bounce_port, AgentMsg::Kind::Bounce);
+    send_agent(w.bounce_port, AgentKind::Bounce);
     return;
   }
 
@@ -138,9 +139,9 @@ void DfsElectionProcess::take_step(Context& ctx) {
   while (rec.cursor < ctx.degree() && rec.cursor == rec.parent) ++rec.cursor;
 
   if (rec.cursor < ctx.degree()) {
-    send_agent(rec.cursor, AgentMsg::Kind::Forward);
+    send_agent(rec.cursor, AgentKind::Forward);
   } else if (rec.parent != kNoPort) {
-    send_agent(rec.parent, AgentMsg::Kind::Backtrack);
+    send_agent(rec.parent, AgentKind::Backtrack);
   } else {
     // The agent is home with every port explored: full DFS completed.  By
     // the destruction rules it must be the smallest surviving ID.
@@ -160,7 +161,7 @@ void DfsElectionProcess::reschedule(Context& ctx) {
 void DfsElectionProcess::on_wake(Context& ctx, std::span<const Envelope> inbox) {
   if (cfg_.wake_broadcast && !wake_sent_) {
     wake_sent_ = true;
-    ctx.broadcast(std::make_shared<WakeMsg>());
+    ctx.broadcast(wake_msg());
   }
   launch_own_agent(ctx);
   for (const auto& env : inbox) handle_arrival(ctx, env);

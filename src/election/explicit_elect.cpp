@@ -24,6 +24,9 @@ class ExplicitProcess::PassThroughCtx final : public Context {
   void send(PortId port, MessagePtr msg) override {
     real_.send(port, std::move(msg));
   }
+  void send(PortId port, const FlatMsg& msg) override {
+    real_.send(port, msg);
+  }
   Status status() const override { return real_.status(); }
 
   void set_status(Status s) override {

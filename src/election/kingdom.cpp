@@ -4,41 +4,67 @@
 #include <memory>
 #include <string>
 
+#include "election/channels.hpp"
 #include "net/message.hpp"
 
 namespace ule {
 
 namespace {
 
-struct KingdomMsg final : Message {
-  enum class Kind : std::uint8_t { Elect, Ack, Confirm, Victor };
-  Kind kind = Kind::Elect;
-  Claim exped;          ///< which expedition this message belongs to
-  std::uint64_t depth = 0;  ///< Elect: remaining BFS radius
-  std::uint8_t answer = 0;  ///< Ack: Answer enum
-  Claim info;           ///< Ack: strongest foreign; Confirm/Victor: winner
-  bool frontier_open = false;
-  bool live_seen = false;
+// Flat wire format (net/message.hpp) on the kingdom channel.  A message
+// names its expedition (a Claim: phase + id) and, depending on kind, carries
+// either the remaining BFS radius (Elect) or a second Claim (Ack: strongest
+// foreign met; Confirm/Victor: the winner).  Layout: word a = exped.id,
+// word b = depth or info.id, word c = exped.phase | info.phase << 32; the
+// flag byte packs kind (bits 0-1), the Ack answer (bits 2-3), frontier_open
+// (bit 4) and live_seen (bit 5).
+constexpr std::uint16_t kKingdomType = 1;
 
-  std::uint32_t size_bits() const override {
-    // Two claims (phase counter + id each), a depth counter, tag and flags.
-    return wire::kTypeTag + 2 * (wire::kCounter + wire::kIdField) +
-           wire::kCounter + 2 * wire::kFlag;
-  }
-  std::string debug_string() const override {
-    static const char* names[] = {"elect", "ack", "confirm", "victor"};
-    return std::string("kingdom-") + names[static_cast<int>(kind)] + "(p" +
-           std::to_string(exped.phase) + ",id" + std::to_string(exped.id) +
-           ")";
-  }
-};
+enum class Kind : std::uint8_t { Elect, Ack, Confirm, Victor };
 
-std::shared_ptr<KingdomMsg> msg(KingdomMsg::Kind k, Claim exped) {
-  auto m = std::make_shared<KingdomMsg>();
-  m->kind = k;
-  m->exped = exped;
+// Accounted wire size: two claims (phase counter + id each), a depth
+// counter, tag and flags — unchanged from the legacy message type.
+constexpr std::uint32_t kKingdomBits =
+    wire::kTypeTag + 2 * (wire::kCounter + wire::kIdField) + wire::kCounter +
+    2 * wire::kFlag;
+
+FlatMsg msg(Kind k, Claim exped) {
+  FlatMsg m;
+  m.type = kKingdomType;
+  m.channel = channel::kKingdom;
+  m.flags = static_cast<std::uint8_t>(k);
+  m.bits = kKingdomBits;
+  m.a = exped.id;
+  m.c = exped.phase;
   return m;
 }
+
+void set_info(FlatMsg& m, Claim info) {
+  m.b = info.id;
+  m.c |= static_cast<std::uint64_t>(info.phase) << 32;
+}
+void set_depth(FlatMsg& m, std::uint64_t depth) { m.b = depth; }
+void set_answer(FlatMsg& m, std::uint8_t a) {
+  m.flags |= a << 2;
+}
+void set_frontier_open(FlatMsg& m, bool v) {
+  if (v) m.flags |= 1u << 4;
+}
+void set_live_seen(FlatMsg& m, bool v) {
+  if (v) m.flags |= 1u << 5;
+}
+
+Kind kind_of(const FlatMsg& m) { return static_cast<Kind>(m.flags & 3u); }
+Claim exped_of(const FlatMsg& m) {
+  return Claim{static_cast<std::uint32_t>(m.c & 0xffffffffu), m.a};
+}
+Claim info_of(const FlatMsg& m) {
+  return Claim{static_cast<std::uint32_t>(m.c >> 32), m.b};
+}
+std::uint64_t depth_of(const FlatMsg& m) { return m.b; }
+std::uint8_t answer_of(const FlatMsg& m) { return (m.flags >> 2) & 3u; }
+bool frontier_open_of(const FlatMsg& m) { return (m.flags >> 4) & 1u; }
+bool live_seen_of(const FlatMsg& m) { return (m.flags >> 5) & 1u; }
 
 }  // namespace
 
@@ -75,8 +101,8 @@ void KingdomProcess::launch_phase(Context& ctx) {
     finish_stage2(ctx, it->second);
     return;
   }
-  auto m = msg(KingdomMsg::Kind::Elect, c);
-  m->depth = radius(my_phase_);
+  FlatMsg m = msg(Kind::Elect, c);
+  set_depth(m, radius(my_phase_));
   outbox_.queue_broadcast(ctx, m);
 }
 
@@ -89,11 +115,11 @@ void KingdomProcess::defect_from(Context& /*ctx*/, Exped& e,
     // The parent lists us as a border, so it will not await our VICTOR but
     // will still send us the CONFIRM, which we relay to our subtree.
     e.acked_up = true;
-    auto m = msg(KingdomMsg::Kind::Ack, e.claim);
-    m->answer = static_cast<std::uint8_t>(Answer::Defected);
-    m->info = std::max(e.agg.foreign, overrunner);
-    m->frontier_open = e.agg.frontier_open;
-    m->live_seen = e.agg.live_seen || (live_ && my_id_ != e.claim.id);
+    FlatMsg m = msg(Kind::Ack, e.claim);
+    set_answer(m, static_cast<std::uint8_t>(Answer::Defected));
+    set_info(m, std::max(e.agg.foreign, overrunner));
+    set_frontier_open(m, e.agg.frontier_open);
+    set_live_seen(m, e.agg.live_seen || (live_ && my_id_ != e.claim.id));
     outbox_.queue(e.parent, m);
   } else {
     // We already answered Joined (stage 2 done, awaiting CONFIRM) or are in
@@ -128,8 +154,8 @@ void KingdomProcess::handle_elect(Context& ctx, PortId port, Claim claim,
     const auto other_ports = static_cast<std::uint32_t>(ctx.degree()) - 1;
     if (remaining > 0 && other_ports > 0) {
       t.pending = other_ports;
-      auto m = msg(KingdomMsg::Kind::Elect, claim);
-      m->depth = remaining;
+      FlatMsg m = msg(Kind::Elect, claim);
+      set_depth(m, remaining);
       for (PortId p = 0; p < ctx.degree(); ++p) {
         if (p != port) outbox_.queue(p, m);
       }
@@ -139,21 +165,21 @@ void KingdomProcess::handle_elect(Context& ctx, PortId port, Claim claim,
       // ran out while unexplored ports remain.
       t.acked_up = true;
       t.victor_expected = true;
-      auto m = msg(KingdomMsg::Kind::Ack, claim);
-      m->answer = static_cast<std::uint8_t>(Answer::Joined);
-      m->frontier_open = (remaining == 0 && other_ports > 0);
-      m->live_seen = live_ && my_id_ != claim.id;
+      FlatMsg m = msg(Kind::Ack, claim);
+      set_answer(m, static_cast<std::uint8_t>(Answer::Joined));
+      set_frontier_open(m, remaining == 0 && other_ports > 0);
+      set_live_seen(m, live_ && my_id_ != claim.id);
       outbox_.queue(port, m);
       expeds_.emplace(claim, std::move(t));
     }
   } else if (claim == current_claim_) {
-    auto m = msg(KingdomMsg::Kind::Ack, claim);
-    m->answer = static_cast<std::uint8_t>(Answer::Same);
+    FlatMsg m = msg(Kind::Ack, claim);
+    set_answer(m, static_cast<std::uint8_t>(Answer::Same));
     outbox_.queue(port, m);
   } else {
-    auto m = msg(KingdomMsg::Kind::Ack, claim);
-    m->answer = static_cast<std::uint8_t>(Answer::Refused);
-    m->info = current_claim_;
+    FlatMsg m = msg(Kind::Ack, claim);
+    set_answer(m, static_cast<std::uint8_t>(Answer::Refused));
+    set_info(m, current_claim_);
     outbox_.queue(port, m);
   }
 }
@@ -172,8 +198,8 @@ void KingdomProcess::handle_answer(Context& ctx, PortId port, Claim exped,
       if (e->stage == Stage::Growing) {
         e->children.push_back(port);
       } else {
-        auto m = msg(KingdomMsg::Kind::Confirm, e->claim);
-        m->info = e->confirm_winner;
+        FlatMsg m = msg(Kind::Confirm, e->claim);
+        set_info(m, e->confirm_winner);
         outbox_.queue(port, m);
       }
     }
@@ -206,11 +232,11 @@ void KingdomProcess::finish_stage2(Context& ctx, Exped& e) {
   const bool live_mine = live_ && my_id_ != e.claim.id;
   if (e.parent != kNoPort) {
     e.victor_expected = true;  // the Joined ack makes the parent await us
-    auto m = msg(KingdomMsg::Kind::Ack, e.claim);
-    m->answer = static_cast<std::uint8_t>(Answer::Joined);
-    m->info = e.agg.foreign;
-    m->frontier_open = e.agg.frontier_open;
-    m->live_seen = e.agg.live_seen || live_mine;
+    FlatMsg m = msg(Kind::Ack, e.claim);
+    set_answer(m, static_cast<std::uint8_t>(Answer::Joined));
+    set_info(m, e.agg.foreign);
+    set_frontier_open(m, e.agg.frontier_open);
+    set_live_seen(m, e.agg.live_seen || live_mine);
     outbox_.queue(e.parent, m);
     return;
   }
@@ -218,8 +244,8 @@ void KingdomProcess::finish_stage2(Context& ctx, Exped& e) {
   // across every border edge (the double-win information flow).
   e.stage = Stage::Confirmed;
   e.confirm_winner = std::max({e.claim, e.agg.foreign, heard_winner_});
-  auto m = msg(KingdomMsg::Kind::Confirm, e.claim);
-  m->info = e.confirm_winner;
+  FlatMsg m = msg(Kind::Confirm, e.claim);
+  set_info(m, e.confirm_winner);
   for (const PortId p : e.children) outbox_.queue(p, m);
   for (const PortId p : e.borders) outbox_.queue(p, m);
   e.victor_pending = static_cast<std::uint32_t>(e.children.size());
@@ -234,8 +260,8 @@ void KingdomProcess::handle_confirm(Context& ctx, PortId port, Claim exped,
     return;  // a foreign kingdom's confirm crossing our border: noted above
   e->stage = Stage::Confirmed;
   e->confirm_winner = winner;
-  auto m = msg(KingdomMsg::Kind::Confirm, exped);
-  m->info = winner;
+  FlatMsg m = msg(Kind::Confirm, exped);
+  set_info(m, winner);
   for (const PortId p : e->children) outbox_.queue(p, m);
   for (const PortId p : e->borders) outbox_.queue(p, m);
   e->victor_pending = static_cast<std::uint32_t>(e->children.size());
@@ -263,8 +289,8 @@ void KingdomProcess::send_victor_up(Context& ctx, Exped& e) {
   e.victor_sent = true;
   if (e.parent != kNoPort) {
     if (e.victor_expected) {
-      auto m = msg(KingdomMsg::Kind::Victor, e.claim);
-      m->info = std::max({e.confirm_winner, e.victor_agg, heard_winner_});
+      FlatMsg m = msg(Kind::Victor, e.claim);
+      set_info(m, std::max({e.confirm_winner, e.victor_agg, heard_winner_}));
       outbox_.queue(e.parent, m);
     }
     // Zombies stay in the map: a straggling child may still answer Joined
@@ -307,26 +333,28 @@ void KingdomProcess::on_wake(Context& ctx, std::span<const Envelope> inbox) {
 
 void KingdomProcess::on_round(Context& ctx, std::span<const Envelope> inbox) {
   for (const auto& env : inbox) {
-    const auto* km = dynamic_cast<const KingdomMsg*>(env.msg.get());
-    if (!km) continue;
-    switch (km->kind) {
-      case KingdomMsg::Kind::Elect:
-        handle_elect(ctx, env.port, km->exped, km->depth);
+    if (env.flat.type != kKingdomType ||
+        env.flat.channel != channel::kKingdom)
+      continue;
+    const Claim exped = exped_of(env.flat);
+    switch (kind_of(env.flat)) {
+      case Kind::Elect:
+        handle_elect(ctx, env.port, exped, depth_of(env.flat));
         break;
-      case KingdomMsg::Kind::Ack: {
+      case Kind::Ack: {
         Agg agg;
-        agg.foreign = km->info;
-        agg.frontier_open = km->frontier_open;
-        agg.live_seen = km->live_seen;
-        handle_answer(ctx, env.port, km->exped,
-                      static_cast<Answer>(km->answer), agg);
+        agg.foreign = info_of(env.flat);
+        agg.frontier_open = frontier_open_of(env.flat);
+        agg.live_seen = live_seen_of(env.flat);
+        handle_answer(ctx, env.port, exped,
+                      static_cast<Answer>(answer_of(env.flat)), agg);
         break;
       }
-      case KingdomMsg::Kind::Confirm:
-        handle_confirm(ctx, env.port, km->exped, km->info);
+      case Kind::Confirm:
+        handle_confirm(ctx, env.port, exped, info_of(env.flat));
         break;
-      case KingdomMsg::Kind::Victor:
-        handle_victor(ctx, env.port, km->exped, km->info);
+      case Kind::Victor:
+        handle_victor(ctx, env.port, exped, info_of(env.flat));
         break;
     }
   }

@@ -6,13 +6,6 @@
 
 namespace ule {
 
-std::string WaveMsg::debug_string() const {
-  return std::string(is_echo ? "echo" : "wave") + "(ch" +
-         std::to_string(channel) + "," + std::to_string(key.primary) + "/" +
-         std::to_string(key.tiebreak) + (is_echo && adopted ? ",adopted" : "") +
-         ")";
-}
-
 bool WavePool::originate(Context& ctx, WaveKey key) {
   if (originated_) throw std::logic_error("wave already originated");
   if (best_ && !better(key, *best_))
@@ -30,9 +23,7 @@ bool WavePool::originate(Context& ctx, WaveKey key) {
     waves_.emplace(key, std::move(rec));
     return true;
   }
-  auto fwd = std::make_shared<WaveMsg>();
-  fwd->channel = channel_;
-  fwd->key = key;
+  const FlatMsg fwd = wavewire::forward(channel_, key);
   for_each_port(ctx, [&](PortId p) { emit(ctx, p, fwd); });
   waves_.emplace(key, std::move(rec));
   return false;
@@ -44,21 +35,14 @@ void WavePool::adopt(Context& ctx, WaveKey key, PortId from) {
   rec.parent = from;
   rec.pending = static_cast<std::uint32_t>(active_degree(ctx)) - 1;
   if (rec.pending > 0) {
-    auto fwd = std::make_shared<WaveMsg>();
-    fwd->channel = channel_;
-    fwd->key = key;
+    const FlatMsg fwd = wavewire::forward(channel_, key);
     for_each_port(ctx, [&](PortId p) {
       if (p != from) emit(ctx, p, fwd);
     });
     waves_.emplace(key, std::move(rec));
   } else {
     // Leaf: echo straight back up.
-    auto up = std::make_shared<WaveMsg>();
-    up->channel = channel_;
-    up->is_echo = true;
-    up->adopted = true;
-    up->key = key;
-    emit(ctx, from, up);
+    emit(ctx, from, wavewire::echo(channel_, key, /*adopted=*/true));
     rec.echoed_up = true;
     waves_.emplace(key, std::move(rec));
   }
@@ -71,12 +55,7 @@ void WavePool::maybe_echo_up(Context& ctx, const WaveKey& key, WaveRec& rec,
   if (rec.parent == kNoPort) {
     ev.own_complete = true;
   } else {
-    auto up = std::make_shared<WaveMsg>();
-    up->channel = channel_;
-    up->is_echo = true;
-    up->adopted = true;
-    up->key = key;
-    emit(ctx, rec.parent, up);
+    emit(ctx, rec.parent, wavewire::echo(channel_, key, /*adopted=*/true));
   }
 }
 
@@ -84,51 +63,52 @@ WavePool::Events WavePool::on_round(Context& ctx,
                                     std::span<const Envelope> inbox) {
   Events ev;
 
+  const auto mine = [this](const Envelope& env) {
+    return env.flat.channel == channel_ &&
+           (env.flat.type == wavewire::kForward ||
+            env.flat.type == wavewire::kEcho);
+  };
+
   // Pass 1: find the single best adoptable forward of this round (at most
   // one adoption per round — the "one least-element-list entry per distance"
   // property of [11] that Lemma 4.3's min(.., D) bound rests on).
-  const WaveMsg* best_fwd = nullptr;
-  PortId best_port = kNoPort;
+  const Envelope* best_fwd = nullptr;
   for (const auto& env : inbox) {
-    const auto* wm = dynamic_cast<const WaveMsg*>(env.msg.get());
-    if (!wm || wm->channel != channel_ || wm->is_echo) continue;
+    if (!mine(env) || env.flat.type != wavewire::kForward) continue;
     if (!ports_.empty() &&
         std::find(ports_.begin(), ports_.end(), env.port) == ports_.end())
       throw std::logic_error("wave arrived on a port outside the overlay");
     ev.any_wave_seen = true;
-    const bool beats_best = !best_ || better(wm->key, *best_);
-    if (beats_best && (!best_fwd || better(wm->key, best_fwd->key))) {
-      best_fwd = wm;
-      best_port = env.port;
+    const WaveKey key = wavewire::key_of(env.flat);
+    const bool beats_best = !best_ || better(key, *best_);
+    if (beats_best &&
+        (!best_fwd || better(key, wavewire::key_of(best_fwd->flat)))) {
+      best_fwd = &env;
     }
   }
   if (best_fwd) {
-    adopt(ctx, best_fwd->key, best_port);
+    adopt(ctx, wavewire::key_of(best_fwd->flat), best_fwd->port);
     ev.improved = true;
   }
 
   // Pass 2: echo every non-adopted forward; process incoming echoes.
   for (const auto& env : inbox) {
-    const auto* wm = dynamic_cast<const WaveMsg*>(env.msg.get());
-    if (!wm || wm->channel != channel_) continue;
-    if (!wm->is_echo) {
-      if (wm == best_fwd) continue;  // the adopted copy: echoed when done
-      auto back = std::make_shared<WaveMsg>();
-      back->channel = channel_;
-      back->is_echo = true;
-      back->adopted = false;
-      back->key = wm->key;
-      emit(ctx, env.port, back);
+    if (!mine(env)) continue;
+    const WaveKey key = wavewire::key_of(env.flat);
+    if (env.flat.type == wavewire::kForward) {
+      if (&env == best_fwd) continue;  // the adopted copy: echoed when done
+      emit(ctx, env.port, wavewire::echo(channel_, key, /*adopted=*/false));
     } else {
-      auto it = waves_.find(wm->key);
+      auto it = waves_.find(key);
       if (it == waves_.end())
         throw std::logic_error("echo for a wave we never forwarded");
       WaveRec& rec = it->second;
       if (rec.pending == 0)
         throw std::logic_error("more echoes than forwards for a wave");
       --rec.pending;
-      if (wm->adopted) rec.children.push_back(env.port);
-      maybe_echo_up(ctx, wm->key, rec, ev);
+      if (env.flat.flags & wavewire::kAdoptedFlag)
+        rec.children.push_back(env.port);
+      maybe_echo_up(ctx, key, rec, ev);
     }
   }
   return ev;

@@ -40,19 +40,39 @@ struct WaveKey {
   auto operator<=>(const WaveKey&) const = default;
 };
 
-/// Forward or echo of a wave on one channel.  Wire size: a tag, two id-sized
-/// fields and two flags — O(log n) bits, CONGEST-legal.
-struct WaveMsg final : Message {
-  std::uint8_t channel = 0;
-  bool is_echo = false;
-  bool adopted = false;  ///< echo only: sender adopted this wave from us
-  WaveKey key;
+/// Wave wire format: flat fast-path messages (net/message.hpp) tagged with
+/// the pool's channel.  A forward or echo carries a tag, two id-sized fields
+/// and two flags — O(log n) bits, CONGEST-legal.
+namespace wavewire {
+inline constexpr std::uint16_t kForward = 1;
+inline constexpr std::uint16_t kEcho = 2;
+inline constexpr std::uint8_t kAdoptedFlag = 1;  ///< echo: sender adopted
+inline constexpr std::uint32_t kBits =
+    wire::kTypeTag + 2 * wire::kIdField + 2 * wire::kFlag;
 
-  std::uint32_t size_bits() const override {
-    return wire::kTypeTag + 2 * wire::kIdField + 2 * wire::kFlag;
-  }
-  std::string debug_string() const override;
-};
+inline FlatMsg forward(std::uint8_t channel, const WaveKey& key) {
+  FlatMsg m;
+  m.type = kForward;
+  m.channel = channel;
+  m.bits = kBits;
+  m.a = key.primary;
+  m.b = key.tiebreak;
+  return m;
+}
+
+inline FlatMsg echo(std::uint8_t channel, const WaveKey& key, bool adopted) {
+  FlatMsg m;
+  m.type = kEcho;
+  m.channel = channel;
+  m.flags = adopted ? kAdoptedFlag : 0;
+  m.bits = kBits;
+  m.a = key.primary;
+  m.b = key.tiebreak;
+  return m;
+}
+
+inline WaveKey key_of(const FlatMsg& m) { return WaveKey{m.a, m.b}; }
+}  // namespace wavewire
 
 /// Per-node wave bookkeeping for one channel.
 class WavePool {
@@ -124,11 +144,11 @@ class WavePool {
   bool better(const WaveKey& a, const WaveKey& b) const {
     return max_wins_ ? (b < a) : (a < b);
   }
-  void emit(Context& ctx, PortId port, MessagePtr msg) {
+  void emit(Context& ctx, PortId port, const FlatMsg& msg) {
     if (outbox_ != nullptr) {
-      outbox_->queue(port, std::move(msg));
+      outbox_->queue(port, msg);
     } else {
-      ctx.send(port, std::move(msg));
+      ctx.send(port, msg);
     }
   }
   void adopt(Context& ctx, WaveKey key, PortId from);

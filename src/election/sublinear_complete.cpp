@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "election/channels.hpp"
 #include "net/ids.hpp"
 #include "net/message.hpp"
 
@@ -13,19 +14,28 @@ namespace ule {
 
 namespace {
 
-struct SublinearMsg final : Message {
-  bool verdict = false;  ///< false: QUERY(rank); true: VERDICT(max rank)
-  std::uint64_t rank = 0;
-  std::uint64_t tiebreak = 0;
+// Flat wire format (net/message.hpp): a QUERY carries the candidate's
+// (rank, tiebreak); a VERDICT answers with the maximum pair seen.  The
+// verdict bit rides in the flag byte; rank/tiebreak in words a/b.
+constexpr std::uint16_t kSublinearType = 1;
+constexpr std::uint8_t kVerdictFlag = 1;
 
-  std::uint32_t size_bits() const override {
-    return wire::kTypeTag + 2 * wire::kIdField + wire::kFlag;
-  }
-  std::string debug_string() const override {
-    return std::string(verdict ? "verdict(" : "query(") +
-           std::to_string(rank) + ")";
-  }
-};
+FlatMsg sublinear_msg(bool verdict, std::uint64_t rank,
+                      std::uint64_t tiebreak) {
+  FlatMsg m;
+  m.type = kSublinearType;
+  m.channel = channel::kSublinear;
+  m.flags = verdict ? kVerdictFlag : 0;
+  m.bits = wire::kTypeTag + 2 * wire::kIdField + wire::kFlag;
+  m.a = rank;
+  m.b = tiebreak;
+  return m;
+}
+
+bool is_sublinear(const Envelope& env) {
+  return env.flat.type == kSublinearType &&
+         env.flat.channel == channel::kSublinear;
+}
 
 }  // namespace
 
@@ -72,10 +82,7 @@ void SublinearCompleteProcess::on_wake(Context& ctx,
   for (std::size_t i = 0; i < r; ++i) {
     const std::size_t j = i + ctx.rng().below(ports.size() - i);
     std::swap(ports[i], ports[j]);
-    auto q = std::make_shared<SublinearMsg>();
-    q->rank = rank_;
-    q->tiebreak = tiebreak_;
-    ctx.send(ports[i], q);
+    ctx.send(ports[i], sublinear_msg(false, rank_, tiebreak_));
   }
   ctx.idle();
   if (!inbox.empty()) on_round(ctx, inbox);
@@ -89,30 +96,25 @@ void SublinearCompleteProcess::on_round(Context& ctx,
   std::uint64_t best_rank = 0, best_tb = 0;
   std::vector<PortId> query_ports;
   for (const auto& env : inbox) {
-    const auto* sm = dynamic_cast<const SublinearMsg*>(env.msg.get());
-    if (!sm || sm->verdict) continue;
+    if (!is_sublinear(env) || (env.flat.flags & kVerdictFlag)) continue;
     ++queries_seen_;
     query_ports.push_back(env.port);
-    if (std::pair(sm->rank, sm->tiebreak) > std::pair(best_rank, best_tb)) {
-      best_rank = sm->rank;
-      best_tb = sm->tiebreak;
+    if (std::pair(env.flat.a, env.flat.b) > std::pair(best_rank, best_tb)) {
+      best_rank = env.flat.a;
+      best_tb = env.flat.b;
     }
   }
   if (!query_ports.empty()) {
-    auto v = std::make_shared<SublinearMsg>();
-    v->verdict = true;
-    v->rank = best_rank;
-    v->tiebreak = best_tb;
+    const FlatMsg v = sublinear_msg(true, best_rank, best_tb);
     for (const PortId p : query_ports) ctx.send(p, v);
   }
 
   // Candidate duty: tally verdicts.
   if (candidate_ && !decided_) {
     for (const auto& env : inbox) {
-      const auto* sm = dynamic_cast<const SublinearMsg*>(env.msg.get());
-      if (!sm || !sm->verdict) continue;
+      if (!is_sublinear(env) || !(env.flat.flags & kVerdictFlag)) continue;
       ++verdicts_seen_;
-      if (std::pair(sm->rank, sm->tiebreak) > std::pair(rank_, tiebreak_))
+      if (std::pair(env.flat.a, env.flat.b) > std::pair(rank_, tiebreak_))
         lost_ = true;
     }
     if (verdicts_seen_ >= expected_verdicts_) {

@@ -32,13 +32,16 @@ class SyncEngine::Ctx final : public Context {
   void send(PortId port, MessagePtr msg) override {
     eng_.do_send(slot_, port, std::move(msg));
   }
+  void send(PortId port, const FlatMsg& msg) override {
+    eng_.do_send(slot_, port, msg);
+  }
 
   void set_status(Status s) override {
     auto& st = eng_.nodes_[slot_].status;
     if (st != s) {
       st = s;
       eng_.result_.last_status_change = eng_.round_;
-      if (eng_.cfg_.trace_limit > 0) {
+      if (eng_.tracing_) {
         TraceEvent ev;
         ev.kind = TraceEvent::Kind::StatusChange;
         ev.round = eng_.round_;
@@ -76,7 +79,9 @@ SyncEngine::SyncEngine(const Graph& g, EngineConfig cfg)
   const std::size_t n = graph_.n();
   nodes_.resize(n);
   procs_.resize(n);
-  inbox_.resize(n);
+  inbox_off_.assign(n, 0);
+  inbox_len_.assign(n, 0);
+  runnable_mark_.assign(n, 0);
   sent_by_node_.assign(n, 0);
   for (NodeId s = 0; s < n; ++s) nodes_[s].rng = node_rng(cfg_.seed, s);
 
@@ -96,6 +101,11 @@ SyncEngine::SyncEngine(const Graph& g, EngineConfig cfg)
       dir_port_offset_[s + 1] = dir_port_offset_[s] + graph_.degree(s);
     last_send_round_.assign(dir_port_offset_[n], kRoundForever);
   }
+
+  congest_on_ = cfg_.congest != CongestMode::Off;
+  tracing_ = cfg_.trace_limit > 0;
+  traffic_on_ = cfg_.record_edge_traffic;
+  watching_ = !cfg_.watch_edges.empty();
 }
 
 void SyncEngine::set_uids(std::vector<Uid> uids) {
@@ -115,12 +125,15 @@ void SyncEngine::set_process(NodeId slot, std::unique_ptr<Process> p) {
 }
 
 std::uint64_t SyncEngine::messages_before(Round r) const {
-  std::uint64_t count = 0;
-  for (const auto& [round, cumulative] : message_timeline_) {
-    if (round >= r) break;
-    count = cumulative;
-  }
-  return count;
+  // message_timeline_ is sorted by round (appended in execution order), so
+  // the answer is the cumulative count of the last entry strictly before r.
+  const auto it = std::lower_bound(
+      message_timeline_.begin(), message_timeline_.end(), r,
+      [](const std::pair<Round, std::uint64_t>& e, Round round) {
+        return e.first < round;
+      });
+  if (it == message_timeline_.begin()) return 0;
+  return std::prev(it)->second;
 }
 
 std::uint32_t SyncEngine::congest_budget() const {
@@ -131,22 +144,24 @@ std::uint32_t SyncEngine::congest_budget() const {
   return wire::kTypeTag + 8 * wire::kIdField;
 }
 
-void SyncEngine::do_send(NodeId from, PortId port, MessagePtr msg) {
+const Graph::HalfEdge& SyncEngine::account_send(NodeId from, PortId port,
+                                                std::uint32_t bits,
+                                                const FlatMsg* flat,
+                                                const Message* legacy) {
   if (port >= graph_.degree(from))
     throw std::out_of_range("send on invalid port " + std::to_string(port) +
                             " at node " + std::to_string(from));
-  if (!msg) throw std::invalid_argument("null message");
 
-  if (cfg_.congest != CongestMode::Off) {
+  if (congest_on_) {
     const std::size_t dp = dir_port_offset_[from] + port;
     const bool dup = last_send_round_[dp] == round_;
-    const bool too_big = msg->size_bits() > congest_budget();
-    if (dup || too_big) {
+    const bool too_big = bits > congest_budget();
+    if (dup || too_big) [[unlikely]] {
       if (cfg_.congest == CongestMode::Enforce) {
         throw std::runtime_error(
             std::string("CONGEST violation at node ") + std::to_string(from) +
             (dup ? " (two messages on one port in a round)"
-                 : " (message of " + std::to_string(msg->size_bits()) +
+                 : " (message of " + std::to_string(bits) +
                        " bits exceeds budget " +
                        std::to_string(congest_budget()) + ")"));
       }
@@ -157,22 +172,22 @@ void SyncEngine::do_send(NodeId from, PortId port, MessagePtr msg) {
 
   const Graph::HalfEdge& he = graph_.half_edge(from, port);
 
-  if (cfg_.trace_limit > 0) {
+  if (tracing_) [[unlikely]] {
     TraceEvent ev;
     ev.kind = TraceEvent::Kind::Send;
     ev.round = round_;
     ev.node = from;
     ev.port = port;
     ev.peer = he.to;
-    ev.detail = msg->debug_string();
+    ev.detail = legacy ? legacy->debug_string() : flat_debug_string(*flat);
     record(std::move(ev));
   }
 
   ++result_.messages;
-  result_.bits += msg->size_bits();
+  result_.bits += bits;
   ++sent_by_node_[from];
-  if (cfg_.record_edge_traffic) ++edge_traffic_[he.edge];
-  if (!watch_index_.empty()) {
+  if (traffic_on_) [[unlikely]] ++edge_traffic_[he.edge];
+  if (watching_) [[unlikely]] {
     if (const std::uint32_t wi = watch_index_[he.edge]; wi != 0) {
       WatchReport& w = watch_reports_[wi - 1];
       if (w.first_cross == kRoundForever) {
@@ -181,8 +196,62 @@ void SyncEngine::do_send(NodeId from, PortId port, MessagePtr msg) {
       }
     }
   }
+  return he;
+}
 
-  outgoing_.push_back(InFlight{he.to, he.rev, he.edge, std::move(msg)});
+void SyncEngine::do_send(NodeId from, PortId port, MessagePtr msg) {
+  if (!msg) throw std::invalid_argument("null message");
+  const Graph::HalfEdge& he =
+      account_send(from, port, msg->size_bits(), nullptr, msg.get());
+  outgoing_.push_back(
+      InFlight{he.to, he.rev, he.edge, FlatMsg{}, std::move(msg)});
+}
+
+void SyncEngine::do_send(NodeId from, PortId port, const FlatMsg& msg) {
+  if (msg.type == 0)
+    throw std::invalid_argument("flat message without a type tag");
+  const Graph::HalfEdge& he = account_send(from, port, msg.bits, &msg, nullptr);
+  outgoing_.push_back(InFlight{he.to, he.rev, he.edge, msg, nullptr});
+}
+
+void SyncEngine::deliver_round() {
+  // Reset the previous round's buckets (only the nodes that had one).
+  for (const NodeId s : dirty_) inbox_len_[s] = 0;
+  dirty_.clear();
+  if (inflight_.empty()) return;
+
+  // Stable counting-bucket by destination: count, prefix, scatter.  The scan
+  // order of inflight_ is the send order, so each node's inbox order is
+  // identical to the old push_back delivery.
+  for (const InFlight& f : inflight_) {
+    if (inbox_len_[f.to]++ == 0) dirty_.push_back(f.to);
+  }
+  std::uint32_t cursor = 0;
+  for (const NodeId s : dirty_) {
+    inbox_off_[s] = cursor;
+    cursor += inbox_len_[s];
+    inbox_len_[s] = 0;  // reused as the fill cursor during the scatter
+  }
+  delivery_.resize(inflight_.size());
+  for (InFlight& f : inflight_) {
+    Envelope& env = delivery_[inbox_off_[f.to] + inbox_len_[f.to]++];
+    env.port = f.at_port;
+    env.flat = f.flat;
+    env.msg = std::move(f.msg);
+  }
+  inflight_.clear();
+}
+
+void SyncEngine::pop_due_wakes(std::vector<NodeId>& runnable) {
+  while (!wake_heap_.empty() && wake_heap_.top().first <= round_) {
+    const auto [r, s] = wake_heap_.top();
+    wake_heap_.pop();
+    if (!wake_entry_live(r, s)) continue;  // stale (node ran or re-slept)
+    if (runnable_mark_[s] != runnable_epoch_) {
+      runnable_mark_[s] = runnable_epoch_;
+      runnable.push_back(s);
+    }
+  }
 }
 
 RunResult SyncEngine::run() {
@@ -194,7 +263,17 @@ RunResult SyncEngine::run() {
 
   Ctx ctx(*this);
   std::vector<NodeId> runnable;
-  runnable.reserve(graph_.n());
+  runnable.reserve(64);
+  running_.reserve(64);
+  outgoing_.reserve(64);
+  inflight_.reserve(64);
+
+  // Seed the wake heap with every scheduled wakeup.  Nodes scheduled "never"
+  // (kRoundForever) are reachable only through message arrival.
+  for (NodeId s = 0; s < graph_.n(); ++s) {
+    if (nodes_[s].wake_at != kRoundForever)
+      wake_heap_.emplace(nodes_[s].wake_at, s);
+  }
 
   while (true) {
     if (round_ >= cfg_.max_rounds) {
@@ -202,54 +281,59 @@ RunResult SyncEngine::run() {
       break;
     }
 
-    // Deliver messages sent last round.
-    for (NodeId s : touched_) inbox_[s].clear();
-    touched_.clear();
-    for (auto& f : inflight_) {
-      if (inbox_[f.to].empty()) touched_.push_back(f.to);
-      inbox_[f.to].push_back(Envelope{f.at_port, std::move(f.msg)});
-    }
-    inflight_.clear();
+    // Deliver messages sent last round (fills dirty_ and the CSR buckets).
+    deliver_round();
 
-    // Who runs this round?  (Deterministic: ascending slot order.)
+    // Who runs this round?  Union of running nodes, message receivers, and
+    // due wake deadlines — then sorted, so execution order is ascending slot
+    // exactly like the original full scan.
     runnable.clear();
-    for (NodeId s = 0; s < graph_.n(); ++s) {
-      const NodeState& n = nodes_[s];
-      switch (n.state) {
-        case RunState::Halted:
-          break;  // still receives (messages already counted) but never runs
-        case RunState::Running:
-          runnable.push_back(s);
-          break;
-        case RunState::Unwoken:
-        case RunState::Sleeping:
-          if (n.wake_at <= round_ || !inbox_[s].empty()) runnable.push_back(s);
-          break;
+    ++runnable_epoch_;
+    for (const NodeId s : running_) {
+      runnable_mark_[s] = runnable_epoch_;
+      runnable.push_back(s);
+    }
+    for (const NodeId s : dirty_) {
+      const RunState st = nodes_[s].state;
+      if (st == RunState::Halted) continue;  // delivered, counted, dropped
+      if (runnable_mark_[s] != runnable_epoch_) {
+        runnable_mark_[s] = runnable_epoch_;
+        runnable.push_back(s);
       }
     }
+    pop_due_wakes(runnable);
 
     if (runnable.empty()) {
-      // Nothing to do this round.  Jump to the next scheduled wake, if any.
-      Round next_wake = kRoundForever;
-      for (const NodeState& n : nodes_) {
-        if (n.state == RunState::Unwoken || n.state == RunState::Sleeping)
-          next_wake = std::min(next_wake, n.wake_at);
-      }
-      if (next_wake == kRoundForever) {
+      // Nothing to do this round.  The next scheduled wake is the first
+      // live heap entry; drop stale ones on the way (lazy deletion).
+      while (!wake_heap_.empty() &&
+             !wake_entry_live(wake_heap_.top().first, wake_heap_.top().second))
+        wake_heap_.pop();
+      if (wake_heap_.empty()) {
         result_.completed = true;  // global quiescence
         break;
       }
-      round_ = cfg_.fast_forward ? next_wake : round_ + 1;
+      round_ = cfg_.fast_forward ? wake_heap_.top().first : round_ + 1;
       continue;
     }
 
-    for (NodeId s : runnable) {
+    std::sort(runnable.begin(), runnable.end());
+
+    ++result_.executed_rounds;
+    result_.node_steps += runnable.size();
+    for (const NodeId s : runnable) {
       NodeState& n = nodes_[s];
       ctx.bind(s);
-      const std::span<const Envelope> in{inbox_[s].data(), inbox_[s].size()};
+      // inbox_off_ is stale for nodes that received nothing this round; only
+      // form the pointer when there is an inbox (the buffer may have shrunk).
+      const std::span<const Envelope> in =
+          inbox_len_[s] > 0
+              ? std::span<const Envelope>{delivery_.data() + inbox_off_[s],
+                                          inbox_len_[s]}
+              : std::span<const Envelope>{};
       if (n.state == RunState::Unwoken) {
         n.state = RunState::Running;
-        if (cfg_.trace_limit > 0) {
+        if (tracing_) {
           TraceEvent ev;
           ev.kind = TraceEvent::Kind::Wake;
           ev.round = round_;
@@ -263,11 +347,23 @@ RunResult SyncEngine::run() {
       }
     }
 
+    // Post-round transitions: rebuild the running set; every node that went
+    // to sleep with a finite deadline gets a heap entry (duplicates are
+    // deduped by the epoch mark, stale ones die in wake_entry_live).
+    running_.clear();
+    for (const NodeId s : runnable) {
+      const NodeState& n = nodes_[s];
+      if (n.state == RunState::Running) {
+        running_.push_back(s);
+      } else if (n.state == RunState::Sleeping && n.wake_at != kRoundForever) {
+        wake_heap_.emplace(n.wake_at, s);
+      }
+    }
+
     if (cfg_.record_message_timeline)
       message_timeline_.emplace_back(round_, result_.messages);
 
-    inflight_ = std::move(outgoing_);
-    outgoing_.clear();
+    inflight_.swap(outgoing_);  // keeps both buffers' capacity across rounds
     ++round_;
   }
 

@@ -6,21 +6,39 @@
 // (CONGEST, optionally enforced).  The engine is deterministic: a run is a
 // pure function of (graph, processes, config.seed).
 //
+// Scheduling is EVENT-DRIVEN: a round costs O(runnable + delivered), not
+// O(n).  The runnable set of a round is the union of
+//   - nodes that stayed Running after their last step,
+//   - nodes receiving a message this round (the delivery dirty list), and
+//   - nodes whose sleep_until / scheduled-wakeup deadline fires, popped from
+//     a min-heap of wake deadlines (stale entries are skipped lazily).
+// The union is sorted, so execution order (ascending slot) and therefore
+// every counter and election outcome is bit-for-bit identical to the
+// original full-scan scheduler — enforced by the engine-equivalence
+// regression test.  Fast-forward reads the next deadline off the heap top in
+// O(log n) instead of an O(n) sweep; rounds where nothing is runnable and no
+// message is in flight are skipped wholesale, so Theorem 4.1's agents
+// stepping every 2^ID rounds stay cheap even at n = 10^6.
+//
+// Delivery uses a flat CSR-style buffer: in-flight envelopes are bucketed by
+// destination (stable, preserving send order) into one contiguous array with
+// per-node offsets, replacing the old vector-of-vectors inbox and its
+// per-node reallocation.  Messages themselves prefer the inline FlatMsg
+// representation (net/message.hpp) — the common case moves zero heap blocks
+// per round.
+//
 // Instrumentation: total messages and bits, per-node send counts, optional
 // per-edge traffic, and *edge watches* — per-edge records of the first round
 // a message crossed, used to operationalize the bridge-crossing (BC) problem
 // from the Theorem 3.1 lower-bound proof.
-//
-// Fast-forward: rounds where no process is runnable and no message is in
-// flight are skipped in O(1); logical round numbers still advance, so time
-// complexity is measured faithfully.  Theorem 4.1's algorithm (agents step
-// every 2^ID rounds) relies on this.
 
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -61,6 +79,8 @@ struct EngineConfig {
 
 struct RunResult {
   Round rounds = 0;          ///< logical rounds until global quiescence
+  Round executed_rounds = 0; ///< rounds actually simulated (not fast-forwarded)
+  std::uint64_t node_steps = 0;  ///< process invocations (on_wake + on_round)
   std::uint64_t messages = 0;
   std::uint64_t bits = 0;
   bool completed = false;    ///< quiesced before max_rounds
@@ -137,6 +157,7 @@ class SyncEngine {
   const std::vector<TraceEvent>& trace() const { return trace_; }
   bool trace_truncated() const { return trace_truncated_; }
   /// Cumulative messages sent in rounds < r (requires timeline recording).
+  /// Binary search over the sorted timeline: O(log #executed-rounds).
   std::uint64_t messages_before(Round r) const;
 
  private:
@@ -153,13 +174,40 @@ class SyncEngine {
     NodeId to;
     PortId at_port;
     EdgeId edge;
+    FlatMsg flat;
     MessagePtr msg;
   };
+
+  /// Min-heap entry: (deadline, node).  Entries are never removed on state
+  /// change; a popped entry is acted on only if the node is still waiting
+  /// for exactly this deadline (lazy deletion).
+  using WakeEntry = std::pair<Round, NodeId>;
+  using WakeHeap = std::priority_queue<WakeEntry, std::vector<WakeEntry>,
+                                       std::greater<WakeEntry>>;
 
   class Ctx;  // Context implementation, defined in engine.cpp
 
   void do_send(NodeId from, PortId port, MessagePtr msg);
+  void do_send(NodeId from, PortId port, const FlatMsg& msg);
+  /// Shared send bookkeeping (congest, counters, watches, trace); returns
+  /// the traversed half-edge.  `legacy` is null on the flat path.
+  const Graph::HalfEdge& account_send(NodeId from, PortId port,
+                                      std::uint32_t bits, const FlatMsg* flat,
+                                      const Message* legacy);
   std::uint32_t congest_budget() const;
+
+  /// Bucket inflight_ by destination into the CSR delivery buffer; fills
+  /// dirty_ (receivers this round, in first-delivery order).  Clears the
+  /// previous round's buckets first.
+  void deliver_round();
+  /// Pop every wake-heap entry due at `round_` into the runnable buffer.
+  void pop_due_wakes(std::vector<NodeId>& runnable);
+  /// True while `s` is waiting (Unwoken/Sleeping) on deadline `r`.
+  bool wake_entry_live(Round r, NodeId s) const {
+    const NodeState& n = nodes_[s];
+    return (n.state == RunState::Unwoken || n.state == RunState::Sleeping) &&
+           n.wake_at == r;
+  }
 
   const Graph& graph_;
   EngineConfig cfg_;
@@ -171,8 +219,28 @@ class SyncEngine {
   Round round_ = 0;
   std::vector<InFlight> inflight_;   // arriving this round
   std::vector<InFlight> outgoing_;   // sent this round, arriving next
-  std::vector<std::vector<Envelope>> inbox_;
-  std::vector<NodeId> touched_;      // nodes with non-empty inbox this round
+
+  // CSR delivery buffer: envelopes of the current round, bucketed by
+  // destination.  Node s's inbox is delivery_[inbox_off_[s] ..
+  // inbox_off_[s] + inbox_len_[s]) — valid only for s in dirty_.
+  std::vector<Envelope> delivery_;
+  std::vector<std::uint32_t> inbox_off_;
+  std::vector<std::uint32_t> inbox_len_;
+  std::vector<NodeId> dirty_;        // nodes with a non-empty inbox this round
+
+  // Active-set scheduling state.
+  std::vector<NodeId> running_;      // nodes in RunState::Running
+  WakeHeap wake_heap_;               // pending sleep/wakeup deadlines
+  // 64-bit: the epoch increments once per scheduler iteration and must
+  // never wrap into old marks (max_rounds is settable beyond 2^32).
+  std::vector<std::uint64_t> runnable_mark_;  // epoch stamps (dedup)
+  std::uint64_t runnable_epoch_ = 0;
+
+  // Hot-path branch hints, precomputed once (satellite: keep do_send lean).
+  bool congest_on_ = false;
+  bool tracing_ = false;
+  bool traffic_on_ = false;
+  bool watching_ = false;
 
   void record(TraceEvent ev) {
     if (trace_.size() < cfg_.trace_limit) {

@@ -1,0 +1,15 @@
+#include "net/message.hpp"
+
+namespace ule {
+
+std::string flat_debug_string(const FlatMsg& m) {
+  std::string out = "flat(ch" + std::to_string(m.channel) + ",t" +
+                    std::to_string(m.type);
+  if (m.flags != 0) out += ",f" + std::to_string(m.flags);
+  out += "," + std::to_string(m.a);
+  if (m.b != 0 || m.c != 0) out += "/" + std::to_string(m.b);
+  if (m.c != 0) out += "/" + std::to_string(m.c);
+  return out + ")";
+}
+
+}  // namespace ule

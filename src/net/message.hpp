@@ -1,10 +1,28 @@
 // Messages and their CONGEST accounting.
 //
-// Algorithms define their own concrete message types derived from Message.
-// Each type reports its own size in bits so the engine can (a) total up the
-// bit complexity and (b) enforce the CONGEST bound of O(log n) bits per edge
-// per round when asked to.  Broadcast-style sends share one immutable payload
-// through shared_ptr, so fan-out is cheap.
+// Two wire representations share one delivery pipeline:
+//
+// 1. The FLAT FAST PATH (`FlatMsg`): a 32-byte POD — type tag, protocol
+//    channel, flag byte, accounted bit size, and three 64-bit payload words —
+//    stored INLINE in the engine's in-flight and inbox buffers.  Sending one
+//    costs a struct copy: no heap allocation, no shared_ptr refcount, no
+//    virtual dispatch, and receivers discriminate by (channel, type) integer
+//    compare instead of dynamic_cast.  Every hot algorithm (the wave pools
+//    behind flood_max/least_el/size_estimate, dfs_election, kingdom,
+//    sublinear_complete) speaks FlatMsg.  Three words is a deliberate cap:
+//    CONGEST grants O(log n) bits per edge per round, so any message needing
+//    more than a tag plus a few id-sized fields is over budget anyway.
+//
+// 2. The LEGACY POINTER PATH (`Message`/`MessagePtr`): algorithms define
+//    concrete types derived from Message; broadcast-style sends share one
+//    immutable payload through shared_ptr.  Kept as the extensibility
+//    adapter for cold protocols (e.g. size_estimate's phase-B done-flood,
+//    broadcast experiments) and for tests; an Envelope carries either
+//    representation and both are billed identically.
+//
+// Each representation reports its encoded size in bits so the engine can
+// (a) total up bit complexity and (b) enforce the CONGEST bound of O(log n)
+// bits per edge per round when asked to.
 
 #pragma once
 
@@ -30,10 +48,28 @@ class Message {
 
 using MessagePtr = std::shared_ptr<const Message>;
 
-/// A received message, tagged with the local port it arrived on.
+/// The inline fast-path representation.  `type == 0` means "no flat payload"
+/// (the envelope's MessagePtr is in use); protocols pick their own nonzero
+/// type tags, scoped by `channel` (see election/channels.hpp), so two
+/// protocols never need to coordinate tag ranges.
+struct FlatMsg {
+  std::uint16_t type = 0;    ///< protocol-local discriminator; 0 = unused
+  std::uint8_t channel = 0;  ///< protocol channel, keeps concurrent runs apart
+  std::uint8_t flags = 0;    ///< protocol-defined flag bits
+  std::uint32_t bits = 0;    ///< accounted wire size (the size_bits analogue)
+  std::uint64_t a = 0;       ///< payload word (ids, ranks, depths, ...)
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+/// A received message, tagged with the local port it arrived on.  Exactly one
+/// representation is populated: `flat.type != 0` xor `msg != nullptr`.
 struct Envelope {
   PortId port = kNoPort;
+  FlatMsg flat;
   MessagePtr msg;
+
+  bool is_flat() const { return flat.type != 0; }
 };
 
 /// Conventional field sizes, in bits.  IDs/ranks come from a set of size
@@ -45,5 +81,9 @@ inline constexpr std::uint32_t kIdField = 64;   ///< node id / rank / edge id
 inline constexpr std::uint32_t kCounter = 32;   ///< hop counters, phase nums
 inline constexpr std::uint32_t kFlag = 1;       ///< booleans
 }  // namespace wire
+
+/// Generic render of a flat message for traces (protocols that want prettier
+/// trace lines can keep a legacy debug type; the hot path favours speed).
+std::string flat_debug_string(const FlatMsg& m);
 
 }  // namespace ule

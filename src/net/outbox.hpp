@@ -13,6 +13,9 @@
 // number of concurrently outstanding protocol items per edge (a constant or
 // O(log n)).
 //
+// Both message representations queue here: flat messages (the hot path) are
+// stored by value, legacy MessagePtr payloads by pointer (net/message.hpp).
+//
 // Usage pattern inside a Process:
 //
 //   outbox_.queue(port, msg);           // instead of ctx.send(port, msg)
@@ -28,6 +31,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <stdexcept>
 #include <vector>
 
 #include "net/message.hpp"
@@ -40,13 +44,23 @@ class PortOutbox {
   /// Queue `msg` for port `port`; it is sent by the first flush() that finds
   /// no earlier message queued ahead of it on the same port.
   void queue(PortId port, MessagePtr msg) {
-    if (queues_.size() <= port) queues_.resize(std::size_t{port} + 1);
-    queues_[port].push_back(std::move(msg));
+    ensure(port);
+    queues_[port].push_back(Queued{FlatMsg{}, std::move(msg)});
+    ++queued_;
+  }
+  void queue(PortId port, const FlatMsg& msg) {
+    if (msg.type == 0)  // fail here, not at a far-away flush()
+      throw std::invalid_argument("flat message without a type tag");
+    ensure(port);
+    queues_[port].push_back(Queued{msg, nullptr});
     ++queued_;
   }
 
   /// Queue the same payload on every port of `ctx` (paced broadcast).
   void queue_broadcast(const Context& ctx, const MessagePtr& msg) {
+    for (PortId p = 0; p < ctx.degree(); ++p) queue(p, msg);
+  }
+  void queue_broadcast(const Context& ctx, const FlatMsg& msg) {
     for (PortId p = 0; p < ctx.degree(); ++p) queue(p, msg);
   }
 
@@ -57,7 +71,12 @@ class PortOutbox {
     for (PortId p = 0; p < queues_.size(); ++p) {
       auto& q = queues_[p];
       if (!q.empty()) {
-        ctx.send(p, std::move(q.front()));
+        Queued& head = q.front();
+        if (head.flat.type != 0) {
+          ctx.send(p, head.flat);
+        } else {
+          ctx.send(p, std::move(head.msg));
+        }
         q.pop_front();
         --queued_;
       }
@@ -69,7 +88,16 @@ class PortOutbox {
   std::size_t backlog() const { return queued_; }
 
  private:
-  std::vector<std::deque<MessagePtr>> queues_;
+  struct Queued {
+    FlatMsg flat;    ///< valid iff flat.type != 0
+    MessagePtr msg;  ///< legacy path otherwise
+  };
+
+  void ensure(PortId port) {
+    if (queues_.size() <= port) queues_.resize(std::size_t{port} + 1);
+  }
+
+  std::vector<std::deque<Queued>> queues_;
   std::size_t queued_ = 0;
 };
 

@@ -45,6 +45,9 @@ class Context {
 
   // --- actions ---
   virtual void send(PortId port, MessagePtr msg) = 0;
+  /// Flat fast path: the message is copied inline into the engine's delivery
+  /// buffers — no allocation, no refcounting (see net/message.hpp).
+  virtual void send(PortId port, const FlatMsg& msg) = 0;
   virtual void set_status(Status s) = 0;
   virtual Status status() const = 0;
 
@@ -58,6 +61,9 @@ class Context {
 
   /// Convenience: send the same payload on every port.
   void broadcast(const MessagePtr& msg) {
+    for (PortId p = 0; p < degree(); ++p) send(p, msg);
+  }
+  void broadcast(const FlatMsg& msg) {
     for (PortId p = 0; p < degree(); ++p) send(p, msg);
   }
 };

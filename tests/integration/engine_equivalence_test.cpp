@@ -1,0 +1,279 @@
+// Engine-equivalence regression: the full algorithm matrix on small graphs
+// with fixed seeds must reproduce the exact RunResult counters recorded from
+// the seed engine (pre active-set-scheduler, pre flat-message-path).  Any
+// scheduler or message-representation change that alters rounds, messages,
+// bits, statuses, or the elected slot for any cell is a determinism break,
+// not an optimisation.
+//
+// To re-record after an *intentional* semantic change:
+//   ULE_RECORD_GOLDEN=1 ./integration_engine_equivalence_test
+// and paste the printed rows over kGolden below.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "election/clustering.hpp"
+#include "election/dfs_election.hpp"
+#include "election/flood_max.hpp"
+#include "election/kingdom.hpp"
+#include "election/least_el.hpp"
+#include "election/size_estimate.hpp"
+#include "election/sublinear_complete.hpp"
+#include "graphgen/clique_cycle.hpp"
+#include "graphgen/dumbbell.hpp"
+#include "graphgen/generators.hpp"
+#include "graphgen/graph_algos.hpp"
+#include "net/engine.hpp"
+#include "spanner/spanner_elect.hpp"
+
+namespace ule {
+namespace {
+
+struct GoldenRow {
+  const char* algo;
+  const char* graph;
+  std::uint64_t seed;
+  Round rounds;
+  std::uint64_t messages;
+  std::uint64_t bits;
+  std::size_t elected;
+  std::size_t non_elected;
+  std::size_t undecided;
+  std::uint64_t congest_violations;
+  Round last_status_change;
+  NodeId leader_slot;
+};
+
+Graph build_graph(const std::string& name) {
+  if (name == "cycle24") return make_cycle(24);
+  if (name == "path17") return make_path(17);
+  if (name == "star16") return make_star(16);
+  if (name == "complete12") return make_complete(12);
+  if (name == "complete64") return make_complete(64);
+  if (name == "grid4x6") return make_grid(4, 6);
+  if (name == "tree26") return make_balanced_tree(26, 2);
+  if (name == "dumbbell16_30") return make_dumbbell(16, 30, 0, 5).graph;
+  if (name == "cliquecycle24_8") return make_clique_cycle(24, 8).graph;
+  if (name == "gnm40_100") {
+    Rng rng(0xFA417ULL);
+    return make_random_connected(40, 100, rng);
+  }
+  throw std::logic_error("unknown golden graph " + name);
+}
+
+ProcessFactory build_algo(const std::string& algo, const Graph& g,
+                          RunOptions& opt) {
+  if (algo == "flood_max") return make_flood_max();
+  if (algo == "dfs") {
+    opt.ids = IdScheme::RandomPermutation;
+    opt.max_rounds = Round{1} << 62;
+    return make_dfs_election();
+  }
+  if (algo == "least_el_all") {
+    opt.knowledge = Knowledge::of_n(g.n());
+    return make_least_el(LeastElConfig::all_candidates());
+  }
+  if (algo == "least_el_logn") {
+    opt.knowledge = Knowledge::of_n(g.n());
+    return make_least_el(LeastElConfig::variant_A(g.n()));
+  }
+  if (algo == "las_vegas") {
+    const std::uint32_t d = diameter_exact(g);
+    opt.knowledge = Knowledge::of_n_d(g.n(), d);
+    return make_least_el(LeastElConfig::las_vegas(d));
+  }
+  if (algo == "kingdom") {
+    opt.max_rounds = 1'000'000;
+    return make_kingdom();
+  }
+  if (algo == "sublinear") {
+    opt.knowledge = Knowledge::of_n(g.n());
+    return make_sublinear_complete();
+  }
+  if (algo == "clustering") {
+    opt.knowledge = Knowledge::of_n(g.n());
+    return make_clustering();
+  }
+  if (algo == "size_estimate") return make_size_estimate_elect();
+  if (algo == "spanner_elect") {
+    opt.knowledge = Knowledge::of_n(g.n());
+    return make_spanner_elect(SpannerElectConfig{3, 0});
+  }
+  throw std::logic_error("unknown golden algo " + algo);
+}
+
+struct CaseSpec {
+  const char* algo;
+  const char* graph;
+};
+
+// Every algorithm family the engine hot path serves, each over graphs that
+// exercise sparse/dense, low/high diameter, and the dumbbell/clique-cycle
+// constructions.  Sublinear runs on complete graphs only (by contract).
+const CaseSpec kCases[] = {
+    {"flood_max", "cycle24"},     {"flood_max", "path17"},
+    {"flood_max", "star16"},      {"flood_max", "complete12"},
+    {"flood_max", "grid4x6"},     {"flood_max", "dumbbell16_30"},
+    {"dfs", "cycle24"},           {"dfs", "path17"},
+    {"dfs", "complete12"},        {"dfs", "grid4x6"},
+    {"dfs", "cliquecycle24_8"},   {"least_el_all", "cycle24"},
+    {"least_el_all", "complete12"}, {"least_el_all", "gnm40_100"},
+    {"least_el_logn", "cycle24"}, {"least_el_logn", "gnm40_100"},
+    {"las_vegas", "cycle24"},     {"las_vegas", "grid4x6"},
+    {"kingdom", "cycle24"},       {"kingdom", "path17"},
+    {"kingdom", "complete12"},    {"kingdom", "gnm40_100"},
+    {"kingdom", "tree26"},        {"sublinear", "complete12"},
+    {"sublinear", "complete64"},  {"clustering", "cycle24"},
+    {"clustering", "complete12"}, {"clustering", "gnm40_100"},
+    {"clustering", "grid4x6"},    {"size_estimate", "cycle24"},
+    {"size_estimate", "complete12"}, {"spanner_elect", "gnm40_100"},
+    {"spanner_elect", "complete12"},
+};
+
+GoldenRow run_case(const CaseSpec& c, std::uint64_t seed) {
+  const Graph g = build_graph(c.graph);
+  RunOptions opt;
+  opt.seed = seed;
+  const ProcessFactory factory = build_algo(c.algo, g, opt);
+  const ElectionReport rep = run_election(g, factory, opt);
+  GoldenRow row;
+  row.algo = c.algo;
+  row.graph = c.graph;
+  row.seed = seed;
+  row.rounds = rep.run.rounds;
+  row.messages = rep.run.messages;
+  row.bits = rep.run.bits;
+  row.elected = rep.run.elected;
+  row.non_elected = rep.run.non_elected;
+  row.undecided = rep.run.undecided;
+  row.congest_violations = rep.run.congest_violations;
+  row.last_status_change = rep.run.last_status_change;
+  row.leader_slot = rep.verdict.leader_slot;
+  return row;
+}
+
+// Recorded from the seed engine (pre-overhaul), seeds 1 and 2 per case.
+const GoldenRow kGolden[] = {
+    // clang-format off
+    {"flood_max", "cycle24", 1, 27, 232, 32016, 1, 23, 0, 0, 26, 5},
+    {"flood_max", "cycle24", 2, 29, 230, 31740, 1, 23, 0, 0, 28, 23},
+    {"flood_max", "path17", 1, 23, 122, 16836, 1, 16, 0, 0, 22, 5},
+    {"flood_max", "path17", 2, 23, 112, 15456, 1, 16, 0, 0, 22, 11},
+    {"flood_max", "star16", 1, 5, 88, 12144, 1, 15, 0, 0, 4, 5},
+    {"flood_max", "star16", 2, 5, 88, 12144, 1, 15, 0, 0, 4, 11},
+    {"flood_max", "complete12", 1, 6, 484, 66792, 1, 11, 0, 0, 5, 5},
+    {"flood_max", "complete12", 2, 6, 484, 66792, 1, 11, 0, 0, 5, 11},
+    {"flood_max", "grid4x6", 1, 20, 460, 63480, 1, 23, 0, 0, 19, 5},
+    {"flood_max", "grid4x6", 2, 23, 528, 72864, 1, 23, 0, 0, 22, 23},
+    {"flood_max", "dumbbell16_30", 1, 26, 724, 99912, 1, 31, 0, 0, 25, 5},
+    {"flood_max", "dumbbell16_30", 2, 24, 702, 96876, 1, 31, 0, 0, 23, 23},
+    {"dfs", "cycle24", 1, 103, 62, 4464, 1, 23, 0, 0, 102, 5},
+    {"dfs", "cycle24", 2, 103, 64, 4608, 1, 23, 0, 0, 102, 6},
+    {"dfs", "path17", 1, 67, 38, 2736, 1, 16, 0, 0, 66, 5},
+    {"dfs", "path17", 2, 67, 37, 2664, 1, 16, 0, 0, 66, 9},
+    {"dfs", "complete12", 1, 487, 246, 17712, 1, 11, 0, 0, 486, 4},
+    {"dfs", "complete12", 2, 487, 246, 17712, 1, 11, 0, 0, 486, 4},
+    {"dfs", "grid4x6", 1, 215, 111, 7992, 1, 23, 0, 0, 214, 5},
+    {"dfs", "grid4x6", 2, 215, 113, 8136, 1, 23, 0, 0, 214, 6},
+    {"dfs", "cliquecycle24_8", 1, 167, 91, 6552, 1, 23, 0, 0, 166, 5},
+    {"dfs", "cliquecycle24_8", 2, 167, 93, 6696, 1, 23, 0, 0, 166, 6},
+    {"least_el_all", "cycle24", 1, 27, 208, 28704, 1, 23, 0, 0, 26, 19},
+    {"least_el_all", "cycle24", 2, 28, 214, 29532, 1, 23, 0, 0, 27, 11},
+    {"least_el_all", "complete12", 1, 6, 484, 66792, 1, 11, 0, 0, 5, 3},
+    {"least_el_all", "complete12", 2, 6, 484, 66792, 1, 11, 0, 0, 5, 11},
+    {"least_el_all", "gnm40_100", 1, 14, 1076, 148488, 1, 39, 0, 0, 13, 29},
+    {"least_el_all", "gnm40_100", 2, 12, 956, 131928, 1, 39, 0, 0, 11, 37},
+    {"least_el_logn", "cycle24", 1, 27, 92, 12696, 1, 23, 0, 0, 26, 21},
+    {"least_el_logn", "cycle24", 2, 27, 74, 10212, 1, 23, 0, 0, 26, 15},
+    {"least_el_logn", "gnm40_100", 1, 13, 652, 89976, 1, 39, 0, 0, 12, 3},
+    {"least_el_logn", "gnm40_100", 2, 12, 498, 68724, 1, 39, 0, 0, 11, 39},
+    {"las_vegas", "cycle24", 1, 27, 50, 6900, 1, 23, 0, 0, 26, 19},
+    {"las_vegas", "cycle24", 2, 67, 50, 6900, 1, 23, 0, 0, 66, 14},
+    {"las_vegas", "grid4x6", 1, 17, 106, 14628, 1, 23, 0, 0, 16, 19},
+    {"las_vegas", "grid4x6", 2, 41, 106, 14628, 1, 23, 0, 0, 40, 14},
+    {"kingdom", "cycle24", 1, 112, 488, 114192, 1, 23, 0, 0, 111, 5},
+    {"kingdom", "cycle24", 2, 112, 479, 112086, 1, 23, 0, 0, 111, 23},
+    {"kingdom", "path17", 1, 106, 347, 81198, 1, 16, 0, 0, 105, 5},
+    {"kingdom", "path17", 2, 106, 351, 82134, 1, 16, 0, 0, 105, 11},
+    {"kingdom", "complete12", 1, 11, 692, 161928, 1, 11, 0, 0, 10, 5},
+    {"kingdom", "complete12", 2, 11, 692, 161928, 1, 11, 0, 0, 10, 11},
+    {"kingdom", "gnm40_100", 1, 27, 1187, 277758, 1, 39, 0, 0, 26, 37},
+    {"kingdom", "gnm40_100", 2, 47, 1548, 362232, 1, 39, 0, 0, 46, 38},
+    {"kingdom", "tree26", 1, 53, 387, 90558, 1, 25, 0, 0, 52, 5},
+    {"kingdom", "tree26", 2, 61, 420, 98280, 1, 25, 0, 0, 60, 23},
+    {"sublinear", "complete12", 1, 3, 176, 24112, 1, 11, 0, 0, 2, 9},
+    {"sublinear", "complete12", 2, 3, 132, 18084, 1, 11, 0, 0, 2, 11},
+    {"sublinear", "complete64", 1, 3, 660, 90420, 1, 63, 0, 0, 2, 29},
+    {"sublinear", "complete64", 2, 3, 594, 81378, 1, 63, 0, 0, 2, 46},
+    {"clustering", "cycle24", 1, 28, 256, 38304, 1, 23, 0, 0, 27, 19},
+    {"clustering", "cycle24", 2, 29, 262, 39132, 1, 23, 0, 0, 28, 11},
+    {"clustering", "complete12", 1, 7, 616, 93192, 1, 11, 0, 0, 6, 3},
+    {"clustering", "complete12", 2, 7, 616, 93192, 1, 11, 0, 0, 6, 11},
+    {"clustering", "gnm40_100", 1, 32, 1217, 189088, 1, 39, 0, 0, 31, 21},
+    {"clustering", "gnm40_100", 2, 34, 1240, 196168, 1, 39, 0, 0, 33, 14},
+    {"clustering", "grid4x6", 1, 20, 458, 67916, 1, 23, 0, 0, 19, 19},
+    {"clustering", "grid4x6", 2, 19, 472, 69848, 1, 23, 0, 0, 18, 11},
+    {"size_estimate", "cycle24", 1, 66, 443, 59616, 1, 23, 0, 0, 65, 21},
+    {"size_estimate", "cycle24", 2, 65, 495, 66792, 1, 23, 0, 0, 64, 14},
+    {"size_estimate", "complete12", 1, 12, 979, 134376, 1, 11, 0, 0, 11, 8},
+    {"size_estimate", "complete12", 2, 12, 979, 134376, 1, 11, 0, 0, 11, 3},
+    {"spanner_elect", "gnm40_100", 1, 27, 1593, 205924, 1, 39, 0, 0, 26, 26},
+    {"spanner_elect", "gnm40_100", 2, 25, 1479, 189734, 1, 39, 0, 0, 24, 14},
+    {"spanner_elect", "complete12", 1, 20, 629, 82636, 1, 11, 0, 0, 19, 8},
+    {"spanner_elect", "complete12", 2, 18, 542, 71540, 1, 11, 0, 0, 17, 0},
+    // clang-format on
+};
+
+TEST(EngineEquivalence, MatrixMatchesSeedEngineGolden) {
+  const bool record = std::getenv("ULE_RECORD_GOLDEN") != nullptr;
+  if (record) {
+    for (const CaseSpec& c : kCases) {
+      for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        const GoldenRow r = run_case(c, seed);
+        std::printf(
+            "    {\"%s\", \"%s\", %llu, %llu, %llu, %llu, %zu, %zu, %zu, "
+            "%llu, %llu, %u},\n",
+            r.algo, r.graph, static_cast<unsigned long long>(r.seed),
+            static_cast<unsigned long long>(r.rounds),
+            static_cast<unsigned long long>(r.messages),
+            static_cast<unsigned long long>(r.bits), r.elected, r.non_elected,
+            r.undecided, static_cast<unsigned long long>(r.congest_violations),
+            static_cast<unsigned long long>(r.last_status_change),
+            r.leader_slot);
+      }
+    }
+    GTEST_SKIP() << "golden rows printed, not compared";
+  }
+
+  std::size_t i = 0;
+  for (const CaseSpec& c : kCases) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed, ++i) {
+      ASSERT_LT(i, std::size(kGolden)) << "golden table too short";
+      const GoldenRow& want = kGolden[i];
+      ASSERT_STREQ(want.algo, c.algo) << "golden table out of sync at " << i;
+      ASSERT_STREQ(want.graph, c.graph) << "golden table out of sync at " << i;
+      ASSERT_EQ(want.seed, seed) << "golden table out of sync at " << i;
+      const GoldenRow got = run_case(c, seed);
+      const std::string where =
+          std::string(c.algo) + " on " + c.graph + " seed " +
+          std::to_string(seed);
+      EXPECT_EQ(got.rounds, want.rounds) << where;
+      EXPECT_EQ(got.messages, want.messages) << where;
+      EXPECT_EQ(got.bits, want.bits) << where;
+      EXPECT_EQ(got.elected, want.elected) << where;
+      EXPECT_EQ(got.non_elected, want.non_elected) << where;
+      EXPECT_EQ(got.undecided, want.undecided) << where;
+      EXPECT_EQ(got.congest_violations, want.congest_violations) << where;
+      EXPECT_EQ(got.last_status_change, want.last_status_change) << where;
+      EXPECT_EQ(got.leader_slot, want.leader_slot) << where;
+    }
+  }
+  EXPECT_EQ(i, std::size(kGolden)) << "golden table has extra rows";
+}
+
+}  // namespace
+}  // namespace ule

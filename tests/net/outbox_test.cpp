@@ -40,6 +40,9 @@ class RecorderCtx final : public Context {
     const auto* tm = dynamic_cast<const TagMsg*>(msg.get());
     sent.emplace_back(port, tm ? tm->tag : -1);
   }
+  void send(PortId port, const FlatMsg& msg) override {
+    sent.emplace_back(port, static_cast<int>(msg.a));
+  }
   void set_status(Status) override {}
   Status status() const override { return Status::Undecided; }
   void idle() override {}
