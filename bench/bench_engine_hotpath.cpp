@@ -10,6 +10,7 @@
 //   $ ./bench_engine_hotpath                 # full sweep, ring up to 10^6
 //   $ ./bench_engine_hotpath --quick         # CI smoke (tiny n, <1s)
 //   $ ./bench_engine_hotpath --max-n 100000  # cap every sweep
+//   $ ./bench_engine_hotpath --threads 4     # worker pool for all workloads
 //   $ ./bench_engine_hotpath --out FILE      # default BENCH_engine.json
 //
 // Workloads:
@@ -20,6 +21,11 @@
 //                    dense delivery — measures the message path.
 //   dumbbell_least_el Least-element-list election on Dumbbell(n/2, n):
 //                    wave floods over a high-diameter graph.
+//   clique_flood_max Flood-max on K_n: every round steps ~n nodes, each
+//                    scanning ~n envelopes — the dense-round regime the
+//                    parallel pipeline targets.  Swept at threads ∈
+//                    {1, 2, 4, hw} (deduped); counters must be identical
+//                    across the sweep (checked, not just reported).
 //   ring_quiescent   One spinning node on an otherwise unwoken ring, 1000
 //                    rounds, zero messages: pure per-round scheduler cost.
 //                    Wall time must be independent of n (the seed engine's
@@ -30,10 +36,12 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "election/dfs_election.hpp"
+#include "election/flood_max.hpp"
 #include "election/least_el.hpp"
 #include "election/sublinear_complete.hpp"
 #include "graphgen/dumbbell.hpp"
@@ -68,7 +76,7 @@ struct Measured {
 
 void report_row(bench::JsonReport& report, const char* workload,
                 const char* family, std::size_t n, std::uint64_t seed,
-                const Measured& mr) {
+                const Measured& mr, unsigned threads) {
   const double secs = mr.wall_ms / 1000.0;
   auto rate = [&](std::uint64_t v) {
     return secs > 0 ? static_cast<double>(v) / secs : 0.0;
@@ -79,6 +87,7 @@ void report_row(bench::JsonReport& report, const char* workload,
       .set("n", static_cast<std::uint64_t>(n))
       .set("m", static_cast<std::uint64_t>(mr.m))
       .set("seed", seed)
+      .set("threads", static_cast<std::uint64_t>(threads))
       .set("wall_ms", mr.wall_ms)
       .set("logical_rounds", static_cast<std::uint64_t>(mr.run.rounds))
       .set("executed_rounds",
@@ -92,9 +101,9 @@ void report_row(bench::JsonReport& report, const char* workload,
       .set("rounds_per_sec", rate(mr.run.executed_rounds))
       .set("messages_per_sec", rate(mr.run.messages))
       .set("ops_per_sec", rate(mr.run.node_steps));
-  std::printf("%-18s %-9s n=%-8zu %10.2f ms  %9llu exec rounds  %10llu msgs"
-              "  %12.0f ops/s\n",
-              workload, family, n, mr.wall_ms,
+  std::printf("%-18s %-9s n=%-8zu t=%-2u %10.2f ms  %9llu exec rounds"
+              "  %10llu msgs  %12.0f ops/s\n",
+              workload, family, n, threads, mr.wall_ms,
               static_cast<unsigned long long>(mr.run.executed_rounds),
               static_cast<unsigned long long>(mr.run.messages),
               rate(mr.run.node_steps));
@@ -112,10 +121,13 @@ Measured run_election_timed(const Graph& g, const ProcessFactory& factory,
   return mr;
 }
 
-Measured run_quiescent(std::size_t n, Round rounds) {
+Measured run_quiescent(std::size_t n, Round rounds, unsigned threads,
+                       std::size_t parallel_cutoff) {
   const Graph g = make_cycle(n);
   EngineConfig cfg;
   cfg.congest = CongestMode::Off;
+  cfg.threads = threads;  // must not matter: counters are thread-invariant
+  if (parallel_cutoff != 0) cfg.parallel_cutoff = parallel_cutoff;
   SyncEngine eng(g, cfg);
   // Only node 0 ever wakes; everyone else stays unwoken forever, so the
   // whole run is scheduler bookkeeping, no delivery, no messages.
@@ -140,23 +152,35 @@ int main(int argc, char** argv) {
 
   bool quick = false;
   std::size_t max_n = 1'000'000;
+  unsigned threads = 1;
+  std::size_t parallel_cutoff = 0;  // 0 = engine default
   std::string out = "BENCH_engine.json";
   std::string only;
+  const auto usage = [&argv] {
+    std::fprintf(stderr,
+                 "usage: %s [--quick] [--max-n N] [--threads T (1..1024)] "
+                 "[--parallel-cutoff K] [--only WORKLOAD] [--out FILE]\n",
+                 argv[0]);
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     else if (std::strcmp(argv[i], "--max-n") == 0 && i + 1 < argc)
       max_n = static_cast<std::size_t>(std::atoll(argv[++i]));
-    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const int t = std::atoi(argv[++i]);
+      if (t < 1 || t > 1024) return usage();
+      threads = static_cast<unsigned>(t);
+    } else if (std::strcmp(argv[i], "--parallel-cutoff") == 0 && i + 1 < argc) {
+      const long long k = std::atoll(argv[++i]);
+      if (k < 1) return usage();
+      parallel_cutoff = static_cast<std::size_t>(k);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out = argv[++i];
     else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
       only = argv[++i];
-    else {
-      std::fprintf(stderr,
-                   "usage: %s [--quick] [--max-n N] [--only WORKLOAD] "
-                   "[--out FILE]\n",
-                   argv[0]);
-      return 2;
-    }
+    else
+      return usage();
   }
   const auto enabled = [&only](const char* workload) {
     return only.empty() || std::string(workload).find(only) != std::string::npos;
@@ -186,8 +210,10 @@ int main(int argc, char** argv) {
     opt.ids = IdScheme::RandomPermutation;
     opt.max_rounds = Round{1} << 62;
     opt.congest = CongestMode::Off;
+    opt.threads = threads;
+    opt.parallel_cutoff = parallel_cutoff;
     report_row(report, "ring_dfs", "ring", n, seed,
-               run_election_timed(g, make_dfs_election(), opt));
+               run_election_timed(g, make_dfs_election(), opt), threads);
   }
 
   // --- clique_sublinear ---
@@ -201,8 +227,10 @@ int main(int argc, char** argv) {
     opt.seed = seed;
     opt.knowledge = Knowledge::of_n(n);
     opt.congest = CongestMode::Off;
+    opt.threads = threads;
+    opt.parallel_cutoff = parallel_cutoff;
     report_row(report, "clique_sublinear", "clique", n, seed,
-               run_election_timed(g, make_sublinear_complete(), opt));
+               run_election_timed(g, make_sublinear_complete(), opt), threads);
   }
 
   // --- dumbbell_least_el ---
@@ -216,11 +244,56 @@ int main(int argc, char** argv) {
     opt.seed = seed;
     opt.knowledge = Knowledge::of_n(db.graph.n());
     opt.congest = CongestMode::Off;
+    opt.threads = threads;
+    opt.parallel_cutoff = parallel_cutoff;
     report_row(report, "dumbbell_least_el", "dumbbell", db.graph.n(), seed,
                run_election_timed(
                    db.graph,
                    make_least_el(LeastElConfig::variant_A(db.graph.n())),
-                   opt));
+                   opt),
+               threads);
+  }
+
+  // --- clique_flood_max: dense rounds swept across the thread ladder ---
+  if (enabled("clique_flood_max")) {
+    std::vector<unsigned> ladder = {1, 2, 4};
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    ladder.push_back(hw);
+    std::sort(ladder.begin(), ladder.end());
+    ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+    for (std::size_t n :
+         capped(quick ? std::initializer_list<std::size_t>{48}
+                      : std::initializer_list<std::size_t>{512, 1'024})) {
+      const Graph g = make_complete(n);
+      Measured base;
+      for (const unsigned t : ladder) {
+        RunOptions opt;
+        opt.seed = seed;
+        opt.congest = CongestMode::Off;
+        opt.threads = t;
+        opt.parallel_cutoff = parallel_cutoff;
+        const Measured mr = run_election_timed(g, make_flood_max(), opt);
+        if (t == ladder.front()) {
+          base = mr;
+        }
+        // Every RunResult counter must be identical across the ladder (and
+        // the election must actually succeed) — a scheduling bug that
+        // preserves message totals must still fail the sweep.
+        if (mr.run.rounds != base.run.rounds ||
+            mr.run.executed_rounds != base.run.executed_rounds ||
+            mr.run.node_steps != base.run.node_steps ||
+            mr.run.messages != base.run.messages ||
+            mr.run.bits != base.run.bits ||
+            mr.run.elected != base.run.elected || !mr.unique_leader) {
+          std::fprintf(stderr,
+                       "DETERMINISM BREAK: clique_flood_max n=%zu threads=%u "
+                       "diverges from threads=%u\n",
+                       n, t, ladder.front());
+          return 1;
+        }
+        report_row(report, "clique_flood_max", "clique", n, seed, mr, t);
+      }
+    }
   }
 
   // --- ring_quiescent ---
@@ -230,8 +303,8 @@ int main(int argc, char** argv) {
          capped(quick ? std::initializer_list<std::size_t>{1'000}
                       : std::initializer_list<std::size_t>{10'000, 100'000,
                                                            1'000'000})) {
-      const Measured mr = run_quiescent(n, spin);
-      report_row(report, "ring_quiescent", "ring", n, seed, mr);
+      const Measured mr = run_quiescent(n, spin, threads, parallel_cutoff);
+      report_row(report, "ring_quiescent", "ring", n, seed, mr, threads);
       // Per-round scheduler cost, setup-free: a run's wall time includes
       // one-time O(n) work (wake-heap seeding, the final status tally), so
       // take the difference quotient of a long and a short spin — with a
@@ -240,9 +313,10 @@ int main(int argc, char** argv) {
       const Round window = 1'000'000;
       double best_short = mr.wall_ms, best_long = 1e300;
       for (int rep = 0; rep < 3; ++rep) {
-        best_short = std::min(best_short, run_quiescent(n, spin).wall_ms);
-        best_long =
-            std::min(best_long, run_quiescent(n, spin + window).wall_ms);
+        best_short =
+            std::min(best_short, run_quiescent(n, spin, threads, parallel_cutoff).wall_ms);
+        best_long = std::min(best_long,
+                             run_quiescent(n, spin + window, threads, parallel_cutoff).wall_ms);
       }
       const double per_round_ns =
           (best_long - best_short) * 1e6 / static_cast<double>(window);
@@ -251,6 +325,7 @@ int main(int argc, char** argv) {
           .set("family", "ring")
           .set("n", static_cast<std::uint64_t>(n))
           .set("seed", seed)
+          .set("threads", static_cast<std::uint64_t>(threads))
           .set("per_round_ns", per_round_ns);
       std::printf("%-18s %-9s n=%-8zu %10.1f ns/round\n",
                   "quiescent_perround", "ring", n, per_round_ns);

@@ -18,5 +18,6 @@ inline constexpr std::uint8_t kKingdom = 6;
 inline constexpr std::uint8_t kBroadcast = 7;
 inline constexpr std::uint8_t kDfs = 8;
 inline constexpr std::uint8_t kSublinear = 9;
+inline constexpr std::uint8_t kExplicit = 10;  ///< leader-announcement overlay
 
 }  // namespace ule::channel

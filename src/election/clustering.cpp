@@ -12,36 +12,28 @@ namespace ule {
 
 namespace {
 
-struct ClusterMsg final : Message {
-  enum class Kind : std::uint8_t {
-    Join,       ///< a = node token, b = cluster token
-    ChildAck,   ///< a = node token, b = cluster token; sender joined via us
-    UpEntry,    ///< a,b = edge name, c = foreign cluster
-    UpDone,
-    DownEntry,  ///< a,b = edge name, c = foreign cluster
-    DownDone,
-  };
-  Kind kind = Kind::Join;
-  std::uint64_t a = 0, b = 0, c = 0;
-
-  std::uint32_t size_bits() const override {
-    return wire::kTypeTag + 3 * wire::kIdField;
-  }
-  std::string debug_string() const override {
-    static const char* names[] = {"join",     "child-ack", "up-entry",
-                                  "up-done",  "down-entry", "down-done"};
-    return std::string("cluster-") + names[static_cast<int>(kind)];
-  }
+// Cluster-construction wire format: flat fast-path messages on the
+// clustering channel (the phase-3 election wave pool rides kLeastEl, so the
+// channels never collide).  Every kind is billed at a tag plus three
+// id-sized fields, exactly like the legacy ClusterMsg it replaced.
+enum class CKind : std::uint16_t {
+  Join = 1,   ///< a = node token, b = cluster token
+  ChildAck,   ///< a = node token, b = cluster token; sender joined via us
+  UpEntry,    ///< a,b = edge name, c = foreign cluster
+  UpDone,
+  DownEntry,  ///< a,b = edge name, c = foreign cluster
+  DownDone,
 };
 
-std::shared_ptr<ClusterMsg> make_msg(ClusterMsg::Kind k, std::uint64_t a = 0,
-                                     std::uint64_t b = 0,
-                                     std::uint64_t c = 0) {
-  auto m = std::make_shared<ClusterMsg>();
-  m->kind = k;
-  m->a = a;
-  m->b = b;
-  m->c = c;
+FlatMsg make_msg(CKind k, std::uint64_t a = 0, std::uint64_t b = 0,
+                 std::uint64_t c = 0) {
+  FlatMsg m;
+  m.type = static_cast<std::uint16_t>(k);
+  m.channel = channel::kClustering;
+  m.bits = wire::kTypeTag + 3 * wire::kIdField;
+  m.a = a;
+  m.b = b;
+  m.c = c;
   return m;
 }
 
@@ -61,7 +53,7 @@ void ClusteringProcess::on_wake(Context& ctx, std::span<const Envelope> inbox) {
   if (candidate_) {
     cluster_ = token_;
     parent_ = kNoPort;
-    outbox_.queue_broadcast(ctx, make_msg(ClusterMsg::Kind::Join, token_, cluster_));
+    outbox_.queue_broadcast(ctx, make_msg(CKind::Join, token_, cluster_));
   }
   on_round(ctx, inbox);
 }
@@ -81,10 +73,10 @@ void ClusteringProcess::join_cluster(Context& ctx, std::uint64_t cluster,
                                      PortId parent, std::uint64_t) {
   cluster_ = cluster;
   parent_ = parent;
-  outbox_.queue(parent, make_msg(ClusterMsg::Kind::ChildAck, token_, cluster_));
+  outbox_.queue(parent, make_msg(CKind::ChildAck, token_, cluster_));
   for (PortId p = 0; p < ctx.degree(); ++p) {
     if (p != parent)
-      outbox_.queue(p, make_msg(ClusterMsg::Kind::Join, token_, cluster_));
+      outbox_.queue(p, make_msg(CKind::Join, token_, cluster_));
   }
 }
 
@@ -128,10 +120,10 @@ void ClusteringProcess::pump_uplink(Context& /*ctx*/) {
   if (!up_started_ || parent_ == kNoPort || up_done_sent_) return;
   if (up_sent_ < up_queue_.size()) {
     const Entry& e = up_queue_[up_sent_++];
-    outbox_.queue(parent_, make_msg(ClusterMsg::Kind::UpEntry, e.edge_a,
+    outbox_.queue(parent_, make_msg(CKind::UpEntry, e.edge_a,
                                     e.edge_b, e.foreign));
   } else {
-    outbox_.queue(parent_, make_msg(ClusterMsg::Kind::UpDone));
+    outbox_.queue(parent_, make_msg(CKind::UpDone));
     up_done_sent_ = true;
   }
 }
@@ -143,11 +135,11 @@ void ClusteringProcess::pump_downlink(Context& /*ctx*/) {
   if (down_forwarded_ < down_entries_.size()) {
     const Entry& e = down_entries_[down_forwarded_++];
     for (const PortId p : children_)
-      outbox_.queue(p, make_msg(ClusterMsg::Kind::DownEntry, e.edge_a,
+      outbox_.queue(p, make_msg(CKind::DownEntry, e.edge_a,
                                 e.edge_b, e.foreign));
   } else {
     for (const PortId p : children_)
-      outbox_.queue(p, make_msg(ClusterMsg::Kind::DownDone));
+      outbox_.queue(p, make_msg(CKind::DownDone));
     down_done_forwarded_ = true;
     down_complete_ = true;
   }
@@ -209,37 +201,38 @@ void ClusteringProcess::on_round(Context& ctx, std::span<const Envelope> inbox) 
   std::vector<Envelope> election_msgs;
 
   for (const auto& env : inbox) {
-    if (const auto* cm = dynamic_cast<const ClusterMsg*>(env.msg.get())) {
-      switch (cm->kind) {
-        case ClusterMsg::Kind::Join:
-          if (cluster_ == 0) join_cluster(ctx, cm->b, env.port, cm->a);
-          note_neighbor(ctx, env.port, cm->a, cm->b);
+    if (env.flat.channel == channel::kClustering) {
+      const FlatMsg& cm = env.flat;
+      switch (static_cast<CKind>(cm.type)) {
+        case CKind::Join:
+          if (cluster_ == 0) join_cluster(ctx, cm.b, env.port, cm.a);
+          note_neighbor(ctx, env.port, cm.a, cm.b);
           break;
-        case ClusterMsg::Kind::ChildAck:
-          note_neighbor(ctx, env.port, cm->a, cm->b);
+        case CKind::ChildAck:
+          note_neighbor(ctx, env.port, cm.a, cm.b);
           children_.push_back(env.port);
           break;
-        case ClusterMsg::Kind::UpEntry: {
-          auto it = merged_.find(cm->c);
+        case CKind::UpEntry: {
+          auto it = merged_.find(cm.c);
           if (it == merged_.end() ||
-              std::pair(cm->a, cm->b) <
+              std::pair(cm.a, cm.b) <
                   std::pair(it->second.edge_a, it->second.edge_b)) {
-            merged_[cm->c] = Entry{cm->a, cm->b, cm->c};
+            merged_[cm.c] = Entry{cm.a, cm.b, cm.c};
           }
           break;
         }
-        case ClusterMsg::Kind::UpDone:
+        case CKind::UpDone:
           ++children_done_;
           break;
-        case ClusterMsg::Kind::DownEntry:
-          down_entries_.push_back(Entry{cm->a, cm->b, cm->c});
+        case CKind::DownEntry:
+          down_entries_.push_back(Entry{cm.a, cm.b, cm.c});
           for (const PortId p : children_)
-            outbox_.queue(p, make_msg(ClusterMsg::Kind::DownEntry, cm->a,
-                                      cm->b, cm->c));
+            outbox_.queue(p, make_msg(CKind::DownEntry, cm.a,
+                                      cm.b, cm.c));
           break;
-        case ClusterMsg::Kind::DownDone:
+        case CKind::DownDone:
           for (const PortId p : children_)
-            outbox_.queue(p, make_msg(ClusterMsg::Kind::DownDone));
+            outbox_.queue(p, make_msg(CKind::DownDone));
           down_complete_ = true;
           break;
       }

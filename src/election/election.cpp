@@ -28,6 +28,8 @@ ElectionReport run_election(const Graph& g, const ProcessFactory& factory,
   cfg.congest = opt.congest;
   cfg.watch_edges = opt.watch_edges;
   cfg.record_edge_traffic = opt.record_edge_traffic;
+  cfg.threads = opt.threads;
+  if (opt.parallel_cutoff != 0) cfg.parallel_cutoff = opt.parallel_cutoff;
 
   SyncEngine eng(g, cfg);
 
@@ -44,6 +46,9 @@ ElectionReport run_election(const Graph& g, const ProcessFactory& factory,
   rep.run = eng.run();
   rep.verdict = judge_election(eng);
   rep.watches = eng.watch_reports();
+  rep.statuses.reserve(g.n());
+  for (NodeId s = 0; s < g.n(); ++s) rep.statuses.push_back(eng.status(s));
+  rep.sent_by_node = eng.sent_by_node();
   return rep;
 }
 

@@ -45,6 +45,13 @@ struct RunOptions {
   CongestMode congest = CongestMode::Count;
   std::vector<EdgeId> watch_edges;
   bool record_edge_traffic = false;
+  /// Worker threads for round execution (EngineConfig::threads): 1 =
+  /// sequential, 0 = hardware concurrency.  Outcomes are identical at every
+  /// setting; only wall-clock changes.
+  unsigned threads = 1;
+  /// Override the engine's sequential-fallback cutoff (0 = engine default).
+  /// Mainly for tests that force tiny rounds onto the parallel path.
+  std::size_t parallel_cutoff = 0;
 };
 
 struct ElectionReport {
@@ -52,6 +59,8 @@ struct ElectionReport {
   ElectionVerdict verdict;
   std::vector<WatchReport> watches;
   std::vector<Uid> uids;  ///< the assignment used (empty when anonymous)
+  std::vector<Status> statuses;            ///< per-node final status
+  std::vector<std::uint64_t> sent_by_node; ///< per-node send counts
 };
 
 /// Build an engine for `g`, populate processes from `factory`, run to

@@ -51,8 +51,7 @@ void ExplicitProcess::announce(Context& ctx, std::uint64_t token,
                                PortId skip) {
   announced_ = true;
   known_leader_ = token;
-  auto msg = std::make_shared<LeaderAnnounceMsg>();
-  msg->leader = token;
+  const FlatMsg msg = explicitwire::leader(token);
   for (PortId p = 0; p < ctx.degree(); ++p) {
     if (p != skip) outbox_.queue(p, msg);
   }
@@ -67,11 +66,10 @@ void ExplicitProcess::run_inner(Context& ctx, std::span<const Envelope> inbox,
   PortId first_announce_port = kNoPort;
   std::uint64_t announce_token = 0;
   for (const auto& env : inbox) {
-    if (const auto* la =
-            dynamic_cast<const LeaderAnnounceMsg*>(env.msg.get())) {
+    if (explicitwire::is_leader(env)) {
       if (first_announce_port == kNoPort) {
         first_announce_port = env.port;
-        announce_token = la->leader;
+        announce_token = env.flat.a;
       }
     } else {
       inner_inbox.push_back(env);

@@ -26,8 +26,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <string>
 
+#include "election/channels.hpp"
 #include "election/election.hpp"
 #include "net/outbox.hpp"
 #include "net/process.hpp"
@@ -35,15 +35,24 @@
 namespace ule {
 
 /// LEADER(token): the winner's identity, flooded once over every edge.
-struct LeaderAnnounceMsg final : Message {
-  std::uint64_t leader = 0;
-  std::uint32_t size_bits() const override {
-    return wire::kTypeTag + wire::kIdField;
-  }
-  std::string debug_string() const override {
-    return "leader-announce(" + std::to_string(leader) + ")";
-  }
-};
+/// Flat fast path on the wrapper's own channel, so it never collides with
+/// whatever channel(s) the wrapped inner algorithm speaks.
+namespace explicitwire {
+inline constexpr std::uint16_t kLeader = 1;
+
+inline FlatMsg leader(std::uint64_t token) {
+  FlatMsg m;
+  m.type = kLeader;
+  m.channel = channel::kExplicit;
+  m.bits = wire::kTypeTag + wire::kIdField;
+  m.a = token;
+  return m;
+}
+
+inline bool is_leader(const Envelope& env) {
+  return env.flat.type == kLeader && env.flat.channel == channel::kExplicit;
+}
+}  // namespace explicitwire
 
 class ExplicitProcess final : public Process {
  public:

@@ -1,13 +1,8 @@
 #include "election/size_estimate.hpp"
 
 #include <memory>
-#include <string>
 
 namespace ule {
-
-std::string SizeDoneMsg::debug_string() const {
-  return "size-done(" + std::to_string(x) + ")";
-}
 
 namespace {
 std::uint64_t saturating_pow4(std::uint64_t v) {
@@ -53,8 +48,7 @@ void SizeEstimateElectProcess::begin_phase_b(Context& ctx,
   // Forward DONE down the estimation wave tree (children lists are final
   // by the time the origin completes — echoes precede completion).  Queued:
   // the election flood below starts on the same ports in the same round.
-  auto done = std::make_shared<SizeDoneMsg>();
-  done->x = x_bar;
+  const FlatMsg done = sizewire::done(x_bar);
   for (const PortId p : estimate_.adopted_children(estimate_.best()))
     outbox_.queue(p, done);
 
@@ -79,8 +73,8 @@ void SizeEstimateElectProcess::on_round(Context& ctx,
                                         std::span<const Envelope> inbox) {
   // DONE from our estimation-tree parent?
   for (const auto& env : inbox) {
-    if (const auto* done = dynamic_cast<const SizeDoneMsg*>(env.msg.get())) {
-      if (!phase_b_) begin_phase_b(ctx, done->x);
+    if (sizewire::is_done(env)) {
+      if (!phase_b_) begin_phase_b(ctx, env.flat.a);
     }
   }
 

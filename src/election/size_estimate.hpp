@@ -24,13 +24,25 @@
 namespace ule {
 
 /// DONE(x): the completed maximum X̄ flowing down the estimation wave tree.
-struct SizeDoneMsg final : Message {
-  std::uint64_t x = 0;
-  std::uint32_t size_bits() const override {
-    return wire::kTypeTag + wire::kIdField;
-  }
-  std::string debug_string() const override;
-};
+/// Rides the size-estimate channel on the flat fast path; the tag is
+/// distinct from the wave pool's forward/echo tags so both coexist on one
+/// channel (WavePool ignores foreign tags).
+namespace sizewire {
+inline constexpr std::uint16_t kDone = 3;
+
+inline FlatMsg done(std::uint64_t x) {
+  FlatMsg m;
+  m.type = kDone;
+  m.channel = channel::kSizeEstimate;
+  m.bits = wire::kTypeTag + wire::kIdField;
+  m.a = x;
+  return m;
+}
+
+inline bool is_done(const Envelope& env) {
+  return env.flat.type == kDone && env.flat.channel == channel::kSizeEstimate;
+}
+}  // namespace sizewire
 
 class SizeEstimateElectProcess final : public Process {
  public:

@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 namespace ule {
 
@@ -11,9 +12,13 @@ namespace ule {
 // Context implementation
 // ---------------------------------------------------------------------------
 
+// One Ctx per executing worker: sends and status-change flags go to the
+// worker's private SendLane; everything else a step touches (node state, RNG
+// stream, per-node send counts, CONGEST port stamps) is owned by the node
+// being stepped, which belongs to exactly one shard.
 class SyncEngine::Ctx final : public Context {
  public:
-  Ctx(SyncEngine& eng) : eng_(eng) {}
+  Ctx(SyncEngine& eng, SendLane* lane) : eng_(eng), lane_(lane) {}
 
   void bind(NodeId slot) { slot_ = slot; }
 
@@ -30,17 +35,17 @@ class SyncEngine::Ctx final : public Context {
   const Knowledge& knowledge() const override { return eng_.knowledge_; }
 
   void send(PortId port, MessagePtr msg) override {
-    eng_.do_send(slot_, port, std::move(msg));
+    eng_.do_send(*lane_, slot_, port, std::move(msg));
   }
   void send(PortId port, const FlatMsg& msg) override {
-    eng_.do_send(slot_, port, msg);
+    eng_.do_send(*lane_, slot_, port, msg);
   }
 
   void set_status(Status s) override {
     auto& st = eng_.nodes_[slot_].status;
     if (st != s) {
       st = s;
-      eng_.result_.last_status_change = eng_.round_;
+      lane_->status_changed = true;
       if (eng_.tracing_) {
         TraceEvent ev;
         ev.kind = TraceEvent::Kind::StatusChange;
@@ -67,6 +72,7 @@ class SyncEngine::Ctx final : public Context {
 
  private:
   SyncEngine& eng_;
+  SendLane* lane_;
   NodeId slot_ = kNoNode;
 };
 
@@ -106,6 +112,15 @@ SyncEngine::SyncEngine(const Graph& g, EngineConfig cfg)
   tracing_ = cfg_.trace_limit > 0;
   traffic_on_ = cfg_.record_edge_traffic;
   watching_ = !cfg_.watch_edges.empty();
+
+  threads_ = cfg_.threads != 0
+                 ? cfg_.threads
+                 : std::max(1u, std::thread::hardware_concurrency());
+  // Tracing, edge traffic and edge watches record *global send order* (or
+  // race on per-edge counters shared by both endpoints); runs using them
+  // stay sequential regardless of the thread setting.
+  parallel_ok_ = threads_ > 1 && !tracing_ && !traffic_on_ && !watching_;
+  lanes_.resize(parallel_ok_ ? threads_ : 1);
 }
 
 void SyncEngine::set_uids(std::vector<Uid> uids) {
@@ -144,7 +159,8 @@ std::uint32_t SyncEngine::congest_budget() const {
   return wire::kTypeTag + 8 * wire::kIdField;
 }
 
-const Graph::HalfEdge& SyncEngine::account_send(NodeId from, PortId port,
+const Graph::HalfEdge& SyncEngine::account_send(SendLane& lane, NodeId from,
+                                                PortId port,
                                                 std::uint32_t bits,
                                                 const FlatMsg* flat,
                                                 const Message* legacy) {
@@ -165,7 +181,7 @@ const Graph::HalfEdge& SyncEngine::account_send(NodeId from, PortId port,
                        " bits exceeds budget " +
                        std::to_string(congest_budget()) + ")"));
       }
-      ++result_.congest_violations;
+      ++lane.congest_violations;
     }
     last_send_round_[dp] = round_;
   }
@@ -183,8 +199,8 @@ const Graph::HalfEdge& SyncEngine::account_send(NodeId from, PortId port,
     record(std::move(ev));
   }
 
-  ++result_.messages;
-  result_.bits += bits;
+  ++lane.messages;
+  lane.bits += bits;
   ++sent_by_node_[from];
   if (traffic_on_) [[unlikely]] ++edge_traffic_[he.edge];
   if (watching_) [[unlikely]] {
@@ -192,39 +208,51 @@ const Graph::HalfEdge& SyncEngine::account_send(NodeId from, PortId port,
       WatchReport& w = watch_reports_[wi - 1];
       if (w.first_cross == kRoundForever) {
         w.first_cross = round_;
-        w.messages_before_cross = result_.messages - 1;
+        // Watching forces sequential execution, so the global send count so
+        // far is the merged total plus this round's (single) lane.
+        w.messages_before_cross = result_.messages + lane.messages - 1;
       }
     }
   }
   return he;
 }
 
-void SyncEngine::do_send(NodeId from, PortId port, MessagePtr msg) {
+void SyncEngine::do_send(SendLane& lane, NodeId from, PortId port,
+                         MessagePtr msg) {
   if (!msg) throw std::invalid_argument("null message");
   const Graph::HalfEdge& he =
-      account_send(from, port, msg->size_bits(), nullptr, msg.get());
-  outgoing_.push_back(
-      InFlight{he.to, he.rev, he.edge, FlatMsg{}, std::move(msg)});
+      account_send(lane, from, port, msg->size_bits(), nullptr, msg.get());
+  lane.out.push_back(
+      OutboundEnvelope{he.to, he.rev, he.edge, FlatMsg{}, std::move(msg)});
 }
 
-void SyncEngine::do_send(NodeId from, PortId port, const FlatMsg& msg) {
+void SyncEngine::do_send(SendLane& lane, NodeId from, PortId port,
+                         const FlatMsg& msg) {
   if (msg.type == 0)
     throw std::invalid_argument("flat message without a type tag");
-  const Graph::HalfEdge& he = account_send(from, port, msg.bits, &msg, nullptr);
-  outgoing_.push_back(InFlight{he.to, he.rev, he.edge, msg, nullptr});
+  const Graph::HalfEdge& he =
+      account_send(lane, from, port, msg.bits, &msg, nullptr);
+  lane.out.push_back(OutboundEnvelope{he.to, he.rev, he.edge, msg, nullptr});
 }
 
 void SyncEngine::deliver_round() {
   // Reset the previous round's buckets (only the nodes that had one).
   for (const NodeId s : dirty_) inbox_len_[s] = 0;
   dirty_.clear();
-  if (inflight_.empty()) return;
+  // Quiescent fast path: a sequential round's sends all live in lane 0.
+  if (lanes_.size() == 1 && lanes_[0].out.empty()) return;
+  std::size_t total = 0;
+  for (const SendLane& lane : lanes_) total += lane.out.size();
+  if (total == 0) return;
 
-  // Stable counting-bucket by destination: count, prefix, scatter.  The scan
-  // order of inflight_ is the send order, so each node's inbox order is
-  // identical to the old push_back delivery.
-  for (const InFlight& f : inflight_) {
-    if (inbox_len_[f.to]++ == 0) dirty_.push_back(f.to);
+  // Stable counting-bucket by destination: count, prefix, scatter.  Lanes
+  // are scanned in lane order, which is the send order (shards are
+  // contiguous slot ranges executed in ascending lane order), so each
+  // node's inbox order is identical to a sequential execution.
+  for (const SendLane& lane : lanes_) {
+    for (const OutboundEnvelope& f : lane.out) {
+      if (inbox_len_[f.to]++ == 0) dirty_.push_back(f.to);
+    }
   }
   std::uint32_t cursor = 0;
   for (const NodeId s : dirty_) {
@@ -232,14 +260,48 @@ void SyncEngine::deliver_round() {
     cursor += inbox_len_[s];
     inbox_len_[s] = 0;  // reused as the fill cursor during the scatter
   }
-  delivery_.resize(inflight_.size());
-  for (InFlight& f : inflight_) {
-    Envelope& env = delivery_[inbox_off_[f.to] + inbox_len_[f.to]++];
-    env.port = f.at_port;
-    env.flat = f.flat;
-    env.msg = std::move(f.msg);
+  delivery_.resize(total);
+
+  if (parallel_ok_ && total >= 16 * cfg_.parallel_cutoff) {
+    // Parallel scatter: a sequential addressing pass fixes every envelope's
+    // delivery slot (send order per destination), then workers move disjoint
+    // contiguous chunks of the envelope sequence — fully deterministic.
+    scatter_pos_.resize(total);
+    std::size_t i = 0;
+    for (const SendLane& lane : lanes_) {
+      for (const OutboundEnvelope& f : lane.out)
+        scatter_pos_[i++] = inbox_off_[f.to] + inbox_len_[f.to]++;
+    }
+    ensure_pool().run([this, total](unsigned w) {
+      auto [lo, hi] = shard_range(w, total);
+      // Walk the lanes to the w-th chunk of the global envelope sequence.
+      std::size_t base = 0;
+      for (SendLane& lane : lanes_) {
+        const std::size_t sz = lane.out.size();
+        while (lo < hi && lo < base + sz) {
+          OutboundEnvelope& f = lane.out[lo - base];
+          Envelope& env = delivery_[scatter_pos_[lo]];
+          env.port = f.at_port;
+          env.flat = f.flat;
+          env.msg = std::move(f.msg);
+          ++lo;
+        }
+        base += sz;
+        if (lo >= hi) break;
+      }
+    });
+    for (SendLane& lane : lanes_) lane.out.clear();
+  } else {
+    for (SendLane& lane : lanes_) {
+      for (OutboundEnvelope& f : lane.out) {
+        Envelope& env = delivery_[inbox_off_[f.to] + inbox_len_[f.to]++];
+        env.port = f.at_port;
+        env.flat = f.flat;
+        env.msg = std::move(f.msg);
+      }
+      lane.out.clear();
+    }
   }
-  inflight_.clear();
 }
 
 void SyncEngine::pop_due_wakes(std::vector<NodeId>& runnable) {
@@ -254,6 +316,73 @@ void SyncEngine::pop_due_wakes(std::vector<NodeId>& runnable) {
   }
 }
 
+inline void SyncEngine::step_node(Ctx& ctx, NodeId s) {
+  NodeState& n = nodes_[s];
+  ctx.bind(s);
+  // inbox_off_ is stale for nodes that received nothing this round; only
+  // form the pointer when there is an inbox (the buffer may have shrunk).
+  const std::span<const Envelope> in = inbox_of(s);
+  if (n.state == RunState::Unwoken) {
+    n.state = RunState::Running;
+    if (tracing_) {
+      TraceEvent ev;
+      ev.kind = TraceEvent::Kind::Wake;
+      ev.round = round_;
+      ev.node = s;
+      record(std::move(ev));
+    }
+    procs_[s]->on_wake(ctx, in);
+  } else {
+    n.state = RunState::Running;  // woken sleepers resume running
+    procs_[s]->on_round(ctx, in);
+  }
+}
+
+void SyncEngine::execute_round_parallel(const std::vector<NodeId>& runnable) {
+  const std::size_t total = runnable.size();
+  ensure_pool().run([this, &runnable, total](unsigned w) {
+    SendLane& lane = lanes_[w];
+    Ctx ctx(*this, &lane);
+    const auto [lo, hi] = shard_range(w, total);
+    try {
+      for (std::size_t i = lo; i < hi; ++i) step_node(ctx, runnable[i]);
+    } catch (...) {
+      lane.error = std::current_exception();
+    }
+  });
+
+  std::exception_ptr first_error;
+  for (SendLane& lane : lanes_) {
+    // The first error in lane order is the first in slot order: shards are
+    // contiguous ascending ranges and each worker stops at its first throw.
+    const std::exception_ptr err = fold_lane(lane);
+    if (err && !first_error) first_error = err;
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+inline std::exception_ptr SyncEngine::fold_lane(SendLane& lane) {
+  // Guarded: on a quiescent round every counter is zero and the fold is a
+  // single predictable branch.  Violations and bits imply messages != 0, so
+  // the guard never skips a non-zero block.
+  if (lane.messages != 0 || lane.status_changed) {
+    result_.messages += lane.messages;
+    result_.bits += lane.bits;
+    result_.congest_violations += lane.congest_violations;
+    if (lane.status_changed) result_.last_status_change = round_;
+    lane.messages = 0;
+    lane.bits = 0;
+    lane.congest_violations = 0;
+    lane.status_changed = false;
+  }
+  if (lane.error) [[unlikely]] {
+    const std::exception_ptr e = lane.error;
+    lane.error = nullptr;
+    return e;
+  }
+  return nullptr;
+}
+
 RunResult SyncEngine::run() {
   if (ran_) throw std::logic_error("SyncEngine::run() called twice");
   ran_ = true;
@@ -261,12 +390,11 @@ RunResult SyncEngine::run() {
     if (!procs_[s]) throw std::logic_error("node without a process");
   }
 
-  Ctx ctx(*this);
+  Ctx ctx(*this, &lanes_[0]);
   std::vector<NodeId> runnable;
   runnable.reserve(64);
   running_.reserve(64);
-  outgoing_.reserve(64);
-  inflight_.reserve(64);
+  lanes_[0].out.reserve(64);
 
   // Seed the wake heap with every scheduled wakeup.  Nodes scheduled "never"
   // (kRoundForever) are reachable only through message arrival.
@@ -321,30 +449,23 @@ RunResult SyncEngine::run() {
 
     ++result_.executed_rounds;
     result_.node_steps += runnable.size();
-    for (const NodeId s : runnable) {
-      NodeState& n = nodes_[s];
-      ctx.bind(s);
-      // inbox_off_ is stale for nodes that received nothing this round; only
-      // form the pointer when there is an inbox (the buffer may have shrunk).
-      const std::span<const Envelope> in =
-          inbox_len_[s] > 0
-              ? std::span<const Envelope>{delivery_.data() + inbox_off_[s],
-                                          inbox_len_[s]}
-              : std::span<const Envelope>{};
-      if (n.state == RunState::Unwoken) {
-        n.state = RunState::Running;
-        if (tracing_) {
-          TraceEvent ev;
-          ev.kind = TraceEvent::Kind::Wake;
-          ev.round = round_;
-          ev.node = s;
-          record(std::move(ev));
-        }
-        procs_[s]->on_wake(ctx, in);
-      } else {
-        n.state = RunState::Running;  // woken sleepers resume running
-        procs_[s]->on_round(ctx, in);
+    if (!parallel_ok_ || runnable.size() < cfg_.parallel_cutoff) [[likely]] {
+      // Sequential fast path: execute in slot order into lane 0 and fold its
+      // counter block inline (the quiescent per-round cost lives here).
+      SendLane& lane = lanes_[0];
+      try {
+        for (const NodeId s : runnable) step_node(ctx, s);
+      } catch (...) {
+        // Fold first so counters reflect every send before the throw (seed
+        // semantics), then propagate.
+        lane.error = std::current_exception();
       }
+      const std::exception_ptr err = fold_lane(lane);
+      if (err) [[unlikely]] std::rethrow_exception(err);
+    } else {
+      // Dense round: shard onto the worker pool, then merge the lanes in
+      // slot order (rethrows the first worker error).
+      execute_round_parallel(runnable);
     }
 
     // Post-round transitions: rebuild the running set; every node that went
@@ -363,7 +484,6 @@ RunResult SyncEngine::run() {
     if (cfg_.record_message_timeline)
       message_timeline_.emplace_back(round_, result_.messages);
 
-    inflight_.swap(outgoing_);  // keeps both buffers' capacity across rounds
     ++round_;
   }
 

@@ -27,6 +27,31 @@
 // representation (net/message.hpp) — the common case moves zero heap blocks
 // per round.
 //
+// PARALLEL ROUND PIPELINE (EngineConfig::threads > 1): within a round the
+// synchronous model has no intra-node dependencies — every node reads last
+// round's inbox and writes this round's outbox — so dense rounds execute on
+// a fixed worker pool in three phases:
+//   shard     the sorted runnable set is split into `threads` contiguous
+//             ascending-slot ranges (shard w = slots [w*k/T, (w+1)*k/T));
+//   execute   each worker steps its shard in slot order, appending sends to
+//             a private SendLane (outbox arena + counter block, net/
+//             outbox.hpp) — no shared mutable state is touched: node state,
+//             RNG stream, per-node send counts and per-directed-port CONGEST
+//             stamps are all owned by the stepping node's worker;
+//   merge     after the barrier, lanes are drained in shard order.  Because
+//             shards are contiguous ranges of the slot-sorted runnable set,
+//             the lane-order concatenation of envelopes IS the sequential
+//             send order, and summing the counter blocks in lane order
+//             reproduces every RunResult counter exactly.  Hence runs are
+//             bit-for-bit identical at every thread count (pinned by the
+//             parallel-determinism matrix test).
+// The CSR bucket pass is parallelized the same way: a sequential addressing
+// pass assigns every envelope its exact delivery slot, then workers move
+// disjoint contiguous chunks.  Rounds below EngineConfig::parallel_cutoff
+// runnable nodes stay on the sequential fast path (pool dispatch costs a few
+// microseconds; a quiescent ring round costs ~16 ns), as do runs with
+// order-dependent instrumentation (tracing, edge traffic, edge watches).
+//
 // Instrumentation: total messages and bits, per-node send counts, optional
 // per-edge traffic, and *edge watches* — per-edge records of the first round
 // a message crossed, used to operationalize the bridge-crossing (BC) problem
@@ -44,9 +69,11 @@
 #include "net/graph.hpp"
 #include "net/knowledge.hpp"
 #include "net/message.hpp"
+#include "net/outbox.hpp"
 #include "net/process.hpp"
 #include "net/rng.hpp"
 #include "net/types.hpp"
+#include "net/worker_pool.hpp"
 
 namespace ule {
 
@@ -75,6 +102,22 @@ struct EngineConfig {
   /// informed").
   bool record_message_timeline = false;
   std::vector<EdgeId> watch_edges;
+  /// Worker threads for round execution and CSR bucketing.  1 = fully
+  /// sequential (the exact legacy code path); 0 = hardware concurrency.
+  /// Completed runs are bit-for-bit identical at every thread count.  On
+  /// the exception path (a step or CONGEST-Enforce throw), every shard
+  /// first finishes its own range (stopping at its own first error) before
+  /// the first error in slot order is rethrown — so post-throw engine state
+  /// is deterministic for a fixed thread count but, unlike a completed run,
+  /// may differ between thread counts (a sequential run stops at the first
+  /// error; aborting peer shards mid-flight would instead make the state
+  /// timing-dependent).
+  unsigned threads = 1;
+  /// Minimum sorted-runnable size before a round is dispatched to the worker
+  /// pool (pool dispatch costs microseconds; tiny rounds — e.g. ring DFS at
+  /// ~1.6 runnable nodes/round — must stay on the ~16 ns sequential path).
+  /// The CSR scatter pass parallelizes at 16x this many delivered envelopes.
+  std::size_t parallel_cutoff = 192;
 };
 
 struct RunResult {
@@ -170,14 +213,6 @@ class SyncEngine {
     Rng rng;
   };
 
-  struct InFlight {
-    NodeId to;
-    PortId at_port;
-    EdgeId edge;
-    FlatMsg flat;
-    MessagePtr msg;
-  };
-
   /// Min-heap entry: (deadline, node).  Entries are never removed on state
   /// change; a popped entry is acted on only if the node is still waiting
   /// for exactly this deadline (lazy deletion).
@@ -187,18 +222,55 @@ class SyncEngine {
 
   class Ctx;  // Context implementation, defined in engine.cpp
 
-  void do_send(NodeId from, PortId port, MessagePtr msg);
-  void do_send(NodeId from, PortId port, const FlatMsg& msg);
+  void do_send(SendLane& lane, NodeId from, PortId port, MessagePtr msg);
+  void do_send(SendLane& lane, NodeId from, PortId port, const FlatMsg& msg);
   /// Shared send bookkeeping (congest, counters, watches, trace); returns
   /// the traversed half-edge.  `legacy` is null on the flat path.
-  const Graph::HalfEdge& account_send(NodeId from, PortId port,
+  const Graph::HalfEdge& account_send(SendLane& lane, NodeId from, PortId port,
                                       std::uint32_t bits, const FlatMsg* flat,
                                       const Message* legacy);
   std::uint32_t congest_budget() const;
 
-  /// Bucket inflight_ by destination into the CSR delivery buffer; fills
-  /// dirty_ (receivers this round, in first-delivery order).  Clears the
-  /// previous round's buckets first.
+  /// Execute one node's step (wake or round) through `ctx`.  Forced inline:
+  /// it is the body of both execution loops, and letting it fall out of
+  /// line costs ~5 ns/round on the quiescent scheduler path.
+  [[gnu::always_inline]] inline void step_node(Ctx& ctx, NodeId s);
+  /// Fold one lane's counter block into result_ and zero it.  Returns the
+  /// lane's captured error (if any) for the caller to rethrow.  Forced
+  /// inline for the same reason as step_node: it runs once per sequential
+  /// executed round.
+  [[gnu::always_inline]] inline std::exception_ptr fold_lane(SendLane& lane);
+  /// Worker w's contiguous chunk [lo, hi) of `total` work items.  This
+  /// formula IS the determinism argument: chunks are contiguous ascending
+  /// ranges, so lane order = send order — both the execute and the scatter
+  /// phase must shard through it.
+  std::pair<std::size_t, std::size_t> shard_range(unsigned w,
+                                                  std::size_t total) const {
+    return {total * w / threads_, total * (w + 1) / threads_};
+  }
+  /// The worker pool, spawned on first use (threads_ > 1 only).
+  WorkerPool& ensure_pool() {
+    if (!pool_) pool_ = std::make_unique<WorkerPool>(threads_);
+    return *pool_;
+  }
+  /// Execute the sorted runnable set on the worker pool in contiguous
+  /// shards (one lane per worker), then fold every lane's counter block
+  /// into result_ in lane order (= slot order) and rethrow the first
+  /// captured worker exception, if any.  The sequential fast path is
+  /// inlined in run().
+  void execute_round_parallel(const std::vector<NodeId>& runnable);
+  /// The delivered inbox of node `s` this round (empty span if none).
+  std::span<const Envelope> inbox_of(NodeId s) const {
+    return inbox_len_[s] > 0
+               ? std::span<const Envelope>{delivery_.data() + inbox_off_[s],
+                                           inbox_len_[s]}
+               : std::span<const Envelope>{};
+  }
+
+  /// Bucket last round's lane outboxes (in lane order = send order) by
+  /// destination into the CSR delivery buffer; fills dirty_ (receivers this
+  /// round, in first-delivery order).  Clears the previous round's buckets
+  /// first.  The scatter runs on the worker pool above the cutoff.
   void deliver_round();
   /// Pop every wake-heap entry due at `round_` into the runnable buffer.
   void pop_due_wakes(std::vector<NodeId>& runnable);
@@ -217,8 +289,15 @@ class SyncEngine {
   std::vector<std::unique_ptr<Process>> procs_;
 
   Round round_ = 0;
-  std::vector<InFlight> inflight_;   // arriving this round
-  std::vector<InFlight> outgoing_;   // sent this round, arriving next
+
+  // Per-worker send lanes.  lanes_[0] doubles as the sequential outbox; a
+  // round's sends live in the lanes until the next round's deliver_round()
+  // buckets them (lane order = shard order = send order).
+  std::vector<SendLane> lanes_;
+  unsigned threads_ = 1;        // resolved worker count (cfg.threads, 0=hw)
+  bool parallel_ok_ = false;    // threads_>1 and no order-dependent instr.
+  std::unique_ptr<WorkerPool> pool_;            // spawned on first dense round
+  std::vector<std::uint32_t> scatter_pos_;      // per-envelope delivery slot
 
   // CSR delivery buffer: envelopes of the current round, bucketed by
   // destination.  Node s's inbox is delivery_[inbox_off_[s] ..

@@ -16,9 +16,9 @@
 // 2. The LEGACY POINTER PATH (`Message`/`MessagePtr`): algorithms define
 //    concrete types derived from Message; broadcast-style sends share one
 //    immutable payload through shared_ptr.  Kept as the extensibility
-//    adapter for cold protocols (e.g. size_estimate's phase-B done-flood,
-//    broadcast experiments) and for tests; an Envelope carries either
-//    representation and both are billed identically.
+//    adapter for cold protocols (e.g. the Baswana–Sen spanner phases,
+//    broadcast and truncation experiments) and for tests; an Envelope
+//    carries either representation and both are billed identically.
 //
 // Each representation reports its encoded size in bits so the engine can
 // (a) total up bit complexity and (b) enforce the CONGEST bound of O(log n)

@@ -1,5 +1,28 @@
+// Outbound message buffering: the engine's per-worker send lanes and the
+// per-process CONGEST pacing queue.
+//
+// --- SendLane -------------------------------------------------------------
+//
+// A SendLane is one worker's private outbox arena plus its counter block.
+// During a parallel round every worker appends the envelopes its shard of
+// nodes sends to its own lane (no shared append, no locks) and accumulates
+// message/bit/violation counts locally; after the round barrier the engine
+// merges lanes IN SLOT ORDER — shard w covers a contiguous ascending range
+// of the sorted runnable set, so concatenating lane 0, lane 1, ... w
+// reproduces the exact envelope sequence a sequential execution would have
+// produced, and summing the counter blocks reproduces the exact RunResult
+// counters.  The sequential path is the one-lane special case.
+//
+// --- PortOutbox -----------------------------------------------------------
+//
 // CONGEST pacing: a per-port send queue draining one message per port per
-// round.
+// round.  Storage is ONE arena per outbox (a pooled vector with per-port
+// intrusive FIFO lists), not a container per port: a deque-per-port design
+// eagerly allocates a ~512-byte chunk for every port ever touched, which on
+// a K_n broadcast protocol means Θ(n²) allocator traffic per run — measured
+// as multi-second kernel time (page-fault churn) on flood_max at n = 1024.
+// The arena allocates O(log backlog) times total and frees nothing until
+// the process dies.
 //
 // The model allows at most one message per edge-direction per round.  An
 // algorithm frequently *generates* more than that in a single round — e.g.
@@ -30,8 +53,10 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <exception>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "net/message.hpp"
@@ -39,21 +64,39 @@
 
 namespace ule {
 
+/// An envelope on its way to next round's inbox: destination slot, the
+/// arrival port there, the traversed edge, and the payload in either wire
+/// representation (exactly one of `flat` / `msg` is populated).
+struct OutboundEnvelope {
+  NodeId to = kNoNode;
+  PortId at_port = kNoPort;
+  EdgeId edge = kNoEdge;
+  FlatMsg flat;
+  MessagePtr msg;
+};
+
+/// One worker's private outbox arena and counter block (see file comment).
+/// Cache-line aligned so two workers' counter increments never share a line.
+struct alignas(64) SendLane {
+  std::vector<OutboundEnvelope> out;  ///< envelopes sent by this shard
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t congest_violations = 0;
+  bool status_changed = false;  ///< some node's status changed this round
+  std::exception_ptr error;     ///< first exception thrown in this shard
+};
+
 class PortOutbox {
  public:
   /// Queue `msg` for port `port`; it is sent by the first flush() that finds
   /// no earlier message queued ahead of it on the same port.
   void queue(PortId port, MessagePtr msg) {
-    ensure(port);
-    queues_[port].push_back(Queued{FlatMsg{}, std::move(msg)});
-    ++queued_;
+    push(port, Queued{FlatMsg{}, std::move(msg), kNil});
   }
   void queue(PortId port, const FlatMsg& msg) {
     if (msg.type == 0)  // fail here, not at a far-away flush()
       throw std::invalid_argument("flat message without a type tag");
-    ensure(port);
-    queues_[port].push_back(Queued{msg, nullptr});
-    ++queued_;
+    push(port, Queued{msg, nullptr, kNil});
   }
 
   /// Queue the same payload on every port of `ctx` (paced broadcast).
@@ -68,18 +111,21 @@ class PortOutbox {
   /// port, the CONGEST allowance).  Returns true iff messages remain queued,
   /// in which case the caller must stay runnable for the next round.
   bool flush(Context& ctx) {
-    for (PortId p = 0; p < queues_.size(); ++p) {
-      auto& q = queues_[p];
-      if (!q.empty()) {
-        Queued& head = q.front();
-        if (head.flat.type != 0) {
-          ctx.send(p, head.flat);
-        } else {
-          ctx.send(p, std::move(head.msg));
-        }
-        q.pop_front();
-        --queued_;
+    for (PortId p = 0; p < heads_.size(); ++p) {
+      const std::uint32_t slot = heads_[p].head;
+      if (slot == kNil) continue;
+      Queued& head = pool_[slot];
+      if (head.flat.type != 0) {
+        ctx.send(p, head.flat);
+      } else {
+        ctx.send(p, std::move(head.msg));
       }
+      heads_[p].head = head.next;
+      if (head.next == kNil) heads_[p].tail = kNil;
+      head.msg = nullptr;  // release the payload while it sits on free list
+      head.next = free_;
+      free_ = slot;
+      --queued_;
     }
     return queued_ > 0;
   }
@@ -88,16 +134,43 @@ class PortOutbox {
   std::size_t backlog() const { return queued_; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
   struct Queued {
-    FlatMsg flat;    ///< valid iff flat.type != 0
-    MessagePtr msg;  ///< legacy path otherwise
+    FlatMsg flat;        ///< valid iff flat.type != 0
+    MessagePtr msg;      ///< legacy path otherwise
+    std::uint32_t next;  ///< next arena slot on the same port (or free list)
   };
 
-  void ensure(PortId port) {
-    if (queues_.size() <= port) queues_.resize(std::size_t{port} + 1);
+  struct PortList {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  void push(PortId port, Queued&& q) {
+    if (heads_.size() <= port) heads_.resize(std::size_t{port} + 1);
+    std::uint32_t slot;
+    if (free_ != kNil) {
+      slot = free_;
+      free_ = pool_[slot].next;
+      pool_[slot] = std::move(q);
+    } else {
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(std::move(q));
+    }
+    PortList& pl = heads_[port];
+    if (pl.tail == kNil) {
+      pl.head = slot;
+    } else {
+      pool_[pl.tail].next = slot;
+    }
+    pl.tail = slot;
+    ++queued_;
   }
 
-  std::vector<std::deque<Queued>> queues_;
+  std::vector<Queued> pool_;      ///< arena: grows to the peak backlog, only
+  std::vector<PortList> heads_;   ///< per-port FIFO into the arena
+  std::uint32_t free_ = kNil;     ///< recycled arena slots
   std::size_t queued_ = 0;
 };
 

@@ -14,6 +14,19 @@
 // halt() (terminal).  Rounds with no runnable process and no in-flight
 // messages are skipped wholesale by the engine, which is what makes the 2^ID
 // step delays of Theorem 4.1 simulable.
+//
+// THREAD-SAFETY CONTRACT (parallel rounds, EngineConfig::threads > 1): the
+// engine may step different nodes of one round on different worker threads.
+// A step may freely touch anything owned by its own node — the Process
+// object itself, ctx.rng() (a per-node stream keyed by (seed, slot), see
+// net/rng.hpp), status, scheduling verbs, and sends (routed to a per-worker
+// outbox lane) — but must NOT read or write state shared with other
+// Processes.  Everything reachable through Context besides those is
+// read-only shared data (graph topology, uids, Knowledge).  Holding copies
+// of immutable payloads via MessagePtr is fine (shared_ptr refcounts are
+// atomic).  Every Process in this library is self-contained per node;
+// factories must not hand out objects with shared mutable state if runs may
+// use threads > 1.
 
 #pragma once
 

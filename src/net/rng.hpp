@@ -4,6 +4,14 @@
 // generators are derived from the run seed and the node slot via splitmix64 so
 // that runs are reproducible and nodes are pairwise independent for all
 // practical purposes.
+//
+// Parallel-execution note: because every stream is keyed by (seed, slot) and
+// owned exclusively by its node, a node's draw sequence depends only on how
+// many times *that node* has drawn — never on the interleaving of other
+// nodes' steps.  This is what lets the engine execute a round's nodes on
+// worker threads with bit-for-bit identical outcomes: there is no shared RNG
+// state to contend for (and none may ever be introduced; a global stream
+// would both race and break determinism).
 
 #pragma once
 

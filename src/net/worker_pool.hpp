@@ -1,0 +1,101 @@
+// A fixed-size pool of worker threads for deterministic round execution.
+//
+// The engine's parallel path needs exactly one primitive: "run task(w) for
+// every worker index w in [0, size), and return when all of them finished".
+// The calling thread participates as worker 0, so a pool of size T spawns
+// T-1 OS threads; dispatch is a generation-counter barrier (one mutex, two
+// condition variables).  Dispatch latency is a few microseconds, which is
+// why the engine only routes rounds above a work cutoff through the pool.
+//
+// Determinism is the caller's job: the pool guarantees only that every
+// worker index runs the task exactly once per run() and that run() is a
+// full barrier.  Tasks must not throw (the engine captures exceptions into
+// its per-worker lanes instead).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ule {
+
+class WorkerPool {
+ public:
+  /// A pool of `workers` total workers (the caller counts as worker 0).
+  explicit WorkerPool(unsigned workers) : total_(workers < 1 ? 1 : workers) {
+    threads_.reserve(total_ - 1);
+    for (unsigned w = 1; w < total_; ++w)
+      threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  unsigned size() const { return total_; }
+
+  /// Execute task(w) on every worker (worker 0 = the calling thread) and
+  /// block until all are done.  The task must not throw.
+  void run(const std::function<void(unsigned)>& task) {
+    if (total_ == 1) {
+      task(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      task_ = &task;
+      pending_ = total_ - 1;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    task(0);
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+
+ private:
+  void worker_loop(unsigned w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(unsigned)>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        task = task_;
+      }
+      (*task)(w);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  const unsigned total_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* task_ = nullptr;  // guarded by mu_
+  unsigned pending_ = 0;                                 // guarded by mu_
+  std::uint64_t generation_ = 0;                         // guarded by mu_
+  bool stop_ = false;                                    // guarded by mu_
+};
+
+}  // namespace ule
