@@ -2,6 +2,13 @@
 // reference graph (plus the lower-bound constructions for the bound rows).
 // Columns mirror the paper: Time, Messages, Knowledge, Success probability —
 // with the measured values next to the claimed bounds.
+//
+// Upper-bound rows pull their factories from the scenario registry
+// (scenario/registry.hpp) — the same entries the conformance matrix and the
+// fuzzer exercise — so this bench can never drift from the tested configs.
+// The lower-bound rows keep their dedicated harnesses (bridge crossing,
+// truncation), and the intro's 1/n strawman stays inline: it is deliberately
+// NOT a registered protocol (it fails the safety contract by design).
 
 #include <cmath>
 #include <cstdio>
@@ -9,18 +16,12 @@
 #include "bench_util.hpp"
 #include "bounds/bridge_crossing.hpp"
 #include "bounds/truncation.hpp"
-#include "election/clustering.hpp"
-#include "election/dfs_election.hpp"
-#include "election/flood_max.hpp"
-#include "election/kingdom.hpp"
 #include "election/least_el.hpp"
-#include "election/size_estimate.hpp"
-#include "election/sublinear_complete.hpp"
 #include "election/trivial_random.hpp"
 #include "graphgen/clique_cycle.hpp"
 #include "graphgen/generators.hpp"
 #include "graphgen/graph_algos.hpp"
-#include "spanner/spanner_elect.hpp"
+#include "scenario/registry.hpp"
 
 using namespace ule;
 
@@ -32,6 +33,19 @@ void print_row(const char* row, const char* paper_time, const char* paper_msg,
   std::printf("%-22s | %-14s %-16s %-9s %-12s | %9.1f %11.0f %7.0f%%\n", row,
               paper_time, paper_msg, knowledge, paper_succ, rounds, msgs,
               succ * 100.0);
+}
+
+/// Measure a registered protocol on `g` over `trials` seeds.
+bench::Stats measure_registered(const char* name, const Graph& g,
+                                std::uint32_t diameter, std::uint64_t seed,
+                                std::size_t trials,
+                                Round max_rounds = 50'000'000) {
+  RunOptions opt;
+  opt.seed = seed;
+  opt.max_rounds = max_rounds;
+  const ProcessFactory factory = prepare_protocol(
+      default_protocols().at(name), shape_of(g, diameter), opt);
+  return bench::measure(g, factory, opt, trials);
 }
 
 }  // namespace
@@ -75,32 +89,20 @@ int main() {
                 "", 100.0 * st.success_rate());
   }
 
-  // --- Randomized upper bounds ---
+  // --- Randomized upper bounds (registry rows) ---
   {
-    RunOptions opt;
-    opt.knowledge = Knowledge::of_n(n);
-    opt.seed = 1;
-    const auto st = bench::measure(
-        g, make_least_el(LeastElConfig::theorem_4_4(4.0)), opt, trials);
+    const auto st = measure_registered("least_el_f4", g, d, 1, trials);
     print_row("Thm 4.4 (f=4)", "O(D)", "O(m min(lgf,D))", "n",
               "1-1/e^Th(f)", st.mean_rounds, st.mean_messages,
               st.success_rate);
   }
   {
-    RunOptions opt;
-    opt.knowledge = Knowledge::of_n(n);
-    opt.seed = 2;
-    const auto st = bench::measure(
-        g, make_least_el(LeastElConfig::variant_A(n)), opt, trials);
+    const auto st = measure_registered("least_el_logn", g, d, 2, trials);
     print_row("Thm 4.4.A (f=lg n)", "O(D)", "O(m min(lglg,D))", "n", "whp",
               st.mean_rounds, st.mean_messages, st.success_rate);
   }
   {
-    RunOptions opt;
-    opt.knowledge = Knowledge::of_n(n);
-    opt.seed = 3;
-    const auto st = bench::measure(
-        g, make_least_el(LeastElConfig::variant_B(0.05)), opt, trials);
+    const auto st = measure_registered("least_el_b05", g, d, 3, trials);
     print_row("Thm 4.4.B (eps=.05)", "O(D)", "O(m)", "n", ">= 1-eps",
               st.mean_rounds, st.mean_messages, st.success_rate);
   }
@@ -108,53 +110,35 @@ int main() {
     // Corollary 4.2 wants m > n^{1+eps}; use the dense companion graph.
     const auto md = static_cast<std::size_t>(std::pow(n, 1.5));
     const Graph gd = make_random_connected(n, md, rng);
-    RunOptions opt;
-    opt.knowledge = Knowledge::of_n(n);
-    opt.seed = 4;
-    const auto st = bench::measure(gd, make_spanner_elect({3, 0}), opt, 5);
+    const auto st =
+        measure_registered("spanner_elect", gd, diameter_exact(gd), 4, 5);
     print_row("Cor 4.2 (m>n^1+e)", "O(D)", "O(m)", "n", "whp",
               st.mean_rounds, st.mean_messages, st.success_rate);
   }
   {
-    RunOptions opt;
-    opt.seed = 5;  // no knowledge at all
-    const auto st = bench::measure(g, make_size_estimate_elect(), opt, trials);
+    const auto st = measure_registered("size_estimate", g, d, 5, trials);
     print_row("Cor 4.5 (unknown n)", "O(D)", "O(m min(lgn,D))", "-", "1",
               st.mean_rounds, st.mean_messages, st.success_rate);
   }
   {
-    RunOptions opt;
-    opt.knowledge = Knowledge::of_n_d(n, d);
-    opt.seed = 6;
-    const auto st = bench::measure(
-        g, make_least_el(LeastElConfig::las_vegas(d)), opt, trials);
+    const auto st = measure_registered("las_vegas", g, d, 6, trials);
     print_row("Cor 4.6 (knows n,D)", "O(D) exp", "O(m) exp", "n,D", "1",
               st.mean_rounds, st.mean_messages, st.success_rate);
   }
   {
-    RunOptions opt;
-    opt.knowledge = Knowledge::of_n(n);
-    opt.seed = 7;
-    const auto st = bench::measure(g, make_clustering(), opt, trials);
+    const auto st = measure_registered("clustering", g, d, 7, trials);
     print_row("Thm 4.7 (clustering)", "O(D lg n)", "O(m + n lg n)", "n",
               "whp", st.mean_rounds, st.mean_messages, st.success_rate);
   }
 
-  // --- Deterministic upper bounds ---
+  // --- Deterministic upper bounds (registry rows) ---
   {
-    RunOptions opt;
-    opt.seed = 8;
-    opt.max_rounds = 10'000'000;
-    const auto st = bench::measure(g, make_kingdom(), opt, 3);
+    const auto st = measure_registered("kingdom", g, d, 8, 3, 10'000'000);
     print_row("Thm 4.10 (kingdoms)", "O(D lg n)", "O(m lg n)", "-", "det",
               st.mean_rounds, st.mean_messages, st.success_rate);
   }
   {
-    RunOptions opt;
-    opt.seed = 9;
-    opt.ids = IdScheme::RandomPermutation;
-    opt.max_rounds = Round{1} << 62;
-    const auto st = bench::measure(g, make_dfs_election(), opt, 3);
+    const auto st = measure_registered("dfs", g, d, 9, 3, Round{1} << 62);
     print_row("Thm 4.1 (DFS agents)", "arbitrary", "O(m)", "-", "det",
               st.mean_rounds, st.mean_messages, st.success_rate);
   }
@@ -162,9 +146,7 @@ int main() {
   // --- baselines (not Table 1 rows, for context) ---
   bench::row_divider(110);
   {
-    RunOptions opt;
-    opt.seed = 10;
-    const auto st = bench::measure(g, make_flood_max(), opt, trials);
+    const auto st = measure_registered("flood_max", g, d, 10, trials);
     print_row("[20] flood-max basel.", "O(D)", "O(mD) worst", "-", "det",
               st.mean_rounds, st.mean_messages, st.success_rate);
   }
@@ -181,10 +163,7 @@ int main() {
     // Not a Table-1 row: the intro's [14] context result on K_n — why the
     // universal Omega(m) bound needed proving at all.
     const Graph k = make_complete(n);
-    RunOptions opt;
-    opt.knowledge = Knowledge::of_n(n);
-    opt.seed = 12;
-    const auto st = bench::measure(k, make_sublinear_complete(), opt, trials);
+    const auto st = measure_registered("sublinear_complete", k, 1, 12, trials);
     print_row("[14] sublinear on K_n", "O(1)", "O(sqrt n lg^1.5)", "n",
               "whp", st.mean_rounds, st.mean_messages, st.success_rate);
   }

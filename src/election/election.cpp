@@ -21,7 +21,8 @@ ElectionVerdict judge_election(const SyncEngine& eng) {
 }
 
 ElectionReport run_election(const Graph& g, const ProcessFactory& factory,
-                            const RunOptions& opt) {
+                            const RunOptions& opt,
+                            const std::function<void(const SyncEngine&)>& inspect) {
   EngineConfig cfg;
   cfg.seed = opt.seed;
   cfg.max_rounds = opt.max_rounds;
@@ -49,6 +50,7 @@ ElectionReport run_election(const Graph& g, const ProcessFactory& factory,
   rep.statuses.reserve(g.n());
   for (NodeId s = 0; s < g.n(); ++s) rep.statuses.push_back(eng.status(s));
   rep.sent_by_node = eng.sent_by_node();
+  if (inspect) inspect(eng);
   return rep;
 }
 

@@ -64,8 +64,11 @@ struct ElectionReport {
 };
 
 /// Build an engine for `g`, populate processes from `factory`, run to
-/// quiescence, and judge.
-ElectionReport run_election(const Graph& g, const ProcessFactory& factory,
-                            const RunOptions& opt);
+/// quiescence, and judge.  `inspect`, when set, is called on the finished
+/// engine before it is torn down — the hook for checks that need process
+/// state (e.g. the scenario runner reading ExplicitProcess::known_leader()).
+ElectionReport run_election(
+    const Graph& g, const ProcessFactory& factory, const RunOptions& opt,
+    const std::function<void(const SyncEngine&)>& inspect = {});
 
 }  // namespace ule

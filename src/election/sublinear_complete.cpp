@@ -92,8 +92,12 @@ void SublinearCompleteProcess::on_round(Context& ctx,
                                         std::span<const Envelope> inbox) {
   // Referee duty: answer this round's queries with the maximum (rank,
   // tiebreak) among them — every query arrives in the same round under
-  // simultaneous wakeup, so one pass suffices.
-  std::uint64_t best_rank = 0, best_tb = 0;
+  // simultaneous wakeup, so one pass suffices.  A candidate referee has
+  // also "seen" its own pair and must include it: with only mutual referees
+  // (n = 2, or tiny referee sets) the weaker candidate would otherwise hear
+  // nothing but its own query echoed back and both would elect.
+  std::uint64_t best_rank = candidate_ ? rank_ : 0;
+  std::uint64_t best_tb = candidate_ ? tiebreak_ : 0;
   std::vector<PortId> query_ports;
   for (const auto& env : inbox) {
     if (!is_sublinear(env) || (env.flat.flags & kVerdictFlag)) continue;

@@ -351,36 +351,9 @@ void SyncEngine::execute_round_parallel(const std::vector<NodeId>& runnable) {
     }
   });
 
-  std::exception_ptr first_error;
-  for (SendLane& lane : lanes_) {
-    // The first error in lane order is the first in slot order: shards are
-    // contiguous ascending ranges and each worker stops at its first throw.
-    const std::exception_ptr err = fold_lane(lane);
-    if (err && !first_error) first_error = err;
-  }
+  const std::exception_ptr first_error =
+      merge_lane_counters(lanes_, result_, round_);
   if (first_error) std::rethrow_exception(first_error);
-}
-
-inline std::exception_ptr SyncEngine::fold_lane(SendLane& lane) {
-  // Guarded: on a quiescent round every counter is zero and the fold is a
-  // single predictable branch.  Violations and bits imply messages != 0, so
-  // the guard never skips a non-zero block.
-  if (lane.messages != 0 || lane.status_changed) {
-    result_.messages += lane.messages;
-    result_.bits += lane.bits;
-    result_.congest_violations += lane.congest_violations;
-    if (lane.status_changed) result_.last_status_change = round_;
-    lane.messages = 0;
-    lane.bits = 0;
-    lane.congest_violations = 0;
-    lane.status_changed = false;
-  }
-  if (lane.error) [[unlikely]] {
-    const std::exception_ptr e = lane.error;
-    lane.error = nullptr;
-    return e;
-  }
-  return nullptr;
 }
 
 RunResult SyncEngine::run() {
@@ -460,7 +433,7 @@ RunResult SyncEngine::run() {
         // semantics), then propagate.
         lane.error = std::current_exception();
       }
-      const std::exception_ptr err = fold_lane(lane);
+      const std::exception_ptr err = fold_lane_counters(lane, result_, round_);
       if (err) [[unlikely]] std::rethrow_exception(err);
     } else {
       // Dense round: shard onto the worker pool, then merge the lanes in

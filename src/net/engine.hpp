@@ -60,8 +60,10 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <queue>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -145,6 +147,56 @@ struct TraceEvent {
   Status status = Status::Undecided;  ///< StatusChange only
   std::string detail;      ///< Send only: the payload's debug string
 };
+
+// --- the parallel-merge seam (free functions so the fold order, counter
+// summation and exception selection are unit-testable with hand-crafted
+// lanes; the engine calls them on both the sequential one-lane path and
+// after the worker barrier) -------------------------------------------------
+
+/// Fold one lane's counter block into `result` — stamping
+/// `result.last_status_change = round` when the lane saw a status change —
+/// and zero the block.  Returns the lane's captured error, if any, for the
+/// caller to rethrow (the error is cleared from the lane).  Forced inline:
+/// this is the body of the sequential per-round fold, and letting it fall
+/// out of line costs ~5 ns/round on the quiescent scheduler path.
+[[gnu::always_inline]] inline std::exception_ptr fold_lane_counters(
+    SendLane& lane, RunResult& result, Round round) {
+  // Guarded: on a quiescent round every counter is zero and the fold is a
+  // single predictable branch.  Violations and bits imply messages != 0, so
+  // the guard never skips a non-zero block.
+  if (lane.messages != 0 || lane.status_changed) {
+    result.messages += lane.messages;
+    result.bits += lane.bits;
+    result.congest_violations += lane.congest_violations;
+    if (lane.status_changed) result.last_status_change = round;
+    lane.messages = 0;
+    lane.bits = 0;
+    lane.congest_violations = 0;
+    lane.status_changed = false;
+  }
+  if (lane.error) [[unlikely]] {
+    const std::exception_ptr e = lane.error;
+    lane.error = nullptr;
+    return e;
+  }
+  return nullptr;
+}
+
+/// Fold every lane in lane order and return the FIRST captured error in
+/// lane order.  Lane order is slot order — shards are contiguous ascending
+/// ranges of the sorted runnable set and each worker stops at its own first
+/// throw — so the error returned is the one a sequential execution would
+/// have hit first.  Every lane is folded even when an earlier one errored:
+/// counters must reflect every send that happened before the rethrow.
+inline std::exception_ptr merge_lane_counters(std::span<SendLane> lanes,
+                                              RunResult& result, Round round) {
+  std::exception_ptr first_error;
+  for (SendLane& lane : lanes) {
+    const std::exception_ptr err = fold_lane_counters(lane, result, round);
+    if (err && !first_error) first_error = err;
+  }
+  return first_error;
+}
 
 class SyncEngine;
 
@@ -235,11 +287,6 @@ class SyncEngine {
   /// it is the body of both execution loops, and letting it fall out of
   /// line costs ~5 ns/round on the quiescent scheduler path.
   [[gnu::always_inline]] inline void step_node(Ctx& ctx, NodeId s);
-  /// Fold one lane's counter block into result_ and zero it.  Returns the
-  /// lane's captured error (if any) for the caller to rethrow.  Forced
-  /// inline for the same reason as step_node: it runs once per sequential
-  /// executed round.
-  [[gnu::always_inline]] inline std::exception_ptr fold_lane(SendLane& lane);
   /// Worker w's contiguous chunk [lo, hi) of `total` work items.  This
   /// formula IS the determinism argument: chunks are contiguous ascending
   /// ranges, so lane order = send order — both the execute and the scatter

@@ -1,0 +1,255 @@
+#include "scenario/fuzzer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <stdexcept>
+
+namespace ule {
+
+namespace {
+
+KnowledgeGrant draw_knowledge(Rng& rng, KnowledgeGrant min) {
+  // Uniform over the grants at or above the protocol's minimum.
+  const auto lo = static_cast<std::uint64_t>(min);
+  return static_cast<KnowledgeGrant>(
+      rng.in_range(lo, static_cast<std::uint64_t>(KnowledgeGrant::NMD)));
+}
+
+/// Size parameter ("n"-ish) of a parameterization, for logging only.
+std::uint64_t rough_n(const ScenarioParams& ps) {
+  std::uint64_t prod = 1;
+  for (const auto& [k, v] : ps) {
+    if (k == "n") return v;
+    if (k == "rows" || k == "cols" || k == "a" || k == "b") prod *= v;
+    if (k == "dim") return std::uint64_t{1} << v;
+  }
+  return prod;
+}
+
+bool still_fails(const ProtocolRegistry& protocols,
+                 const FamilyRegistry& families, const Scenario& s,
+                 const ScenarioRunConfig& cfg) {
+  try {
+    return !run_scenario(protocols, families, s, cfg).ok();
+  } catch (const std::invalid_argument&) {
+    return false;  // candidate is not even a valid scenario
+  }
+}
+
+}  // namespace
+
+Scenario draw_scenario(Rng& rng, const ProtocolRegistry& protocols,
+                       const FamilyRegistry& families, std::size_t max_n,
+                       double threads_fraction) {
+  const auto& protos = protocols.all();
+  if (protos.empty()) throw std::invalid_argument("empty protocol registry");
+  const ProtocolInfo& proto = protos[rng.below(protos.size())];
+
+  // Compatible family: complete-only protocols draw from complete families.
+  const auto& fams = families.all();
+  std::vector<const FamilyInfo*> eligible;
+  for (const FamilyInfo& f : fams) {
+    if (!proto.needs_complete || f.complete) eligible.push_back(&f);
+  }
+  if (eligible.empty())
+    throw std::invalid_argument("no family compatible with protocol \"" +
+                                proto.name + "\"");
+  const FamilyInfo& fam = *eligible[rng.below(eligible.size())];
+
+  Scenario s;
+  s.family = fam.name;
+  s.params = fam.draw(rng, max_n);
+  s.protocol = proto.name;
+  s.knowledge = draw_knowledge(rng, proto.min_knowledge);
+  if (proto.wakeup_tolerant) {
+    const std::uint64_t pick = rng.below(10);
+    if (pick < 5) {
+      s.wakeup = WakeupKind::Simultaneous;
+    } else if (pick < 8) {
+      s.wakeup = WakeupKind::Random;
+      s.wakeup_spread = rng.in_range(1, 2 * std::max<std::uint64_t>(1, max_n));
+    } else {
+      s.wakeup = WakeupKind::Single;
+      s.wakeup_node = rng.below(std::max<std::uint64_t>(1, max_n));
+    }
+  }
+  s.seed = rng.in_range(1, std::uint64_t{1} << 48);
+  if (rng.uniform01() < threads_fraction)
+    s.threads = static_cast<unsigned>(rng.in_range(2, 4));
+  return s;
+}
+
+Scenario shrink_scenario(const ProtocolRegistry& protocols,
+                         const FamilyRegistry& families,
+                         const Scenario& failing, const ScenarioRunConfig& cfg,
+                         std::size_t* steps) {
+  constexpr std::size_t kMaxSteps = 64;
+  Scenario cur = failing;
+  std::size_t adopted = 0;
+  const ProtocolInfo& proto = protocols.at(failing.protocol);
+
+  bool progressed = true;
+  while (progressed && adopted < kMaxSteps) {
+    progressed = false;
+    std::vector<Scenario> candidates;
+
+    // 1. Family parameter shrinks (halve / decrement, registry-declared).
+    const FamilyInfo* fam = families.find(cur.family);
+    if (fam && fam->shrink) {
+      for (ScenarioParams& ps : fam->shrink(cur.params)) {
+        Scenario c = cur;
+        c.params = std::move(ps);
+        candidates.push_back(std::move(c));
+      }
+    }
+
+    // 2. Substitute the structurally simplest families at a small size.
+    // Only from a non-simple family — path and ring never substitute for
+    // each other, or the walk would oscillate between them forever.
+    if (!proto.needs_complete) {
+      if (cur.family != "path" && cur.family != "ring") {
+        const std::uint64_t small =
+            std::clamp<std::uint64_t>(rough_n(cur.params), 3, 12);
+        for (const char* simple : {"path", "ring"}) {
+          Scenario c = cur;
+          c.family = simple;
+          c.params = {{"n", small}};
+          candidates.push_back(std::move(c));
+        }
+      }
+    } else if (cur.family != "complete") {
+      Scenario c = cur;
+      c.family = "complete";
+      c.params = {{"n", std::clamp<std::uint64_t>(rough_n(cur.params), 2, 12)}};
+      candidates.push_back(std::move(c));
+    }
+
+    // 3. Drop the adversarial wakeup schedule — or, when the failure needs
+    // it, at least halve the spread.
+    if (cur.wakeup != WakeupKind::Simultaneous) {
+      Scenario c = cur;
+      c.wakeup = WakeupKind::Simultaneous;
+      c.wakeup_spread = 0;
+      c.wakeup_node = 0;
+      candidates.push_back(std::move(c));
+      if (cur.wakeup == WakeupKind::Random && cur.wakeup_spread > 1) {
+        Scenario h = cur;
+        h.wakeup_spread = cur.wakeup_spread / 2;
+        candidates.push_back(std::move(h));
+      }
+    }
+
+    // 4. Drop the thread count (is it a parallelism bug at all?).
+    if (cur.threads > 1) {
+      Scenario c = cur;
+      c.threads = 1;
+      candidates.push_back(std::move(c));
+    }
+
+    // 5. Reduce the knowledge grant to the protocol's minimum.
+    if (cur.knowledge != proto.min_knowledge) {
+      Scenario c = cur;
+      c.knowledge = proto.min_knowledge;
+      candidates.push_back(std::move(c));
+    }
+
+    for (Scenario& c : candidates) {
+      if (c == cur) continue;
+      if (still_fails(protocols, families, c, cfg)) {
+        cur = std::move(c);
+        ++adopted;
+        progressed = true;
+        break;
+      }
+    }
+  }
+
+  if (steps) *steps = adopted;
+  return cur;
+}
+
+FuzzReport run_fuzz(const ProtocolRegistry& protocols,
+                    const FamilyRegistry& families, const FuzzConfig& cfg,
+                    std::ostream* log) {
+  FuzzReport report;
+  Rng rng(cfg.master_seed);
+  const auto started = std::chrono::steady_clock::now();
+
+  // Envelope stats slots, one per registered protocol (registry order).
+  for (const ProtocolInfo& p : protocols.all())
+    report.envelope_stats.push_back(EnvelopeStat{p.name, 0, 0, 0});
+  const auto stat_of = [&report](const std::string& name) -> EnvelopeStat& {
+    for (EnvelopeStat& s : report.envelope_stats) {
+      if (s.protocol == name) return s;
+    }
+    report.envelope_stats.push_back(EnvelopeStat{name, 0, 0, 0});
+    return report.envelope_stats.back();
+  };
+
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    if (cfg.time_budget_sec > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - started;
+      if (elapsed.count() > cfg.time_budget_sec) {
+        report.time_budget_hit = true;
+        if (log)
+          *log << "time budget hit after " << report.scenarios_run
+               << " scenarios\n";
+        break;
+      }
+    }
+
+    const Scenario s = draw_scenario(rng, protocols, families, cfg.max_n,
+                                     cfg.threads_fraction);
+    const ScenarioOutcome out = run_scenario(protocols, families, s, cfg.run);
+    ++report.scenarios_run;
+    if (out.report.verdict.unique_leader) ++report.runs_elected;
+    const ProtocolInfo& proto = protocols.at(s.protocol);
+    if (proto.contract == Contract::MonteCarlo &&
+        out.report.verdict.elected == 0)
+      ++report.monte_carlo_misses;
+    if (s.threads > 1) ++report.determinism_checked;
+
+    {
+      EnvelopeStat& st = stat_of(s.protocol);
+      ++st.runs;
+      const double rr = static_cast<double>(out.report.run.rounds) /
+                        static_cast<double>(proto.round_envelope(out.shape));
+      const double mr = static_cast<double>(out.report.run.messages) /
+                        static_cast<double>(proto.message_envelope(out.shape));
+      st.max_round_ratio = std::max(st.max_round_ratio, rr);
+      st.max_message_ratio = std::max(st.max_message_ratio, mr);
+    }
+
+    if (!out.ok()) {
+      FuzzFailure fail;
+      fail.original = s;
+      fail.original_violations = out.violations;
+      if (log) {
+        *log << "FAIL " << s.encode() << "\n";
+        for (const std::string& v : out.violations) *log << "  " << v << "\n";
+      }
+      if (cfg.shrink) {
+        fail.minimal = shrink_scenario(protocols, families, s, cfg.run,
+                                       &fail.shrink_steps);
+        fail.minimal_violations =
+            run_scenario(protocols, families, fail.minimal, cfg.run).violations;
+        if (log)
+          *log << "  shrunk (" << fail.shrink_steps
+               << " steps) to: " << fail.minimal.encode() << "\n";
+      } else {
+        fail.minimal = s;
+        fail.minimal_violations = out.violations;
+      }
+      report.failures.push_back(std::move(fail));
+    } else if (log && (i + 1) % 200 == 0) {
+      *log << "  ..." << (i + 1) << "/" << cfg.count << " scenarios, "
+           << report.failures.size() << " failures\n";
+    }
+  }
+
+  return report;
+}
+
+}  // namespace ule

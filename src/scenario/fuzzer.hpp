@@ -1,0 +1,97 @@
+// The deterministic conformance fuzzer: draw thousands of Scenarios from one
+// master seed, run each through the invariant checker, and shrink any
+// failure to a minimal replayable token.
+//
+// Everything is a pure function of (registries, FuzzConfig): the draw
+// sequence, every scenario's run, and the shrinking walk.  A failure report
+// therefore always ends in a replay string that reproduces the bug with
+// `fuzz_scenarios --replay <token>` (or Scenario::parse + run_scenario).
+//
+// Shrinking is greedy: from a failing scenario, candidate simplifications
+// are tried in a fixed order — family parameter shrinks (halve / decrement,
+// from the family registry), substituting the structurally simplest families
+// (path, ring) at a small size, dropping the adversarial wakeup schedule,
+// dropping the thread count, and reducing the knowledge grant to the
+// protocol's minimum.  The first candidate that still fails is adopted and
+// the walk restarts; the result is a local minimum — every further
+// single-step simplification passes.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace ule {
+
+struct FuzzConfig {
+  std::uint64_t master_seed = 0xF00D5EEDULL;
+  std::size_t count = 1000;
+  /// Cap on a drawn instance's size parameter (families keep their total
+  /// node count around this; dumbbell sides are halved, cliquecycle may
+  /// round up to gamma * D').
+  std::size_t max_n = 64;
+  /// Fraction of scenarios drawn with threads > 1 (the determinism axis
+  /// costs a second run).  In [0, 1].
+  double threads_fraction = 0.25;
+  /// Stop drawing after this many seconds (0 = no budget).  Used by the
+  /// nightly time-boxed job; the count still caps the total.
+  double time_budget_sec = 0;
+  bool shrink = true;
+  ScenarioRunConfig run;
+};
+
+struct FuzzFailure {
+  Scenario original;
+  std::vector<std::string> original_violations;
+  Scenario minimal;                        ///< == original when !cfg.shrink
+  std::vector<std::string> minimal_violations;
+  std::size_t shrink_steps = 0;
+};
+
+/// Per-protocol envelope headroom, for calibrating the registered bounds.
+struct EnvelopeStat {
+  std::string protocol;
+  std::size_t runs = 0;
+  double max_round_ratio = 0;    ///< max over runs of rounds / round_envelope
+  double max_message_ratio = 0;  ///< max over runs of messages / msg_envelope
+};
+
+struct FuzzReport {
+  std::size_t scenarios_run = 0;
+  std::size_t runs_elected = 0;        ///< scenarios ending with a unique leader
+  std::size_t monte_carlo_misses = 0;  ///< MC scenarios that elected nobody
+  std::size_t determinism_checked = 0; ///< scenarios rerun at threads > 1
+  bool time_budget_hit = false;
+  std::vector<FuzzFailure> failures;
+  std::vector<EnvelopeStat> envelope_stats;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Draw one valid scenario (protocol, compatible family, params, knowledge
+/// >= the protocol's minimum, wakeup it tolerates, seed, threads).
+Scenario draw_scenario(Rng& rng, const ProtocolRegistry& protocols,
+                       const FamilyRegistry& families, std::size_t max_n,
+                       double threads_fraction);
+
+/// Greedily shrink a failing scenario (see file comment).  Returns the
+/// minimal still-failing scenario; `steps`, when non-null, receives the
+/// number of adopted simplifications.
+Scenario shrink_scenario(const ProtocolRegistry& protocols,
+                         const FamilyRegistry& families,
+                         const Scenario& failing, const ScenarioRunConfig& cfg,
+                         std::size_t* steps = nullptr);
+
+/// Run the full fuzz loop.  `log`, when non-null, receives progress lines
+/// and failure reports (with replay strings) as they happen.
+FuzzReport run_fuzz(const ProtocolRegistry& protocols,
+                    const FamilyRegistry& families, const FuzzConfig& cfg,
+                    std::ostream* log = nullptr);
+
+}  // namespace ule

@@ -1,0 +1,656 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "election/clustering.hpp"
+#include "election/dfs_election.hpp"
+#include "election/explicit_elect.hpp"
+#include "election/flood_max.hpp"
+#include "election/kingdom.hpp"
+#include "election/least_el.hpp"
+#include "election/size_estimate.hpp"
+#include "election/sublinear_complete.hpp"
+#include "graphgen/clique_cycle.hpp"
+#include "graphgen/dumbbell.hpp"
+#include "graphgen/generators.hpp"
+#include "spanner/spanner_elect.hpp"
+
+namespace ule {
+
+const char* to_string(Contract c) {
+  switch (c) {
+    case Contract::Deterministic: return "deterministic";
+    case Contract::LasVegas: return "las_vegas";
+    case Contract::MonteCarlo: return "monte_carlo";
+  }
+  return "?";
+}
+
+ScenarioShape shape_of(const Graph& g, std::uint32_t diameter,
+                       Round wakeup_span, bool adversarial_wakeup) {
+  ScenarioShape s;
+  s.n = g.n();
+  s.m = g.m();
+  s.diameter = diameter;
+  s.complete = true;
+  for (NodeId u = 0; u < g.n(); ++u) {
+    if (g.degree(u) + 1 != g.n()) {
+      s.complete = false;
+      break;
+    }
+  }
+  s.wakeup_span = wakeup_span;
+  s.adversarial_wakeup = adversarial_wakeup;
+  return s;
+}
+
+Knowledge knowledge_for(const ScenarioShape& shape, KnowledgeGrant grant) {
+  switch (grant) {
+    case KnowledgeGrant::None: return Knowledge::none();
+    case KnowledgeGrant::N: return Knowledge::of_n(shape.n);
+    case KnowledgeGrant::ND: return Knowledge::of_n_d(shape.n, shape.diameter);
+    case KnowledgeGrant::NMD: return Knowledge::all(shape.n, shape.m, shape.diameter);
+  }
+  return Knowledge::none();
+}
+
+ProcessFactory prepare_protocol(const ProtocolInfo& info,
+                                const ScenarioShape& shape, RunOptions& opt) {
+  opt.knowledge = knowledge_for(shape, info.min_knowledge);
+  return info.prepare(shape, opt);
+}
+
+void ProtocolRegistry::add(ProtocolInfo info) {
+  if (find(info.name) != nullptr)
+    throw std::invalid_argument("duplicate protocol \"" + info.name + "\"");
+  protocols_.push_back(std::move(info));
+}
+
+const ProtocolInfo* ProtocolRegistry::find(const std::string& name) const {
+  for (const ProtocolInfo& p : protocols_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const ProtocolInfo& ProtocolRegistry::at(const std::string& name) const {
+  const ProtocolInfo* p = find(name);
+  if (!p) throw std::invalid_argument("unknown protocol \"" + name + "\"");
+  return *p;
+}
+
+void FamilyRegistry::add(FamilyInfo info) {
+  if (find(info.name) != nullptr)
+    throw std::invalid_argument("duplicate family \"" + info.name + "\"");
+  families_.push_back(std::move(info));
+}
+
+const FamilyInfo* FamilyRegistry::find(const std::string& name) const {
+  for (const FamilyInfo& f : families_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const FamilyInfo& FamilyRegistry::at(const std::string& name) const {
+  const FamilyInfo* f = find(name);
+  if (!f) throw std::invalid_argument("unknown family \"" + name + "\"");
+  return *f;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in protocols
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// log2(n) + 2, the "L" of the envelope formulas below (>= 2 for n >= 1).
+std::uint64_t lg(std::size_t n) {
+  std::uint64_t l = 2;
+  while (n > 1) {
+    n >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+/// Diameter + 1 (so envelopes never degenerate to 0 on complete graphs).
+Round dia(const ScenarioShape& s) { return Round{s.diameter} + 1; }
+
+/// Extra rounds an adversarial wakeup schedule may cost: the last waker plus
+/// the time for the first waker's flood to drag everyone in.
+Round wake_slack(const ScenarioShape& s) {
+  return s.adversarial_wakeup ? s.wakeup_span + Round{s.diameter} + 8 : 0;
+}
+
+ProtocolRegistry build_protocols() {
+  ProtocolRegistry reg;
+  using Shape = ScenarioShape;
+
+  // The O(D)-time deterministic baseline: echoes + outbox pacing put the
+  // constant well above 1, and adoption chains (up to O(log n) expected
+  // improvements per node under random id placement) stretch both envelopes.
+  reg.add(ProtocolInfo{
+      "flood_max", Contract::Deterministic, KnowledgeGrant::None,
+      /*wakeup_tolerant=*/true, /*needs_complete=*/false,
+      /*explicit_overlay=*/false,
+      [](const Shape&, RunOptions&) { return make_flood_max(); },
+      [](const Shape& s) { return 32 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 64; },
+      [](const Shape& s) { return 8 * s.m * (lg(s.n) + 8) + 8 * s.n + 64; }});
+
+  const auto least_el_rounds = [](const Shape& s) {
+    return 32 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 64;
+  };
+  const auto least_el_messages = [](const Shape& s) {
+    return 8 * s.m * (lg(s.n) + 8) + 8 * s.n + 64;
+  };
+
+  reg.add(ProtocolInfo{
+      "least_el_all", Contract::LasVegas, KnowledgeGrant::None,
+      true, false, false,
+      [](const Shape&, RunOptions&) {
+        return make_least_el(LeastElConfig::all_candidates());
+      },
+      least_el_rounds, least_el_messages});
+
+  reg.add(ProtocolInfo{
+      "least_el_logn", Contract::MonteCarlo, KnowledgeGrant::N,
+      true, false, false,
+      [](const Shape& s, RunOptions&) {
+        return make_least_el(LeastElConfig::variant_A(s.n));
+      },
+      least_el_rounds, least_el_messages});
+
+  reg.add(ProtocolInfo{
+      "least_el_f4", Contract::MonteCarlo, KnowledgeGrant::N,
+      true, false, false,
+      [](const Shape&, RunOptions&) {
+        return make_least_el(LeastElConfig::theorem_4_4(4.0));
+      },
+      least_el_rounds, least_el_messages});
+
+  reg.add(ProtocolInfo{
+      "least_el_b05", Contract::MonteCarlo, KnowledgeGrant::N,
+      true, false, false,
+      [](const Shape&, RunOptions&) {
+        return make_least_el(LeastElConfig::variant_B(0.05));
+      },
+      least_el_rounds, least_el_messages});
+
+  // Cor 4.6: epoch restarts need the shared epoch clock, i.e. simultaneous
+  // wakeup.  Worst case is a run of candidate-free epochs: P(fail) ~ e^-2
+  // per epoch, so 48 epochs bound the tail at ~1e-41.
+  reg.add(ProtocolInfo{
+      "las_vegas", Contract::LasVegas, KnowledgeGrant::ND,
+      false, false, false,
+      [](const Shape& s, RunOptions&) {
+        return make_least_el(LeastElConfig::las_vegas(s.diameter));
+      },
+      [](const Shape& s) { return 48 * (3 * dia(s) + 8) + 2 * s.n + 64; },
+      least_el_messages});
+
+  reg.add(ProtocolInfo{
+      "size_estimate", Contract::LasVegas, KnowledgeGrant::None,
+      true, false, false,
+      [](const Shape&, RunOptions&) { return make_size_estimate_elect(); },
+      [](const Shape& s) { return 48 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 96; },
+      [](const Shape& s) { return 16 * s.m * (lg(s.n) + 8) + 16 * s.n + 64; }});
+
+  reg.add(ProtocolInfo{
+      "clustering", Contract::MonteCarlo, KnowledgeGrant::N,
+      false, false, false,
+      [](const Shape&, RunOptions&) { return make_clustering(); },
+      [](const Shape& s) { return 64 * dia(s) * lg(s.n) + 2 * s.n + 256; },
+      [](const Shape& s) { return 16 * s.m + 64 * s.n * lg(s.n) + 64; }});
+
+  const auto kingdom_messages = [](const Shape& s) {
+    return 32 * s.m * (lg(s.n) + 4) + 8 * s.n + 64;
+  };
+  reg.add(ProtocolInfo{
+      "kingdom", Contract::Deterministic, KnowledgeGrant::None,
+      true, false, false,
+      [](const Shape&, RunOptions&) { return make_kingdom(); },
+      [](const Shape& s) {
+        return 128 * dia(s) + 32 * lg(s.n) + 2 * s.n + 4 * wake_slack(s) + 128;
+      },
+      kingdom_messages});
+
+  reg.add(ProtocolInfo{
+      "kingdom_knownD", Contract::Deterministic, KnowledgeGrant::ND,
+      true, false, false,
+      [](const Shape& s, RunOptions&) {
+        KingdomConfig cfg;
+        cfg.known_diameter = std::max<std::uint64_t>(1, s.diameter);
+        return make_kingdom(cfg);
+      },
+      [](const Shape& s) {
+        return 128 * dia(s) + 32 * lg(s.n) + 2 * s.n + 4 * wake_slack(s) + 128;
+      },
+      kingdom_messages});
+
+  // Theorem 4.1: RandomPermutation ids keep the smallest id at 1 (delay 2),
+  // so the winner's 4m-step DFS finishes in O(m) logical rounds.
+  reg.add(ProtocolInfo{
+      "dfs", Contract::Deterministic, KnowledgeGrant::None,
+      true, false, false,
+      [](const Shape& s, RunOptions& opt) {
+        opt.ids = IdScheme::RandomPermutation;
+        DfsConfig cfg;
+        cfg.wake_broadcast = s.adversarial_wakeup;
+        return make_dfs_election(cfg);
+      },
+      [](const Shape& s) { return 32 * s.m + 8 * dia(s) + 4 * wake_slack(s) + 256; },
+      [](const Shape& s) { return 16 * s.m + 4 * s.n + 64; }});
+
+  // Cor 4.2: the Baswana–Sen construction runs on a fixed global round
+  // schedule, so simultaneous wakeup is required.  The election runs on the
+  // spanner, whose diameter is <= (2k-1) D + 2k.
+  reg.add(ProtocolInfo{
+      "spanner_elect", Contract::LasVegas, KnowledgeGrant::N,
+      false, false, false,
+      [](const Shape&, RunOptions&) {
+        return make_spanner_elect(SpannerElectConfig{3, 0});
+      },
+      [](const Shape& s) { return 200 * dia(s) + 2 * s.n + 256; },
+      [](const Shape& s) { return 24 * s.m + 8 * s.n * (lg(s.n) + 8) + 64; }});
+
+  reg.add(ProtocolInfo{
+      "sublinear_complete", Contract::MonteCarlo, KnowledgeGrant::N,
+      false, /*needs_complete=*/true, false,
+      [](const Shape&, RunOptions&) { return make_sublinear_complete(); },
+      [](const Shape&) { return Round{16}; },
+      [](const Shape& s) { return 4 * s.m + 4 * s.n + 64; }});
+
+  // The explicit-election overlay over the flood-max baseline: same run plus
+  // one LEADER flood (<= 2m messages, <= D + pacing extra rounds).  The
+  // runner additionally checks leader-id agreement at every node.
+  reg.add(ProtocolInfo{
+      "explicit_flood_max", Contract::Deterministic, KnowledgeGrant::None,
+      true, false, /*explicit_overlay=*/true,
+      [](const Shape&, RunOptions&) { return make_explicit(make_flood_max()); },
+      [](const Shape& s) { return 48 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 128; },
+      [](const Shape& s) {
+        return 8 * s.m * (lg(s.n) + 8) + 2 * s.m + 8 * s.n + 64;
+      }});
+
+  return reg;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in graph families
+// ---------------------------------------------------------------------------
+
+std::uint64_t get_param(const ScenarioParams& ps, const char* name) {
+  for (const auto& [k, v] : ps) {
+    if (k == name) return v;
+  }
+  throw std::invalid_argument(std::string("missing family param \"") + name +
+                              "\"");
+}
+
+/// Clamp a drawn size to [lo, hi] — every draw() must respect its declared
+/// ParamSpec range even for huge --max-n, or run_scenario's validation
+/// rejects the fuzzer's own output.
+std::uint64_t cap(std::uint64_t v, std::uint64_t lo, std::uint64_t hi) {
+  return std::clamp(v, lo, hi);
+}
+
+ScenarioParams params1(const char* a, std::uint64_t va) { return {{a, va}}; }
+ScenarioParams params2(const char* a, std::uint64_t va, const char* b,
+                       std::uint64_t vb) {
+  return {{a, va}, {b, vb}};
+}
+
+/// Halve-and-decrement candidates for one parameter, clamped at `lo`.
+void shrink_param(std::vector<ScenarioParams>& out, const ScenarioParams& ps,
+                  std::size_t idx, std::uint64_t lo) {
+  const std::uint64_t v = ps[idx].second;
+  if (v / 2 >= lo && v / 2 < v) {
+    ScenarioParams c = ps;
+    c[idx].second = v / 2;
+    out.push_back(std::move(c));
+  }
+  if (v > lo) {
+    ScenarioParams c = ps;
+    c[idx].second = v - 1;
+    out.push_back(std::move(c));
+  }
+}
+
+/// A family with one size parameter `n` in [lo, hi].
+FamilyInfo simple_family(const char* name, std::uint64_t lo, std::uint64_t hi,
+                         std::function<Graph(std::uint64_t)> make,
+                         bool complete = false) {
+  FamilyInfo f;
+  f.name = name;
+  f.params = {{"n", lo, hi}};
+  f.complete = complete;
+  f.build = [make = std::move(make)](const ScenarioParams& ps, Rng&) {
+    return make(get_param(ps, "n"));
+  };
+  f.draw = [lo, hi](Rng& rng, std::size_t max_n) {
+    const std::uint64_t ub = std::clamp<std::uint64_t>(max_n, lo, hi);
+    return params1("n", rng.in_range(lo, ub));
+  };
+  f.shrink = [lo](const ScenarioParams& ps) {
+    std::vector<ScenarioParams> out;
+    shrink_param(out, ps, 0, lo);
+    return out;
+  };
+  return f;
+}
+
+FamilyRegistry build_families() {
+  FamilyRegistry reg;
+
+  reg.add(simple_family("ring", 3, 4096,
+                        [](std::uint64_t n) { return make_cycle(n); }));
+  reg.add(simple_family("path", 2, 4096,
+                        [](std::uint64_t n) { return make_path(n); }));
+  reg.add(simple_family("star", 2, 4096,
+                        [](std::uint64_t n) { return make_star(n); }));
+  reg.add(simple_family(
+      "complete", 2, 512, [](std::uint64_t n) { return make_complete(n); },
+      /*complete=*/true));
+
+  {
+    FamilyInfo f;
+    f.name = "bipartite";
+    f.params = {{"a", 1, 2048}, {"b", 1, 2048}};
+    f.build = [](const ScenarioParams& ps, Rng&) {
+      const auto a = get_param(ps, "a"), b = get_param(ps, "b");
+      if (a + b < 2) throw std::invalid_argument("bipartite needs >= 2 nodes");
+      return make_complete_bipartite(a, b);
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      const std::uint64_t half = cap(max_n / 2, 1, 2048);
+      return params2("a", rng.in_range(1, half), "b",
+                     rng.in_range(2, half > 1 ? half : 2));
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      std::vector<ScenarioParams> out;
+      shrink_param(out, ps, 0, 1);
+      shrink_param(out, ps, 1, 1);
+      return out;
+    };
+    reg.add(std::move(f));
+  }
+
+  {
+    FamilyInfo f;
+    f.name = "grid";
+    f.params = {{"rows", 1, 128}, {"cols", 1, 128}};
+    f.build = [](const ScenarioParams& ps, Rng&) {
+      const auto r = get_param(ps, "rows"), c = get_param(ps, "cols");
+      if (r * c < 2) throw std::invalid_argument("grid needs >= 2 nodes");
+      return make_grid(r, c);
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      const std::uint64_t r = rng.in_range(1, std::max<std::uint64_t>(2, std::min<std::uint64_t>(12, max_n / 2)));
+      const std::uint64_t c_hi = std::clamp<std::uint64_t>(
+          max_n / std::max<std::uint64_t>(1, r), 2, 128);
+      return params2("rows", r, "cols", rng.in_range(2, c_hi));
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      std::vector<ScenarioParams> out;
+      shrink_param(out, ps, 0, 1);
+      shrink_param(out, ps, 1, 2);
+      return out;
+    };
+    reg.add(std::move(f));
+  }
+
+  {
+    FamilyInfo f;
+    f.name = "torus";
+    f.params = {{"rows", 3, 64}, {"cols", 3, 64}};
+    f.build = [](const ScenarioParams& ps, Rng&) {
+      return make_torus(get_param(ps, "rows"), get_param(ps, "cols"));
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      const std::uint64_t cap =
+          std::max<std::uint64_t>(3, std::min<std::uint64_t>(10, max_n / 3));
+      const std::uint64_t r = rng.in_range(3, cap);
+      const std::uint64_t c_hi =
+          std::clamp<std::uint64_t>(max_n / r, 3, 64);
+      return params2("rows", r, "cols", rng.in_range(3, c_hi));
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      std::vector<ScenarioParams> out;
+      shrink_param(out, ps, 0, 3);
+      shrink_param(out, ps, 1, 3);
+      return out;
+    };
+    reg.add(std::move(f));
+  }
+
+  {
+    FamilyInfo f;
+    f.name = "hypercube";
+    f.params = {{"dim", 1, 12}};
+    f.build = [](const ScenarioParams& ps, Rng&) {
+      return make_hypercube(static_cast<unsigned>(get_param(ps, "dim")));
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      std::uint64_t max_dim = 1;
+      while ((std::uint64_t{2} << max_dim) <= max_n && max_dim < 7) ++max_dim;
+      return params1("dim", rng.in_range(1, max_dim));
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      std::vector<ScenarioParams> out;
+      shrink_param(out, ps, 0, 1);
+      return out;
+    };
+    reg.add(std::move(f));
+  }
+
+  {
+    FamilyInfo f;
+    f.name = "tree";
+    f.params = {{"n", 2, 4096}, {"arity", 1, 8}};
+    f.build = [](const ScenarioParams& ps, Rng&) {
+      return make_balanced_tree(get_param(ps, "n"), get_param(ps, "arity"));
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      return params2("n", rng.in_range(2, cap(max_n, 2, 4096)), "arity",
+                     rng.in_range(1, 4));
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      std::vector<ScenarioParams> out;
+      shrink_param(out, ps, 0, 2);
+      return out;
+    };
+    reg.add(std::move(f));
+  }
+
+  {
+    FamilyInfo f;
+    f.name = "lollipop";
+    f.params = {{"clique", 2, 256}, {"tail", 1, 2048}};
+    f.build = [](const ScenarioParams& ps, Rng&) {
+      return make_lollipop(get_param(ps, "clique"), get_param(ps, "tail"));
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      const std::uint64_t cl =
+          rng.in_range(2, std::max<std::uint64_t>(2, std::min<std::uint64_t>(12, max_n / 2)));
+      const std::uint64_t tail_hi = cap(max_n > cl ? max_n - cl : 1, 1, 2048);
+      return params2("clique", cl, "tail", rng.in_range(1, tail_hi));
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      std::vector<ScenarioParams> out;
+      shrink_param(out, ps, 0, 2);
+      shrink_param(out, ps, 1, 1);
+      return out;
+    };
+    reg.add(std::move(f));
+  }
+
+  {
+    FamilyInfo f;
+    f.name = "barbell";
+    f.params = {{"clique", 2, 256}, {"bridge", 1, 2048}};
+    f.build = [](const ScenarioParams& ps, Rng&) {
+      return make_barbell(get_param(ps, "clique"), get_param(ps, "bridge"));
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      const std::uint64_t cl =
+          rng.in_range(2, std::max<std::uint64_t>(2, std::min<std::uint64_t>(10, max_n / 3)));
+      const std::uint64_t bridge_hi =
+          cap(max_n > 2 * cl ? max_n - 2 * cl : 1, 1, 2048);
+      return params2("clique", cl, "bridge", rng.in_range(1, bridge_hi));
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      std::vector<ScenarioParams> out;
+      shrink_param(out, ps, 0, 2);
+      shrink_param(out, ps, 1, 1);
+      return out;
+    };
+    reg.add(std::move(f));
+  }
+
+  {
+    FamilyInfo f;
+    f.name = "gnm";
+    f.params = {{"n", 2, 4096}, {"m", 1, 1u << 22}};
+    f.build = [](const ScenarioParams& ps, Rng& rng) {
+      return make_random_connected(get_param(ps, "n"), get_param(ps, "m"), rng);
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      const std::uint64_t n = rng.in_range(4, cap(max_n, 4, 4096));
+      const std::uint64_t hi =
+          std::min<std::uint64_t>(n * (n - 1) / 2, n - 1 + 4 * n);
+      return params2("n", n, "m", rng.in_range(n - 1, hi));
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      const std::uint64_t n = ps[0].second, m = ps[1].second;
+      std::vector<ScenarioParams> out;
+      const auto clamp_m = [](std::uint64_t nn, std::uint64_t mm) {
+        return std::clamp<std::uint64_t>(mm, nn - 1, nn * (nn - 1) / 2);
+      };
+      for (const std::uint64_t nn : {n / 2, n - 1}) {
+        if (nn >= 2 && nn < n)
+          out.push_back(params2("n", nn, "m", clamp_m(nn, m)));
+      }
+      if (m / 2 >= n - 1 && m / 2 < m)
+        out.push_back(params2("n", n, "m", m / 2));
+      return out;
+    };
+    reg.add(std::move(f));
+  }
+
+  {
+    FamilyInfo f;
+    f.name = "regular";
+    f.params = {{"n", 4, 4096}, {"d", 3, 16}};
+    f.build = [](const ScenarioParams& ps, Rng& rng) {
+      return make_random_regular(get_param(ps, "n"), get_param(ps, "d"), rng);
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      const std::uint64_t d = rng.in_range(3, 6);
+      std::uint64_t n = rng.in_range(d + 2, cap(max_n, d + 2, 4095));
+      if ((n * d) % 2 != 0) ++n;
+      return params2("n", n, "d", d);
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      const std::uint64_t n = ps[0].second, d = ps[1].second;
+      std::vector<ScenarioParams> out;
+      for (std::uint64_t nn : {n / 2, n - 2}) {
+        if ((nn * d) % 2 != 0) ++nn;
+        if (nn > d + 1 && nn < n) out.push_back(params2("n", nn, "d", d));
+      }
+      if (d > 3 && (n * (d - 1)) % 2 == 0)
+        out.push_back(params2("n", n, "d", d - 1));
+      return out;
+    };
+    reg.add(std::move(f));
+  }
+
+  {
+    // Theorem 3.1's construction: `n` and `m` are PER-SIDE (total 2n nodes);
+    // ol / or index the opened clique edge on each side.
+    FamilyInfo f;
+    f.name = "dumbbell";
+    f.params = {{"n", 3, 2048}, {"m", 3, 4096}, {"ol", 0, 4096}, {"or", 0, 4096}};
+    f.build = [](const ScenarioParams& ps, Rng&) {
+      const auto m = get_param(ps, "m");
+      const std::size_t count = dumbbell_open_edge_count(m);
+      const auto ol = get_param(ps, "ol"), orr = get_param(ps, "or");
+      if (ol >= count || orr >= count)
+        throw std::invalid_argument("open edge index out of range");
+      return make_dumbbell(get_param(ps, "n"), m, ol, orr).graph;
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      const std::uint64_t m = rng.in_range(3, 45);
+      const std::uint64_t kappa = dumbbell_clique_size(m);
+      const std::uint64_t side =
+          rng.in_range(kappa + 1, cap(max_n / 2, kappa + 1, 2048));
+      const std::uint64_t count = dumbbell_open_edge_count(m);
+      ScenarioParams ps = params2("n", side, "m", m);
+      ps.emplace_back("ol", rng.below(count));
+      ps.emplace_back("or", rng.below(count));
+      return ps;
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      const std::uint64_t n = ps[0].second, m = ps[1].second;
+      std::vector<ScenarioParams> out;
+      const auto cand = [&](std::uint64_t nn, std::uint64_t mm) {
+        if (mm < 3) return;
+        const std::uint64_t kappa = dumbbell_clique_size(mm);
+        nn = std::max<std::uint64_t>(nn, kappa + 1);
+        if (nn >= ps[0].second && mm >= ps[1].second) return;  // no progress
+        ScenarioParams c = params2("n", nn, "m", mm);
+        c.emplace_back("ol", 0);
+        c.emplace_back("or", 0);
+        out.push_back(std::move(c));
+      };
+      cand(n / 2, m);
+      cand(n - 1, m);
+      cand(n, m / 2);
+      return out;
+    };
+    reg.add(std::move(f));
+  }
+
+  {
+    // Theorem 3.13's construction; actual node count is gamma * D' ∈ Θ(n).
+    FamilyInfo f;
+    f.name = "cliquecycle";
+    f.params = {{"n", 4, 4096}, {"D", 3, 512}};
+    f.build = [](const ScenarioParams& ps, Rng&) {
+      return make_clique_cycle(get_param(ps, "n"), get_param(ps, "D")).graph;
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      const std::uint64_t n = rng.in_range(8, cap(max_n, 8, 4096));
+      const std::uint64_t hi =
+          std::max<std::uint64_t>(3, std::min<std::uint64_t>(16, n / 2));
+      return params2("n", n, "D", rng.in_range(3, hi));
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      const std::uint64_t n = ps[0].second, d = ps[1].second;
+      std::vector<ScenarioParams> out;
+      if (n / 2 >= 4) out.push_back(params2("n", n / 2, "D", std::min(d, n / 4 > 3 ? n / 4 : 3)));
+      if (n > 4) out.push_back(params2("n", n - 1, "D", d));
+      if (d / 2 >= 3) out.push_back(params2("n", n, "D", d / 2));
+      return out;
+    };
+    reg.add(std::move(f));
+  }
+
+  return reg;
+}
+
+}  // namespace
+
+const ProtocolRegistry& default_protocols() {
+  static const ProtocolRegistry reg = build_protocols();
+  return reg;
+}
+
+const FamilyRegistry& default_families() {
+  static const FamilyRegistry reg = build_families();
+  return reg;
+}
+
+}  // namespace ule

@@ -1,0 +1,146 @@
+// The protocol and graph-family registries: one place declaring every
+// protocol's factory, knowledge prerequisites and success contract, and every
+// graph family's parameterized, seedable generator with its valid ranges.
+//
+// Everything that used to be re-declared ad hoc (the AlgoSpec lambdas of
+// matrix_test / congest_matrix_test, the factory lists of complexity_test and
+// bench_table1_summary) consumes these registries, and the conformance fuzzer
+// draws its randomized scenario space from them.  A new protocol or family
+// registers once and is immediately covered by the conformance matrix, the
+// CONGEST matrix, the Table-1 bench and the fuzzer.
+//
+// The success contract is the paper's taxonomy (Table 1): deterministic
+// algorithms and Las Vegas algorithms must elect a unique leader on every
+// run; Monte Carlo algorithms may fail to elect (their whp analysis), but
+// safety — never more than one leader — must still hold.  The round and
+// message envelopes are generous universal bounds (they must hold for every
+// family, seed and wakeup schedule, not just in expectation); the fuzzer
+// treats a breach as a liveness / budget violation.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "election/election.hpp"
+#include "net/graph.hpp"
+#include "net/rng.hpp"
+#include "scenario/scenario.hpp"
+
+namespace ule {
+
+/// Success contract of a protocol (Table 1's "success probability" column).
+enum class Contract : std::uint8_t {
+  Deterministic,  ///< must elect a unique leader on every run
+  LasVegas,       ///< randomized; success probability 1
+  MonteCarlo,     ///< may fail to elect (whp regime); safety must still hold
+};
+
+const char* to_string(Contract c);
+
+/// Everything a protocol's prepare / envelope functions may assume about one
+/// scenario instance.  Derived from the built graph + wakeup schedule by the
+/// runner; tests and benches build it with shape_of().
+struct ScenarioShape {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::uint32_t diameter = 0;  ///< exact
+  bool complete = false;       ///< every node has degree n-1
+  Round wakeup_span = 0;       ///< latest spontaneous wake round (0 = simultaneous)
+  bool adversarial_wakeup = false;  ///< wakeup is not simultaneous
+};
+
+/// Shape of a concrete graph (diameter must be the exact diameter).
+ScenarioShape shape_of(const Graph& g, std::uint32_t diameter,
+                       Round wakeup_span = 0, bool adversarial_wakeup = false);
+
+/// The engine Knowledge granting exactly `grant` for this instance.
+Knowledge knowledge_for(const ScenarioShape& shape, KnowledgeGrant grant);
+
+struct ProtocolInfo {
+  std::string name;
+  Contract contract = Contract::Deterministic;
+  /// Minimum knowledge the protocol is entitled to; scenarios grant this or
+  /// more (granting extra true values never hurts a correct algorithm).
+  KnowledgeGrant min_knowledge = KnowledgeGrant::None;
+  /// Safe under adversarial wakeup (random / single schedules).  Protocols
+  /// running on a fixed global round schedule (spanner_elect) or epoch
+  /// clock (the Las Vegas restarts) require simultaneous wakeup.
+  bool wakeup_tolerant = false;
+  /// Requires a complete topology (the [14] context result).
+  bool needs_complete = false;
+  /// The protocol is an explicit-election overlay (make_explicit): the
+  /// runner additionally checks that every node learned the leader's id.
+  bool explicit_overlay = false;
+  /// Build the factory.  opt.knowledge is already set (>= min_knowledge);
+  /// prepare may set opt.ids and other per-protocol options.
+  std::function<ProcessFactory(const ScenarioShape&, RunOptions&)> prepare;
+  /// Liveness envelope: max logical rounds a conforming run may take.
+  std::function<Round(const ScenarioShape&)> round_envelope;
+  /// Budget envelope: max messages a conforming run may send.
+  std::function<std::uint64_t(const ScenarioShape&)> message_envelope;
+};
+
+class ProtocolRegistry {
+ public:
+  /// Throws std::invalid_argument on a duplicate name.
+  void add(ProtocolInfo info);
+  const ProtocolInfo* find(const std::string& name) const;
+  /// Like find(), but throws std::invalid_argument on an unknown name.
+  const ProtocolInfo& at(const std::string& name) const;
+  const std::vector<ProtocolInfo>& all() const { return protocols_; }
+
+ private:
+  std::vector<ProtocolInfo> protocols_;
+};
+
+/// Declared range of one integer family parameter.  Cross-parameter
+/// constraints (e.g. gnm's n-1 <= m <= n(n-1)/2) are enforced by build().
+struct ParamSpec {
+  std::string name;
+  std::uint64_t lo = 1;
+  std::uint64_t hi = 1;
+};
+
+struct FamilyInfo {
+  std::string name;
+  std::vector<ParamSpec> params;
+  /// Instances are complete graphs (usable by needs_complete protocols).
+  bool complete = false;
+  /// Build the instance.  `rng` drives randomized families (deterministic
+  /// families ignore it), so a (params, seed) pair is fully replayable.
+  /// Throws std::invalid_argument on invalid parameter combinations.
+  std::function<Graph(const ScenarioParams&, Rng&)> build;
+  /// Draw a valid parameterization with total n <= max_n (handles the
+  /// cross-parameter constraints build() enforces).
+  std::function<ScenarioParams(Rng&, std::size_t max_n)> draw;
+  /// Candidate strictly-smaller parameterizations for failure shrinking
+  /// (roughly halving and decrementing); empty when already minimal.
+  std::function<std::vector<ScenarioParams>(const ScenarioParams&)> shrink;
+};
+
+class FamilyRegistry {
+ public:
+  void add(FamilyInfo info);
+  const FamilyInfo* find(const std::string& name) const;
+  const FamilyInfo& at(const std::string& name) const;
+  const std::vector<FamilyInfo>& all() const { return families_; }
+
+ private:
+  std::vector<FamilyInfo> families_;
+};
+
+/// The built-in sets: every conformant protocol and every family in the
+/// library.  Returned by reference to a process-lifetime instance; copy it
+/// to extend (e.g. tests registering deliberately broken protocols).
+const ProtocolRegistry& default_protocols();
+const FamilyRegistry& default_families();
+
+/// Convenience for tests/benches running a protocol on a concrete graph:
+/// grant exactly the protocol's required knowledge and build its factory.
+ProcessFactory prepare_protocol(const ProtocolInfo& info,
+                                const ScenarioShape& shape, RunOptions& opt);
+
+}  // namespace ule

@@ -1,0 +1,220 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "election/explicit_elect.hpp"
+#include "graphgen/graph_algos.hpp"
+#include "net/wakeup.hpp"
+
+namespace ule {
+
+namespace {
+
+/// Domain-separated streams derived from the scenario seed, so the graph,
+/// the wakeup schedule and the run itself never share coins.
+Rng graph_rng(const Scenario& s) {
+  std::uint64_t sm = s.seed ^ 0x6B7A9E3C51D20F84ULL;
+  return Rng(splitmix64(sm));
+}
+Rng wakeup_rng(const Scenario& s) {
+  std::uint64_t sm = s.seed ^ 0x2F8D14C6A0B97E35ULL;
+  return Rng(splitmix64(sm));
+}
+
+void validate_params(const FamilyInfo& fam, const Scenario& s) {
+  if (s.params.size() != fam.params.size())
+    throw std::invalid_argument("family \"" + fam.name + "\" takes " +
+                                std::to_string(fam.params.size()) +
+                                " params, scenario has " +
+                                std::to_string(s.params.size()));
+  for (std::size_t i = 0; i < fam.params.size(); ++i) {
+    const ParamSpec& spec = fam.params[i];
+    const auto& [name, value] = s.params[i];
+    if (name != spec.name)
+      throw std::invalid_argument("family \"" + fam.name + "\" param " +
+                                  std::to_string(i) + " must be \"" +
+                                  spec.name + "\", got \"" + name + "\"");
+    if (value < spec.lo || value > spec.hi)
+      throw std::invalid_argument(
+          "family \"" + fam.name + "\" param " + spec.name + "=" +
+          std::to_string(value) + " outside [" + std::to_string(spec.lo) +
+          ", " + std::to_string(spec.hi) + "]");
+  }
+}
+
+std::string counter_diff(const char* what, std::uint64_t base,
+                         std::uint64_t got, unsigned threads) {
+  return std::string("determinism: ") + what + " " + std::to_string(got) +
+         " at threads=" + std::to_string(threads) + " != " +
+         std::to_string(base) + " at threads=1";
+}
+
+}  // namespace
+
+Graph build_scenario_graph(const FamilyRegistry& families, const Scenario& s) {
+  const FamilyInfo& fam = families.at(s.family);
+  validate_params(fam, s);
+  Rng rng = graph_rng(s);
+  return fam.build(s.params, rng);
+}
+
+std::vector<Round> scenario_wakeup(const Scenario& s, std::size_t n) {
+  switch (s.wakeup) {
+    case WakeupKind::Simultaneous:
+      return {};
+    case WakeupKind::Random: {
+      Rng rng = wakeup_rng(s);
+      return random_wakeup(n, s.wakeup_spread, rng);
+    }
+    case WakeupKind::Single:
+      return single_wakeup(n, static_cast<NodeId>(s.wakeup_node % n));
+  }
+  return {};
+}
+
+ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
+                             const FamilyRegistry& families, const Scenario& s,
+                             const ScenarioRunConfig& cfg) {
+  const ProtocolInfo& proto = protocols.at(s.protocol);
+
+  // --- configuration validity (errors, not conformance violations) ---
+  if (s.knowledge < proto.min_knowledge)
+    throw std::invalid_argument("protocol \"" + proto.name + "\" requires " +
+                                std::string(to_string(proto.min_knowledge)) +
+                                " knowledge, scenario grants " +
+                                to_string(s.knowledge));
+  if (s.wakeup != WakeupKind::Simultaneous && !proto.wakeup_tolerant)
+    throw std::invalid_argument("protocol \"" + proto.name +
+                                "\" requires simultaneous wakeup");
+
+  const Graph g = build_scenario_graph(families, s);
+
+  ScenarioOutcome out;
+  out.scenario = s;
+  out.shape = shape_of(
+      g, diameter_exact(g),
+      s.wakeup == WakeupKind::Random ? s.wakeup_spread : Round{0},
+      s.wakeup != WakeupKind::Simultaneous);
+
+  if (proto.needs_complete && !out.shape.complete)
+    throw std::invalid_argument("protocol \"" + proto.name +
+                                "\" requires a complete topology; family \"" +
+                                s.family + "\" instance is not complete");
+
+  const Round round_env = proto.round_envelope(out.shape);
+  const std::uint64_t msg_env = proto.message_envelope(out.shape);
+
+  RunOptions opt;
+  opt.seed = s.seed;
+  opt.knowledge = knowledge_for(out.shape, s.knowledge);
+  opt.congest = CongestMode::Count;
+  opt.max_rounds = round_env * cfg.envelope_slack;
+  const std::vector<Round> wake = scenario_wakeup(s, g.n());
+  if (!wake.empty()) opt.wakeup = wake;
+  opt.threads = 1;
+  const ProcessFactory factory = proto.prepare(out.shape, opt);
+
+  // --- reference run (threads = 1), with overlay inspection when needed ---
+  std::size_t know_count = 0;
+  std::set<std::uint64_t> learned;
+  std::optional<Uid> winner_uid;
+  const auto inspect = [&](const SyncEngine& eng) {
+    if (!proto.explicit_overlay) return;
+    const ElectionVerdict v = judge_election(eng);
+    if (v.unique_leader && !eng.anonymous())
+      winner_uid = eng.uid_of(v.leader_slot);
+    for (NodeId slot = 0; slot < eng.graph().n(); ++slot) {
+      const auto* p = dynamic_cast<const ExplicitProcess*>(eng.process(slot));
+      if (p != nullptr && p->known_leader().has_value()) {
+        ++know_count;
+        learned.insert(*p->known_leader());
+      }
+    }
+  };
+  out.report = run_election(g, factory, opt, inspect);
+  const ElectionReport& rep = out.report;
+  auto violate = [&out](std::string v) { out.violations.push_back(std::move(v)); };
+
+  // --- safety ---
+  if (rep.verdict.elected > 1)
+    violate("safety: " + std::to_string(rep.verdict.elected) + " leaders");
+  const bool must_elect = proto.contract != Contract::MonteCarlo;
+  if (must_elect && !rep.verdict.unique_leader)
+    violate("safety: " + std::string(to_string(proto.contract)) +
+            " contract, but elected=" + std::to_string(rep.verdict.elected) +
+            " undecided=" + std::to_string(rep.verdict.undecided));
+  if (rep.verdict.elected == 1 && rep.verdict.undecided != 0 &&
+      rep.run.completed)
+    violate("safety: a leader exists but " +
+            std::to_string(rep.verdict.undecided) + " nodes never decided");
+
+  // --- explicit overlay agreement ---
+  if (proto.explicit_overlay && rep.verdict.unique_leader) {
+    if (know_count != g.n())
+      violate("explicit: only " + std::to_string(know_count) + "/" +
+              std::to_string(g.n()) + " nodes learned a leader id");
+    if (learned.size() > 1)
+      violate("explicit: nodes disagree on the leader id (" +
+              std::to_string(learned.size()) + " distinct)");
+    if (winner_uid && learned.size() == 1 && *learned.begin() != *winner_uid)
+      violate("explicit: learned id != the winner's uid");
+  }
+
+  // --- liveness / budget ---
+  if (!rep.run.completed)
+    violate("liveness: no quiescence within " +
+            std::to_string(opt.max_rounds) + " rounds (envelope " +
+            std::to_string(round_env) + ")");
+  else if (rep.run.rounds > round_env)
+    violate("liveness: " + std::to_string(rep.run.rounds) +
+            " rounds > envelope " + std::to_string(round_env));
+  if (rep.run.messages > msg_env)
+    violate("budget: " + std::to_string(rep.run.messages) +
+            " messages > envelope " + std::to_string(msg_env));
+
+  // --- congest ---
+  if (rep.run.congest_violations != 0)
+    violate("congest: " + std::to_string(rep.run.congest_violations) +
+            " violations");
+
+  // --- determinism across thread counts ---
+  if (cfg.check_determinism && s.threads > 1) {
+    RunOptions popt = opt;
+    popt.threads = s.threads;
+    popt.parallel_cutoff = 1;  // force every round through the sharded path
+    const ElectionReport par = run_election(g, factory, popt);
+    const unsigned t = s.threads;
+    if (par.run.rounds != rep.run.rounds)
+      violate(counter_diff("rounds", rep.run.rounds, par.run.rounds, t));
+    if (par.run.executed_rounds != rep.run.executed_rounds)
+      violate(counter_diff("executed_rounds", rep.run.executed_rounds,
+                           par.run.executed_rounds, t));
+    if (par.run.node_steps != rep.run.node_steps)
+      violate(counter_diff("node_steps", rep.run.node_steps,
+                           par.run.node_steps, t));
+    if (par.run.messages != rep.run.messages)
+      violate(counter_diff("messages", rep.run.messages, par.run.messages, t));
+    if (par.run.bits != rep.run.bits)
+      violate(counter_diff("bits", rep.run.bits, par.run.bits, t));
+    if (par.run.congest_violations != rep.run.congest_violations)
+      violate(counter_diff("congest_violations", rep.run.congest_violations,
+                           par.run.congest_violations, t));
+    if (par.run.last_status_change != rep.run.last_status_change)
+      violate(counter_diff("last_status_change", rep.run.last_status_change,
+                           par.run.last_status_change, t));
+    if (par.statuses != rep.statuses)
+      violate("determinism: per-node statuses differ at threads=" +
+              std::to_string(t));
+    if (par.sent_by_node != rep.sent_by_node)
+      violate("determinism: per-node send counts differ at threads=" +
+              std::to_string(t));
+  }
+
+  return out;
+}
+
+}  // namespace ule

@@ -1,0 +1,63 @@
+// Run one Scenario through the SyncEngine and judge it against the generic
+// conformance invariants:
+//
+//   safety       at most one node ends Elected; under a Deterministic or
+//                Las Vegas contract exactly one, with everyone else
+//                NonElected.  Explicit overlays must additionally leave
+//                every node knowing the SAME leader identity (the winner's
+//                uid, or its announcement token when anonymous).
+//   liveness     the run quiesces (completed), within the protocol's
+//                registered round envelope, and within its message budget.
+//   congest      zero CONGEST violations (one O(log n)-bit message per edge
+//                direction per round), counted by the engine.
+//   determinism  when scenario.threads > 1, a rerun on that worker count
+//                (with the sequential cutoff forced to 1, so every round
+//                takes the sharded path) must match the threads=1 run on
+//                every counter, every node status and every per-node send
+//                count — the PR-2 guarantee extended to the whole space.
+//
+// A scenario that names unknown registry entries or violates a protocol's
+// prerequisites (knowledge grant too weak, adversarial wakeup on a
+// wakeup-intolerant protocol, non-complete family for a complete-only
+// protocol, params out of range) throws std::invalid_argument: that is a
+// configuration error, not a conformance violation.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+
+namespace ule {
+
+struct ScenarioRunConfig {
+  /// Rerun at scenario.threads (when > 1) and diff against the threads=1 run.
+  bool check_determinism = true;
+  /// Engine round cap = round_envelope * this (breaching the envelope is the
+  /// violation; the cap only bounds how long a broken run can spin).
+  Round envelope_slack = 4;
+};
+
+struct ScenarioOutcome {
+  Scenario scenario;
+  ScenarioShape shape;
+  ElectionReport report;                ///< the threads=1 reference run
+  std::vector<std::string> violations;  ///< empty = conformant
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Build the scenario's graph (replayable: depends only on family params and
+/// scenario.seed).  Throws std::invalid_argument on bad family / params.
+Graph build_scenario_graph(const FamilyRegistry& families, const Scenario& s);
+
+/// The wakeup schedule of `s` for an n-node graph (empty = simultaneous).
+std::vector<Round> scenario_wakeup(const Scenario& s, std::size_t n);
+
+ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
+                             const FamilyRegistry& families, const Scenario& s,
+                             const ScenarioRunConfig& cfg = {});
+
+}  // namespace ule

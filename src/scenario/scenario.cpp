@@ -1,0 +1,200 @@
+#include "scenario/scenario.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace ule {
+
+namespace {
+
+constexpr const char* kVersion = "ule1";
+
+[[noreturn]] void bad(const std::string& token, const std::string& why) {
+  throw std::invalid_argument("bad scenario token \"" + token + "\": " + why);
+}
+
+bool valid_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+std::uint64_t parse_u64(const std::string& token, std::string_view digits) {
+  std::uint64_t v = 0;
+  const auto [p, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), v);
+  if (ec != std::errc{} || p != digits.data() + digits.size())
+    bad(token, "expected an unsigned integer, got \"" + std::string(digits) +
+                   "\"");
+  return v;
+}
+
+/// Split on top-level ':' (braces never nest and never contain ':').
+std::vector<std::string> split_fields(const std::string& token) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : token) {
+    if (c == ':') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(KnowledgeGrant k) {
+  switch (k) {
+    case KnowledgeGrant::None: return "none";
+    case KnowledgeGrant::N: return "n";
+    case KnowledgeGrant::ND: return "nd";
+    case KnowledgeGrant::NMD: return "nmd";
+  }
+  return "?";
+}
+
+const char* to_string(WakeupKind w) {
+  switch (w) {
+    case WakeupKind::Simultaneous: return "sim";
+    case WakeupKind::Random: return "rand";
+    case WakeupKind::Single: return "one";
+  }
+  return "?";
+}
+
+std::string Scenario::encode() const {
+  std::string out = kVersion;
+  out += ':';
+  out += family;
+  out += '{';
+  bool first = true;
+  for (const auto& [name, value] : params) {
+    if (!first) out += ',';
+    first = false;
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  }
+  out += "}:";
+  out += protocol;
+  out += ":k=";
+  out += to_string(knowledge);
+  out += ":w=";
+  out += to_string(wakeup);
+  if (wakeup == WakeupKind::Random) {
+    out += '.';
+    out += std::to_string(wakeup_spread);
+  } else if (wakeup == WakeupKind::Single) {
+    out += '.';
+    out += std::to_string(wakeup_node);
+  }
+  out += ":s=";
+  out += std::to_string(seed);
+  out += ":t=";
+  out += std::to_string(threads);
+  return out;
+}
+
+Scenario Scenario::parse(const std::string& token) {
+  const std::vector<std::string> fields = split_fields(token);
+  if (fields.size() != 7) bad(token, "expected 7 ':'-separated fields");
+  if (fields[0] != kVersion)
+    bad(token, "unknown version tag \"" + fields[0] + "\"");
+
+  Scenario s;
+
+  // family{p=v,...}
+  {
+    const std::string& f = fields[1];
+    const std::size_t open = f.find('{');
+    if (open == std::string::npos || f.back() != '}')
+      bad(token, "family field must look like name{p=v,...}");
+    s.family = f.substr(0, open);
+    if (!valid_name(s.family)) bad(token, "invalid family name");
+    const std::string body = f.substr(open + 1, f.size() - open - 2);
+    if (!body.empty()) {
+      std::size_t pos = 0;
+      while (pos <= body.size()) {
+        std::size_t comma = body.find(',', pos);
+        if (comma == std::string::npos) comma = body.size();
+        const std::string item = body.substr(pos, comma - pos);
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+          bad(token, "family param \"" + item + "\" must be name=value");
+        const std::string name = item.substr(0, eq);
+        if (!valid_name(name)) bad(token, "invalid param name \"" + name + "\"");
+        s.params.emplace_back(name, parse_u64(token, item.substr(eq + 1)));
+        pos = comma + 1;
+        if (comma == body.size()) break;
+      }
+    }
+  }
+
+  s.protocol = fields[2];
+  if (!valid_name(s.protocol)) bad(token, "invalid protocol name");
+
+  // k=...
+  {
+    const std::string& f = fields[3];
+    if (f.rfind("k=", 0) != 0) bad(token, "fourth field must be k=...");
+    const std::string v = f.substr(2);
+    if (v == "none") s.knowledge = KnowledgeGrant::None;
+    else if (v == "n") s.knowledge = KnowledgeGrant::N;
+    else if (v == "nd") s.knowledge = KnowledgeGrant::ND;
+    else if (v == "nmd") s.knowledge = KnowledgeGrant::NMD;
+    else bad(token, "unknown knowledge grant \"" + v + "\"");
+  }
+
+  // w=...
+  {
+    const std::string& f = fields[4];
+    if (f.rfind("w=", 0) != 0) bad(token, "fifth field must be w=...");
+    const std::string v = f.substr(2);
+    if (v == "sim") {
+      s.wakeup = WakeupKind::Simultaneous;
+    } else if (v.rfind("rand.", 0) == 0) {
+      s.wakeup = WakeupKind::Random;
+      s.wakeup_spread = parse_u64(token, std::string_view(v).substr(5));
+    } else if (v.rfind("one.", 0) == 0) {
+      s.wakeup = WakeupKind::Single;
+      s.wakeup_node = parse_u64(token, std::string_view(v).substr(4));
+    } else {
+      bad(token, "unknown wakeup schedule \"" + v + "\"");
+    }
+  }
+
+  // s=...
+  {
+    const std::string& f = fields[5];
+    if (f.rfind("s=", 0) != 0) bad(token, "sixth field must be s=...");
+    s.seed = parse_u64(token, std::string_view(f).substr(2));
+  }
+
+  // t=...
+  {
+    const std::string& f = fields[6];
+    if (f.rfind("t=", 0) != 0) bad(token, "seventh field must be t=...");
+    const std::uint64_t t = parse_u64(token, std::string_view(f).substr(2));
+    if (t == 0 || t > 64) bad(token, "threads must be in [1, 64]");
+    s.threads = static_cast<unsigned>(t);
+  }
+
+  return s;
+}
+
+std::uint64_t Scenario::param(const std::string& name) const {
+  for (const auto& [n, v] : params) {
+    if (n == name) return v;
+  }
+  throw std::invalid_argument("scenario " + encode() + " has no param \"" +
+                              name + "\"");
+}
+
+}  // namespace ule

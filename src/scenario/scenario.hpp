@@ -1,0 +1,77 @@
+// A Scenario is one point in the universal conformance space: graph family
+// (with parameters) × protocol × knowledge grant × wakeup schedule × seed ×
+// thread count.
+//
+// The paper's headline claim is *universality* — its bounds hold for every
+// graph, knowledge regime and wakeup schedule — so the conformance surface
+// cannot be a hand-enumerated grid.  A Scenario is the unit the randomized
+// conformance fuzzer draws, runs, and (on failure) shrinks; the string
+// round-trip (`encode()` / `parse()`) makes any run replayable from a single
+// printed token:
+//
+//   ule1:gnm{n=40,m=100}:least_el_all:k=n:w=rand.20:s=7919:t=2
+//
+// Fields, colon-separated after the `ule1` version tag:
+//   family{p1=v1,p2=v2}   graph family + integer params (registry order)
+//   protocol              protocol-registry key
+//   k=none|n|nd|nmd       knowledge grant (always the exact true values)
+//   w=sim | rand.S | one.W   wakeup schedule: simultaneous, random in
+//                         [0,S] (earliest forced to 0), or only node W%n
+//   s=SEED                run seed (drives ids, coins, the graph when the
+//                         family is randomized, and the wakeup schedule)
+//   t=THREADS             engine worker threads (the determinism axis)
+//
+// `parse(encode(s)) == s` holds for every Scenario, and equal Scenarios
+// produce bit-for-bit identical runs (the engine is a pure function of
+// (graph, processes, seed); see net/engine.hpp).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace ule {
+
+/// Which global parameters every node is told (always the true values).
+/// Ordered as a chain None < N < ND < NMD so "grant at least what the
+/// protocol requires" is a simple comparison.
+enum class KnowledgeGrant : std::uint8_t { None = 0, N = 1, ND = 2, NMD = 3 };
+
+enum class WakeupKind : std::uint8_t { Simultaneous, Random, Single };
+
+/// Integer family parameters in registry-declared order.
+using ScenarioParams = std::vector<std::pair<std::string, std::uint64_t>>;
+
+struct Scenario {
+  std::string family;
+  ScenarioParams params;
+  std::string protocol;
+  KnowledgeGrant knowledge = KnowledgeGrant::None;
+  WakeupKind wakeup = WakeupKind::Simultaneous;
+  Round wakeup_spread = 0;        ///< Random only: wake rounds in [0, spread]
+  std::uint64_t wakeup_node = 0;  ///< Single only: the waker (taken mod n)
+  std::uint64_t seed = 1;
+  unsigned threads = 1;
+
+  bool operator==(const Scenario&) const = default;
+
+  /// The replay token (see file comment).
+  std::string encode() const;
+  /// Inverse of encode(); throws std::invalid_argument with a diagnostic on
+  /// malformed tokens.  Structural only — family/protocol names and param
+  /// ranges are validated against the registries when the scenario is run.
+  static Scenario parse(const std::string& token);
+
+  /// Value of a named family parameter; throws std::invalid_argument when
+  /// the scenario does not carry it.
+  std::uint64_t param(const std::string& name) const;
+};
+
+const char* to_string(KnowledgeGrant k);
+const char* to_string(WakeupKind w);
+
+}  // namespace ule

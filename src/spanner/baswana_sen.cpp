@@ -7,11 +7,56 @@
 #include <string>
 #include <vector>
 
+#include "election/channels.hpp"
 #include "net/message.hpp"
 
 namespace ule {
 
 namespace {
+
+// --- flat fast path (the default wire format) ------------------------------
+// A cluster-state announcement needs center (one id word) plus depth, phase
+// and the sampled bit; depth and phase are hop / level counters that fit 32
+// bits each, so both bit-pack into the second payload word and the sampled
+// bit rides the flag byte.  Accounted wire sizes match the legacy messages
+// exactly, so both formats produce identical RunResult counters.
+namespace spannerwire {
+inline constexpr std::uint16_t kState = 1;
+inline constexpr std::uint16_t kAddEdge = 2;
+inline constexpr std::uint8_t kSampledFlag = 1;
+inline constexpr std::uint32_t kStateBits =
+    wire::kTypeTag + wire::kIdField + 2 * wire::kCounter + wire::kFlag;
+inline constexpr std::uint32_t kAddEdgeBits = wire::kTypeTag;
+
+inline FlatMsg state(std::uint64_t center, bool sampled, std::uint32_t depth,
+                     std::uint32_t phase) {
+  FlatMsg m;
+  m.type = kState;
+  m.channel = channel::kSpanner;
+  m.flags = sampled ? kSampledFlag : 0;
+  m.bits = kStateBits;
+  m.a = center;
+  m.b = (static_cast<std::uint64_t>(phase) << 32) | depth;
+  return m;
+}
+
+inline FlatMsg add_edge() {
+  FlatMsg m;
+  m.type = kAddEdge;
+  m.channel = channel::kSpanner;
+  m.bits = kAddEdgeBits;
+  return m;
+}
+
+inline std::uint32_t depth_of(const FlatMsg& m) {
+  return static_cast<std::uint32_t>(m.b);
+}
+inline std::uint32_t phase_of(const FlatMsg& m) {
+  return static_cast<std::uint32_t>(m.b >> 32);
+}
+}  // namespace spannerwire
+
+// --- legacy pointer path (SpannerConfig::legacy_wire) ----------------------
 
 /// Cluster-state flood: (center, sampled-bit for this phase, sender depth).
 struct StateMsg final : Message {
@@ -20,9 +65,7 @@ struct StateMsg final : Message {
   std::uint32_t depth = 0;
   std::uint32_t phase = 0;
 
-  std::uint32_t size_bits() const override {
-    return wire::kTypeTag + wire::kIdField + 2 * wire::kCounter + wire::kFlag;
-  }
+  std::uint32_t size_bits() const override { return spannerwire::kStateBits; }
   std::string debug_string() const override {
     return "spanner-state(c" + std::to_string(center) +
            (sampled ? ",S" : ",u") + ")";
@@ -31,7 +74,9 @@ struct StateMsg final : Message {
 
 /// "The edge we share is in the spanner."
 struct AddEdgeMsg final : Message {
-  std::uint32_t size_bits() const override { return wire::kTypeTag; }
+  std::uint32_t size_bits() const override {
+    return spannerwire::kAddEdgeBits;
+  }
   std::string debug_string() const override { return "spanner-add-edge"; }
 };
 
@@ -54,7 +99,28 @@ void BaswanaSenProcess::add_spanner_port(Context& /*ctx*/, PortId p,
   if (in_spanner_[p]) return;
   in_spanner_[p] = true;
   spanner_ports_.push_back(p);
-  if (notify) outbox_.queue(p, std::make_shared<AddEdgeMsg>());
+  if (notify) {
+    if (cfg_.legacy_wire) {
+      outbox_.queue(p, std::make_shared<AddEdgeMsg>());
+    } else {
+      outbox_.queue(p, spannerwire::add_edge());
+    }
+  }
+}
+
+void BaswanaSenProcess::queue_state_broadcast(Context& ctx,
+                                              std::uint32_t phase) {
+  if (cfg_.legacy_wire) {
+    auto m = std::make_shared<StateMsg>();
+    m->center = center_;
+    m->sampled = sampled_;
+    m->depth = depth_;
+    m->phase = phase;
+    outbox_.queue_broadcast(ctx, m);
+  } else {
+    outbox_.queue_broadcast(ctx,
+                            spannerwire::state(center_, sampled_, depth_, phase));
+  }
 }
 
 void BaswanaSenProcess::begin_window(Context& ctx, std::uint32_t phase) {
@@ -69,12 +135,7 @@ void BaswanaSenProcess::begin_window(Context& ctx, std::uint32_t phase) {
     const double p = std::pow(n, -1.0 / static_cast<double>(cfg_.k));
     sampled_ = (phase < cfg_.k) && ctx.rng().bernoulli(p);
     have_bit_ = true;
-    auto m = std::make_shared<StateMsg>();
-    m->center = center_;
-    m->sampled = sampled_;
-    m->depth = 0;
-    m->phase = phase;
-    outbox_.queue_broadcast(ctx, m);
+    queue_state_broadcast(ctx, phase);
   }
 }
 
@@ -110,31 +171,43 @@ void BaswanaSenProcess::decide(Context& ctx, std::uint32_t phase) {
   }
 }
 
+void BaswanaSenProcess::handle_state(Context& ctx, PortId port,
+                                     std::uint64_t center, bool sampled,
+                                     std::uint32_t depth, std::uint32_t phase) {
+  nbr_[port] = NbrState{true, center, sampled, depth};
+  if (clustered_ && center == center_ && !have_bit_ && phase == phase_) {
+    // Our own cluster's sampled-bit flood reached us: adopt and relay.
+    have_bit_ = true;
+    sampled_ = sampled;
+    queue_state_broadcast(ctx, phase_);
+  }
+}
+
 void BaswanaSenProcess::spanner_round(Context& ctx,
                                       std::span<const Envelope> inbox) {
   const Round r = ctx.round();
   if (phase_ <= cfg_.k && r == window_start(phase_)) begin_window(ctx, phase_);
 
   for (const auto& env : inbox) {
+    if (env.is_flat()) {
+      if (env.flat.channel != channel::kSpanner) continue;  // e.g. election
+      if (env.flat.type == spannerwire::kAddEdge) {
+        add_spanner_port(ctx, env.port, /*notify=*/false);
+      } else if (env.flat.type == spannerwire::kState) {
+        handle_state(ctx, env.port, env.flat.a,
+                     (env.flat.flags & spannerwire::kSampledFlag) != 0,
+                     spannerwire::depth_of(env.flat),
+                     spannerwire::phase_of(env.flat));
+      }
+      continue;
+    }
     if (dynamic_cast<const AddEdgeMsg*>(env.msg.get()) != nullptr) {
       add_spanner_port(ctx, env.port, /*notify=*/false);
       continue;
     }
     const auto* sm = dynamic_cast<const StateMsg*>(env.msg.get());
     if (!sm) continue;
-    nbr_[env.port] =
-        NbrState{true, sm->center, sm->sampled, sm->depth};
-    if (clustered_ && sm->center == center_ && !have_bit_ &&
-        sm->phase == phase_) {
-      have_bit_ = true;
-      sampled_ = sm->sampled;
-      auto m = std::make_shared<StateMsg>();
-      m->center = center_;
-      m->sampled = sampled_;
-      m->depth = depth_;
-      m->phase = phase_;
-      outbox_.queue_broadcast(ctx, m);
-    }
+    handle_state(ctx, env.port, sm->center, sm->sampled, sm->depth, sm->phase);
   }
 
   if (phase_ <= cfg_.k && r == window_start(phase_) + phase_) {

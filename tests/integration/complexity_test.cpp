@@ -4,17 +4,24 @@
 
 #include <cmath>
 
-#include "election/clustering.hpp"
-#include "election/dfs_election.hpp"
-#include "election/kingdom.hpp"
 #include "election/least_el.hpp"
 #include "graphgen/generators.hpp"
 #include "graphgen/graph_algos.hpp"
 #include "helpers.hpp"
 #include "net/engine.hpp"
+#include "scenario/registry.hpp"
 
 namespace ule {
 namespace {
+
+/// Registry-backed factory (no ad hoc re-declaration of protocol configs):
+/// grants exactly the protocol's required knowledge for this graph.
+/// `diameter` only matters for protocols whose config embeds D.
+ProcessFactory registered(const char* name, const Graph& g, RunOptions& opt,
+                          std::uint32_t diameter = 0) {
+  return prepare_protocol(default_protocols().at(name), shape_of(g, diameter),
+                          opt);
+}
 
 TEST(Complexity, LeastElTimeScalesWithDiameterNotN) {
   // Same n, different D: time tracks D.
@@ -22,12 +29,9 @@ TEST(Complexity, LeastElTimeScalesWithDiameterNotN) {
   const Graph dense = make_random_connected(120, 1500, rng);  // small D
   const Graph ring = make_cycle(120);                         // D = 60
   RunOptions opt;
-  opt.knowledge = Knowledge::of_n(120);
   opt.seed = 5;
-  const auto fast = run_election(
-      dense, make_least_el(LeastElConfig::all_candidates()), opt);
-  const auto slow = run_election(
-      ring, make_least_el(LeastElConfig::all_candidates()), opt);
+  const auto fast = run_election(dense, registered("least_el_all", dense, opt), opt);
+  const auto slow = run_election(ring, registered("least_el_all", ring, opt), opt);
   EXPECT_TRUE(fast.verdict.unique_leader);
   EXPECT_TRUE(slow.verdict.unique_leader);
   EXPECT_LT(fast.run.rounds * 4, slow.run.rounds);
@@ -42,10 +46,8 @@ TEST(Complexity, LeastElMessagesScaleLinearlyWithM) {
   for (const std::size_t m : {300u, 900u, 2700u}) {
     const Graph g = make_random_connected(n, m, rng);
     RunOptions opt;
-    opt.knowledge = Knowledge::of_n(n);
     opt.seed = 9;
-    const auto rep = run_election(
-        g, make_least_el(LeastElConfig::all_candidates()), opt);
+    const auto rep = run_election(g, registered("least_el_all", g, opt), opt);
     EXPECT_TRUE(rep.verdict.unique_leader);
     ratio.push_back(static_cast<double>(rep.run.messages) / m);
   }
@@ -64,10 +66,9 @@ TEST(Complexity, DfsMessagesFlatAcrossDiameters) {
                                      make_random_connected(80, 320, rng)};
   for (const Graph& g : graphs) {
     RunOptions opt;
-    opt.ids = IdScheme::RandomPermutation;
     opt.seed = 13;
     opt.max_rounds = Round{1} << 62;
-    const auto rep = run_election(g, make_dfs_election(), opt);
+    const auto rep = run_election(g, registered("dfs", g, opt), opt);
     EXPECT_TRUE(rep.verdict.unique_leader) << g.summary();
     const double ratio = static_cast<double>(rep.run.messages) /
                          static_cast<double>(g.m());
@@ -80,22 +81,26 @@ TEST(Complexity, CandidateReductionOrdersMessageCosts) {
   // (Theorem 4.4's trade-off), all on the same dense graph.
   Rng rng(4);
   const Graph g = make_random_connected(250, 2500, rng);
-  auto mean_msgs = [&](LeastElConfig cfg) {
+  auto mean_msgs = [&](const ProcessFactory& factory, const RunOptions& base) {
     std::uint64_t total = 0;
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      RunOptions opt;
-      opt.knowledge = Knowledge::of_n(g.n());
+      RunOptions opt = base;
       opt.seed = seed;
-      total += run_election(g, make_least_el(cfg), opt).run.messages;
+      total += run_election(g, factory, opt).run.messages;
     }
     return total / 5;
   };
-  const auto full = mean_msgs(LeastElConfig::all_candidates());
-  const auto logn = mean_msgs(LeastElConfig::variant_A(g.n()));
+  RunOptions fopt, lopt;
+  const auto full = mean_msgs(registered("least_el_all", g, fopt), fopt);
+  const auto logn = mean_msgs(registered("least_el_logn", g, lopt), lopt);
   // A genuinely small constant f: variant_B(eps) = 4 ln(1/eps) only drops
   // below log2 n for n > 2^{4 ln(1/eps)} -- at n = 250 that needs
-  // eps >~ 0.25, so use f = 2 directly for an unambiguous ordering.
-  const auto constant = mean_msgs(LeastElConfig::theorem_4_4(2.0));
+  // eps >~ 0.25, so use f = 2 directly for an unambiguous ordering (an
+  // ablation config, deliberately not a registry entry).
+  RunOptions copt;
+  copt.knowledge = Knowledge::of_n(g.n());
+  const auto constant =
+      mean_msgs(make_least_el(LeastElConfig::theorem_4_4(2.0)), copt);
   EXPECT_GT(full, logn);
   EXPECT_GE(logn, constant);
 }
@@ -108,7 +113,7 @@ TEST(Complexity, KingdomMessagesTrackMLogN) {
     const Graph g = make_random_connected(n, 4 * n, rng);
     RunOptions opt;
     opt.seed = 3;
-    const auto rep = run_election(g, make_kingdom(), opt);
+    const auto rep = run_election(g, registered("kingdom", g, opt), opt);
     EXPECT_TRUE(rep.verdict.unique_leader);
     ratios.push_back(static_cast<double>(rep.run.messages) /
                      (g.m() * std::log2(static_cast<double>(n))));
@@ -123,11 +128,10 @@ TEST(Complexity, ClusteringWinsOnDenseLosesOnSparse) {
   Rng rng(6);
   const Graph dense = make_random_connected(150, 4000, rng);
   RunOptions opt;
-  opt.knowledge = Knowledge::of_n(150);
   opt.seed = 21;
-  const auto cl = run_election(dense, make_clustering(), opt);
-  const auto le = run_election(
-      dense, make_least_el(LeastElConfig::all_candidates()), opt);
+  const auto cl = run_election(dense, registered("clustering", dense, opt), opt);
+  const auto le =
+      run_election(dense, registered("least_el_all", dense, opt), opt);
   EXPECT_TRUE(cl.verdict.unique_leader);
   EXPECT_TRUE(le.verdict.unique_leader);
   EXPECT_LT(cl.run.messages, le.run.messages);
@@ -139,10 +143,9 @@ TEST(Complexity, StatusesStabilizeBeforeQuiescence) {
   const auto fams = testing::standard_families();
   for (const auto& fam : fams) {
     RunOptions opt;
-    opt.knowledge = Knowledge::of_n(fam.graph.n());
     opt.seed = 2;
     const auto rep = run_election(
-        fam.graph, make_least_el(LeastElConfig::all_candidates()), opt);
+        fam.graph, registered("least_el_all", fam.graph, opt), opt);
     EXPECT_TRUE(rep.verdict.unique_leader) << fam.name;
     EXPECT_LE(rep.run.last_status_change, rep.run.rounds) << fam.name;
   }

@@ -1,113 +1,91 @@
-// CONGEST honesty, checked everywhere: every algorithm x every graph family
-// must send at most one O(log n)-bit message per edge direction per round.
-// The engine counts violations; a clean implementation has exactly zero.
-// This is what makes the Table-1 message/time measurements comparable to the
-// paper's CONGEST-model claims.
+// CONGEST honesty, checked everywhere: every REGISTERED protocol x every
+// graph family must send at most one O(log n)-bit message per edge direction
+// per round.  The engine counts violations; a clean implementation has
+// exactly zero.  This is what makes the Table-1 message/time measurements
+// comparable to the paper's CONGEST-model claims.
+//
+// The protocol list is the scenario registry (scenario/registry.hpp):
+// registering a protocol automatically adds its rows here.
 
 #include <gtest/gtest.h>
 
-#include "election/clustering.hpp"
-#include "election/dfs_election.hpp"
-#include "election/explicit_elect.hpp"
-#include "election/flood_max.hpp"
+#include <string>
+#include <vector>
+
 #include "election/kingdom.hpp"
 #include "election/least_el.hpp"
-#include "election/size_estimate.hpp"
 #include "helpers.hpp"
 #include "net/engine.hpp"
-#include "spanner/spanner_elect.hpp"
+#include "scenario/registry.hpp"
 
 namespace ule {
 namespace {
 
 using testing::Family;
 
-struct CongestAlgo {
-  std::string name;
-  std::function<ProcessFactory(const Family&, RunOptions&)> prepare;
+const std::vector<Family>& families() {
+  static const std::vector<Family> fams = testing::standard_families();
+  return fams;
+}
+
+struct Cell {
+  std::size_t fam;
+  std::size_t proto;
 };
 
-std::vector<CongestAlgo> congest_algorithms() {
-  std::vector<CongestAlgo> algos;
-  algos.push_back({"flood_max", [](const Family&, RunOptions&) {
-                     return make_flood_max();
-                   }});
-  algos.push_back({"least_el_all", [](const Family& f, RunOptions& opt) {
-                     opt.knowledge = Knowledge::of_n(f.graph.n());
-                     return make_least_el(LeastElConfig::all_candidates());
-                   }});
-  algos.push_back({"least_el_logn", [](const Family& f, RunOptions& opt) {
-                     opt.knowledge = Knowledge::of_n(f.graph.n());
-                     return make_least_el(
-                         LeastElConfig::variant_A(f.graph.n()));
-                   }});
-  algos.push_back({"las_vegas", [](const Family& f, RunOptions& opt) {
-                     opt.knowledge = Knowledge::of_n_d(f.graph.n(), f.diameter);
-                     return make_least_el(LeastElConfig::las_vegas(f.diameter));
-                   }});
-  algos.push_back({"size_estimate", [](const Family&, RunOptions&) {
-                     return make_size_estimate_elect();
-                   }});
-  algos.push_back({"clustering", [](const Family& f, RunOptions& opt) {
-                     opt.knowledge = Knowledge::of_n(f.graph.n());
-                     return make_clustering();
-                   }});
-  algos.push_back({"kingdom", [](const Family&, RunOptions& opt) {
-                     opt.max_rounds = 1'000'000;
-                     return make_kingdom();
-                   }});
-  algos.push_back({"dfs", [](const Family&, RunOptions& opt) {
-                     opt.ids = IdScheme::RandomPermutation;
-                     opt.max_rounds = Round{1} << 62;
-                     return make_dfs_election();
-                   }});
-  algos.push_back({"spanner_elect", [](const Family& f, RunOptions& opt) {
-                     opt.knowledge = Knowledge::of_n(f.graph.n());
-                     return make_spanner_elect(SpannerElectConfig{3, 0});
-                   }});
-  algos.push_back({"explicit_flood_max", [](const Family&, RunOptions&) {
-                     return make_explicit(make_flood_max());
-                   }});
-  return algos;
+const std::vector<Cell>& cells() {
+  static const std::vector<Cell> all = [] {
+    std::vector<Cell> out;
+    const auto& protos = default_protocols().all();
+    for (std::size_t fi = 0; fi < families().size(); ++fi) {
+      // The same completeness definition the runner itself enforces.
+      const bool complete =
+          shape_of(families()[fi].graph, families()[fi].diameter).complete;
+      for (std::size_t pi = 0; pi < protos.size(); ++pi) {
+        if (protos[pi].needs_complete && !complete) continue;
+        out.push_back({fi, pi});
+      }
+    }
+    return out;
+  }();
+  return all;
 }
 
-class CongestMatrixTest
-    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+class CongestMatrixTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(CongestMatrixTest, ZeroViolations) {
-  static const std::vector<Family> fams = testing::standard_families();
-  static const std::vector<CongestAlgo> algos = congest_algorithms();
-  const auto [fi, ai] = GetParam();
-  const Family& fam = fams[fi];
-  const CongestAlgo& algo = algos[ai];
+  const Cell& cell = cells()[GetParam()];
+  const Family& fam = families()[cell.fam];
+  const ProtocolInfo& proto = default_protocols().all()[cell.proto];
 
   RunOptions opt;
-  opt.seed = 1000 + fi * 17 + ai;
+  opt.seed = 1000 + cell.fam * 17 + cell.proto;
   opt.congest = CongestMode::Count;
-  const ProcessFactory factory = algo.prepare(fam, opt);
+  const ScenarioShape shape = shape_of(fam.graph, fam.diameter);
+  const ProcessFactory factory = prepare_protocol(proto, shape, opt);
   const ElectionReport rep = run_election(fam.graph, factory, opt);
   EXPECT_EQ(rep.run.congest_violations, 0u)
-      << algo.name << " on " << fam.name;
-  EXPECT_TRUE(rep.verdict.unique_leader) << algo.name << " on " << fam.name;
+      << proto.name << " on " << fam.name;
+  EXPECT_LE(rep.verdict.elected, 1u) << proto.name << " on " << fam.name;
+  if (proto.contract != Contract::MonteCarlo) {
+    EXPECT_TRUE(rep.verdict.unique_leader)
+        << proto.name << " on " << fam.name;
+  }
+  EXPECT_TRUE(rep.run.completed) << proto.name << " on " << fam.name;
 }
 
-std::string congest_name(
-    const ::testing::TestParamInfo<std::tuple<std::size_t, std::size_t>>&
-        info) {
-  static const std::vector<Family> fams = testing::standard_families();
-  static const std::vector<CongestAlgo> algos = congest_algorithms();
-  std::string s = algos[std::get<1>(info.param)].name + "_on_" +
-                  fams[std::get<0>(info.param)].name;
+std::string congest_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  const Cell& cell = cells()[info.param];
+  std::string s = default_protocols().all()[cell.proto].name + "_on_" +
+                  families()[cell.fam].name;
   for (char& c : s)
     if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
   return s;
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllPairs, CongestMatrixTest,
-    ::testing::Combine(::testing::Range<std::size_t>(0, 16),
-                       ::testing::Range<std::size_t>(0, 10)),
-    congest_name);
+INSTANTIATE_TEST_SUITE_P(AllPairs, CongestMatrixTest,
+                         ::testing::Range<std::size_t>(0, cells().size()),
+                         congest_name);
 
 // In Enforce mode the engine throws on the first violation; a clean
 // algorithm must survive an entire enforced run.

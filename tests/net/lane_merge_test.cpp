@@ -1,0 +1,213 @@
+// Unit tests for the parallel-merge seams (previously covered only
+// end-to-end by the parallel-determinism matrix): counter-block summation
+// and fold order with hand-crafted SendLanes, first-exception-in-lane-order
+// selection, and the preservation of send order through the lane
+// concatenation at the receiving side.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "graphgen/generators.hpp"
+#include "net/engine.hpp"
+#include "net/outbox.hpp"
+
+namespace ule {
+namespace {
+
+// --- hand-crafted lanes: fold_lane_counters / merge_lane_counters ---------
+
+TEST(LaneMerge, CounterBlocksSumInLaneOrder) {
+  std::vector<SendLane> lanes(3);
+  lanes[0].messages = 5;
+  lanes[0].bits = 320;
+  lanes[1].messages = 7;
+  lanes[1].bits = 448;
+  lanes[1].congest_violations = 2;
+  lanes[2].messages = 1;
+  lanes[2].bits = 64;
+
+  RunResult result;
+  const std::exception_ptr err = merge_lane_counters(lanes, result, 17);
+  EXPECT_EQ(err, nullptr);
+  EXPECT_EQ(result.messages, 13u);
+  EXPECT_EQ(result.bits, 832u);
+  EXPECT_EQ(result.congest_violations, 2u);
+  EXPECT_EQ(result.last_status_change, 0u);  // nobody changed status
+  for (const SendLane& lane : lanes) {
+    EXPECT_EQ(lane.messages, 0u);  // blocks are zeroed by the fold
+    EXPECT_EQ(lane.bits, 0u);
+    EXPECT_EQ(lane.congest_violations, 0u);
+  }
+}
+
+TEST(LaneMerge, StatusChangeStampsTheFoldRound) {
+  SendLane lane;
+  lane.status_changed = true;  // a status change with zero sends must fold
+  RunResult result;
+  EXPECT_EQ(fold_lane_counters(lane, result, 42), nullptr);
+  EXPECT_EQ(result.last_status_change, 42u);
+  EXPECT_FALSE(lane.status_changed);
+
+  // A later quiet lane must NOT overwrite the stamp.
+  SendLane quiet;
+  EXPECT_EQ(fold_lane_counters(quiet, result, 99), nullptr);
+  EXPECT_EQ(result.last_status_change, 42u);
+}
+
+TEST(LaneMerge, FoldAccumulatesAcrossRounds) {
+  SendLane lane;
+  RunResult result;
+  lane.messages = 3;
+  lane.bits = 192;
+  ASSERT_EQ(fold_lane_counters(lane, result, 1), nullptr);
+  lane.messages = 4;
+  lane.bits = 256;
+  lane.status_changed = true;
+  ASSERT_EQ(fold_lane_counters(lane, result, 2), nullptr);
+  EXPECT_EQ(result.messages, 7u);
+  EXPECT_EQ(result.bits, 448u);
+  EXPECT_EQ(result.last_status_change, 2u);
+}
+
+TEST(LaneMerge, FirstErrorInLaneOrderWinsAndAllLanesStillFold) {
+  std::vector<SendLane> lanes(4);
+  lanes[0].messages = 1;
+  lanes[0].bits = 64;
+  lanes[1].messages = 2;
+  lanes[1].bits = 128;
+  lanes[1].error = std::make_exception_ptr(std::runtime_error("lane 1"));
+  lanes[2].messages = 4;
+  lanes[2].bits = 256;
+  lanes[3].error = std::make_exception_ptr(std::runtime_error("lane 3"));
+
+  RunResult result;
+  const std::exception_ptr err = merge_lane_counters(lanes, result, 5);
+  ASSERT_NE(err, nullptr);
+  try {
+    std::rethrow_exception(err);
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "lane 1");  // first in lane order, not lane 3
+  }
+  // Counters reflect every lane, including the ones at and past the error.
+  EXPECT_EQ(result.messages, 7u);
+  EXPECT_EQ(result.bits, 448u);
+  // Errors are consumed by the fold.
+  for (const SendLane& lane : lanes) EXPECT_EQ(lane.error, nullptr);
+}
+
+// --- engine-level seams ----------------------------------------------------
+
+/// Every spoke sends its slot number to the hub in one dense round; the hub
+/// records (arrival port, payload) in inbox order.  Because shards are
+/// contiguous ascending slot ranges and lanes are concatenated in lane
+/// order, the hub's inbox must be in sender-slot order at EVERY thread
+/// count — this is the envelope half of the ordered merge.
+class HubProcess final : public Process {
+ public:
+  void on_wake(Context& ctx, std::span<const Envelope> inbox) override {
+    on_round(ctx, inbox);
+  }
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    for (const auto& env : inbox)
+      arrivals_.emplace_back(env.port, env.flat.a);
+    ctx.idle();
+  }
+  const std::vector<std::pair<PortId, std::uint64_t>>& arrivals() const {
+    return arrivals_;
+  }
+
+ private:
+  std::vector<std::pair<PortId, std::uint64_t>> arrivals_;
+};
+
+class SpokeProcess final : public Process {
+ public:
+  void on_wake(Context& ctx, std::span<const Envelope>) override {
+    FlatMsg m;
+    m.type = 1;
+    m.channel = 77;
+    m.bits = 64;
+    m.a = ctx.slot();
+    ctx.send(0, m);  // a spoke's only port leads to the hub
+    ctx.halt();
+  }
+  void on_round(Context&, std::span<const Envelope>) override {}
+};
+
+std::vector<std::pair<PortId, std::uint64_t>> run_star(unsigned threads) {
+  const Graph g = make_star(33);  // hub 0, spokes 1..32 (hub port p -> p+1)
+  EngineConfig cfg;
+  cfg.seed = 3;
+  cfg.threads = threads;
+  cfg.parallel_cutoff = 1;  // force even these rounds through the pool
+  SyncEngine eng(g, cfg);
+  eng.init_processes([](NodeId s) -> std::unique_ptr<Process> {
+    if (s == 0) return std::make_unique<HubProcess>();
+    return std::make_unique<SpokeProcess>();
+  });
+  const RunResult res = eng.run();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.messages, 32u);
+  return dynamic_cast<const HubProcess*>(eng.process(0))->arrivals();
+}
+
+TEST(LaneMerge, LaneConcatenationPreservesSlotSendOrder) {
+  const auto base = run_star(1);
+  ASSERT_EQ(base.size(), 32u);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].first, i);       // hub port i <-> spoke i+1
+    EXPECT_EQ(base[i].second, i + 1);  // sender slots ascending
+  }
+  for (const unsigned t : {2u, 3u, 8u}) {
+    EXPECT_EQ(run_star(t), base) << "threads " << t;
+  }
+}
+
+/// Two nodes throw in the same dense round; the error surfaced must be the
+/// lowest-slot one at every thread count (first-in-lane-order = first in
+/// slot order), and counters must cover the sends that preceded the throw.
+class ThrowAtProcess final : public Process {
+ public:
+  explicit ThrowAtProcess(bool thrower) : thrower_(thrower) {}
+  void on_wake(Context& ctx, std::span<const Envelope>) override {
+    if (thrower_)
+      throw std::runtime_error("boom at slot " + std::to_string(ctx.slot()));
+    FlatMsg m;
+    m.type = 1;
+    m.channel = 77;
+    m.bits = 64;
+    ctx.send(0, m);
+    ctx.halt();
+  }
+  void on_round(Context&, std::span<const Envelope>) override {}
+
+ private:
+  bool thrower_;
+};
+
+TEST(LaneMerge, LowestSlotExceptionSurfacesAtEveryThreadCount) {
+  const Graph g = make_cycle(24);
+  for (const unsigned t : {1u, 4u}) {
+    EngineConfig cfg;
+    cfg.seed = 1;
+    cfg.threads = t;
+    cfg.parallel_cutoff = 1;
+    SyncEngine eng(g, cfg);
+    eng.init_processes([](NodeId s) {
+      return std::make_unique<ThrowAtProcess>(s == 7 || s == 19);
+    });
+    try {
+      eng.run();
+      FAIL() << "expected a throw at threads " << t;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at slot 7") << "threads " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,203 @@
+// The conformance fuzzer: a clean registry fuzzes violation-free and
+// deterministically; deliberately broken protocols are caught and shrunk to
+// minimal replay strings that still reproduce the failure.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "scenario/fuzzer.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+namespace ule {
+namespace {
+
+TEST(Fuzzer, CleanRegistryFuzzesViolationFree) {
+  FuzzConfig cfg;
+  cfg.master_seed = 0xCAFE;
+  cfg.count = 120;
+  cfg.max_n = 32;
+  const FuzzReport rep =
+      run_fuzz(default_protocols(), default_families(), cfg);
+  EXPECT_EQ(rep.scenarios_run, cfg.count);
+  EXPECT_TRUE(rep.ok()) << rep.failures.size() << " failures, first: "
+                        << (rep.failures.empty()
+                                ? ""
+                                : rep.failures[0].minimal.encode());
+  // The space is not degenerate: most runs elect, some exercise threads.
+  EXPECT_GT(rep.runs_elected, cfg.count / 2);
+  EXPECT_GT(rep.determinism_checked, 0u);
+}
+
+TEST(Fuzzer, DrawSequenceIsDeterministic) {
+  const auto draw_some = [] {
+    Rng rng(0xD5EED);
+    std::vector<std::string> tokens;
+    for (int i = 0; i < 50; ++i)
+      tokens.push_back(draw_scenario(rng, default_protocols(),
+                                     default_families(), 48, 0.25)
+                           .encode());
+    return tokens;
+  };
+  EXPECT_EQ(draw_some(), draw_some());
+}
+
+// --- deliberately broken protocols (test fixtures) -------------------------
+
+/// Violates safety everywhere: the two lowest slots both elect themselves.
+class TwoLeaders final : public Process {
+ public:
+  void on_wake(Context& ctx, std::span<const Envelope>) override {
+    ctx.set_status(ctx.slot() < 2 ? Status::Elected : Status::NonElected);
+    ctx.halt();
+  }
+  void on_round(Context&, std::span<const Envelope>) override {}
+};
+
+/// Violates safety only on graphs with n >= 10 (shrinking must stop at the
+/// boundary, not at the family minimum).
+class TwoLeadersAbove9 final : public Process {
+ public:
+  void on_wake(Context& ctx, std::span<const Envelope>) override {
+    const bool big = ctx.knowledge().require_n() >= 10;
+    ctx.set_status(ctx.slot() < (big ? 2u : 1u) ? Status::Elected
+                                                : Status::NonElected);
+    ctx.halt();
+  }
+  void on_round(Context&, std::span<const Envelope>) override {}
+};
+
+/// Violates liveness: node 0 sleeps far past any registered envelope before
+/// electing itself.
+class SlowPoke final : public Process {
+ public:
+  void on_wake(Context& ctx, std::span<const Envelope>) override {
+    if (ctx.slot() != 0) {
+      ctx.set_status(Status::NonElected);
+      ctx.halt();
+      return;
+    }
+    ctx.sleep_until(1'000'000);
+  }
+  void on_round(Context& ctx, std::span<const Envelope>) override {
+    ctx.set_status(Status::Elected);
+    ctx.halt();
+  }
+};
+
+ProtocolRegistry registry_with(const char* name,
+                               std::function<std::unique_ptr<Process>()> make) {
+  ProtocolRegistry reg;  // ONLY the broken protocol: every draw hits it
+  reg.add(ProtocolInfo{
+      name, Contract::Deterministic, KnowledgeGrant::N,
+      /*wakeup_tolerant=*/true, /*needs_complete=*/false,
+      /*explicit_overlay=*/false,
+      [make = std::move(make)](const ScenarioShape&, RunOptions&) {
+        return [make](NodeId) { return make(); };
+      },
+      [](const ScenarioShape& s) { return Round{64} + 2 * s.n; },
+      [](const ScenarioShape& s) { return std::uint64_t{64} + 16 * s.m; }});
+  return reg;
+}
+
+TEST(Fuzzer, CatchesAndShrinksASafetyBug) {
+  const ProtocolRegistry broken = registry_with(
+      "broken_duo", [] { return std::make_unique<TwoLeaders>(); });
+
+  FuzzConfig cfg;
+  cfg.master_seed = 7;
+  cfg.count = 5;
+  cfg.max_n = 40;
+  const FuzzReport rep = run_fuzz(broken, default_families(), cfg);
+  ASSERT_EQ(rep.failures.size(), 5u);  // every scenario fails
+
+  for (const FuzzFailure& f : rep.failures) {
+    EXPECT_FALSE(f.original_violations.empty());
+    EXPECT_FALSE(f.minimal_violations.empty());
+    EXPECT_EQ(f.minimal_violations[0].rfind("safety", 0), 0u)
+        << f.minimal_violations[0];
+
+    // The minimal scenario is fully simplified: simplest family at the
+    // smallest size that still has two slots to elect, simultaneous wakeup,
+    // one thread — and its token still reproduces the failure.
+    EXPECT_TRUE(f.minimal.family == "path" || f.minimal.family == "ring")
+        << f.minimal.encode();
+    EXPECT_LE(f.minimal.param("n"), 3u) << f.minimal.encode();
+    EXPECT_EQ(f.minimal.wakeup, WakeupKind::Simultaneous);
+    EXPECT_EQ(f.minimal.threads, 1u);
+    const Scenario replay = Scenario::parse(f.minimal.encode());
+    EXPECT_EQ(replay, f.minimal);
+    EXPECT_FALSE(
+        run_scenario(broken, default_families(), replay).ok());
+  }
+}
+
+TEST(Fuzzer, ShrinkStopsAtTheFailureBoundary) {
+  const ProtocolRegistry broken = registry_with(
+      "broken_above_9", [] { return std::make_unique<TwoLeadersAbove9>(); });
+
+  // Hand a known-failing scenario straight to the shrinker.
+  Scenario s;
+  s.family = "gnm";
+  s.params = {{"n", 36}, {"m", 90}};
+  s.protocol = "broken_above_9";
+  s.knowledge = KnowledgeGrant::NMD;
+  s.wakeup = WakeupKind::Random;
+  s.wakeup_spread = 12;
+  s.seed = 4242;
+  s.threads = 3;
+  ASSERT_FALSE(run_scenario(broken, default_families(), s).ok());
+
+  std::size_t steps = 0;
+  const Scenario minimal =
+      shrink_scenario(broken, default_families(), s, {}, &steps);
+  EXPECT_GT(steps, 0u);
+  EXPECT_FALSE(run_scenario(broken, default_families(), minimal).ok());
+  // n = 10 is the smallest failing size; 9 passes, so the shrinker must
+  // stop exactly there (decrement candidates make the minimum tight).
+  EXPECT_EQ(minimal.param("n"), 10u) << minimal.encode();
+  EXPECT_EQ(minimal.wakeup, WakeupKind::Simultaneous);
+  EXPECT_EQ(minimal.threads, 1u);
+  EXPECT_EQ(minimal.knowledge, KnowledgeGrant::N);  // the registered minimum
+
+  // Every further single-step simplification passes (local minimality).
+  Scenario smaller = minimal;
+  smaller.params = {{"n", 9}};
+  EXPECT_TRUE(run_scenario(broken, default_families(), smaller).ok());
+}
+
+TEST(Fuzzer, CatchesALivenessBug) {
+  const ProtocolRegistry broken =
+      registry_with("slow_poke", [] { return std::make_unique<SlowPoke>(); });
+
+  FuzzConfig cfg;
+  cfg.master_seed = 11;
+  cfg.count = 3;
+  cfg.max_n = 24;
+  const FuzzReport rep = run_fuzz(broken, default_families(), cfg);
+  ASSERT_EQ(rep.failures.size(), 3u);
+  for (const FuzzFailure& f : rep.failures) {
+    ASSERT_FALSE(f.minimal_violations.empty());
+    bool liveness = false;
+    for (const std::string& v : f.minimal_violations)
+      liveness = liveness || v.rfind("liveness", 0) == 0;
+    EXPECT_TRUE(liveness) << f.minimal.encode();
+  }
+}
+
+TEST(Fuzzer, TimeBudgetStopsTheLoop) {
+  FuzzConfig cfg;
+  cfg.master_seed = 13;
+  cfg.count = 1'000'000;       // would take far too long...
+  cfg.max_n = 24;
+  cfg.time_budget_sec = 0.05;  // ...but the budget cuts it off
+  const FuzzReport rep =
+      run_fuzz(default_protocols(), default_families(), cfg);
+  EXPECT_TRUE(rep.time_budget_hit);
+  EXPECT_LT(rep.scenarios_run, cfg.count);
+  EXPECT_GT(rep.scenarios_run, 0u);
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,254 @@
+// The scenario spec and registries: string round-trip, parse diagnostics,
+// registry completeness, and replayability (same token -> same graph, same
+// run).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenario/fuzzer.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace ule {
+namespace {
+
+TEST(ScenarioCodec, EncodeProducesTheDocumentedShape) {
+  Scenario s;
+  s.family = "gnm";
+  s.params = {{"n", 40}, {"m", 100}};
+  s.protocol = "least_el_all";
+  s.knowledge = KnowledgeGrant::N;
+  s.wakeup = WakeupKind::Random;
+  s.wakeup_spread = 20;
+  s.seed = 7919;
+  s.threads = 2;
+  EXPECT_EQ(s.encode(), "ule1:gnm{n=40,m=100}:least_el_all:k=n:w=rand.20:s=7919:t=2");
+}
+
+TEST(ScenarioCodec, ParseInvertsEncodeOnHandPickedScenarios) {
+  Scenario sim;
+  sim.family = "ring";
+  sim.params = {{"n", 24}};
+  sim.protocol = "flood_max";
+  EXPECT_EQ(Scenario::parse(sim.encode()), sim);
+
+  Scenario one;
+  one.family = "complete";
+  one.params = {{"n", 12}};
+  one.protocol = "kingdom";
+  one.knowledge = KnowledgeGrant::NMD;
+  one.wakeup = WakeupKind::Single;
+  one.wakeup_node = 7;
+  one.seed = ~std::uint64_t{0} >> 1;
+  one.threads = 8;
+  EXPECT_EQ(Scenario::parse(one.encode()), one);
+}
+
+TEST(ScenarioCodec, ParseInvertsEncodeOnTheFuzzDistribution) {
+  // The acceptance property: parse(encode(s)) == s for every drawable s.
+  Rng rng(0xABCDEF);
+  for (int i = 0; i < 500; ++i) {
+    const Scenario s = draw_scenario(rng, default_protocols(),
+                                     default_families(), 64, 0.3);
+    const std::string token = s.encode();
+    EXPECT_EQ(Scenario::parse(token), s) << token;
+  }
+}
+
+TEST(ScenarioCodec, ParseRejectsMalformedTokens) {
+  const char* bad[] = {
+      "",
+      "ule1",
+      "ule2:ring{n=8}:flood_max:k=none:w=sim:s=1:t=1",   // wrong version
+      "ule1:ring{n=8}:flood_max:k=none:w=sim:s=1",       // missing field
+      "ule1:ring(n=8):flood_max:k=none:w=sim:s=1:t=1",   // wrong braces
+      "ule1:ring{n=}:flood_max:k=none:w=sim:s=1:t=1",    // empty value
+      "ule1:ring{n=8}:flood_max:k=maybe:w=sim:s=1:t=1",  // bad knowledge
+      "ule1:ring{n=8}:flood_max:k=none:w=soon:s=1:t=1",  // bad wakeup
+      "ule1:ring{n=8}:flood_max:k=none:w=rand.:s=1:t=1", // missing spread
+      "ule1:ring{n=8}:flood_max:k=none:w=sim:s=x:t=1",   // non-numeric seed
+      "ule1:ring{n=8}:flood_max:k=none:w=sim:s=1:t=0",   // zero threads
+      "ule1:ring{n=8}:flood-max:k=none:w=sim:s=1:t=1",   // bad name char
+  };
+  for (const char* token : bad)
+    EXPECT_THROW(Scenario::parse(token), std::invalid_argument) << token;
+}
+
+TEST(Registry, ProtocolNamesAreUniqueAndComplete) {
+  const auto& protos = default_protocols().all();
+  ASSERT_GE(protos.size(), 14u);
+  std::set<std::string> names;
+  for (const ProtocolInfo& p : protos) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+    EXPECT_TRUE(static_cast<bool>(p.prepare)) << p.name;
+    EXPECT_TRUE(static_cast<bool>(p.round_envelope)) << p.name;
+    EXPECT_TRUE(static_cast<bool>(p.message_envelope)) << p.name;
+    // Envelopes must be positive on a modest reference shape.
+    ScenarioShape shape;
+    shape.n = 24;
+    shape.m = 48;
+    shape.diameter = 6;
+    EXPECT_GT(p.round_envelope(shape), 0u) << p.name;
+    EXPECT_GT(p.message_envelope(shape), 0u) << p.name;
+  }
+  EXPECT_NE(default_protocols().find("flood_max"), nullptr);
+  EXPECT_EQ(default_protocols().find("nonexistent"), nullptr);
+  EXPECT_THROW(default_protocols().at("nonexistent"), std::invalid_argument);
+}
+
+TEST(Registry, EveryFamilyDrawsValidBuildableParams) {
+  Rng rng(42);
+  for (const FamilyInfo& fam : default_families().all()) {
+    for (int i = 0; i < 40; ++i) {
+      const ScenarioParams ps = fam.draw(rng, 48);
+      // Draws respect the declared specs (names in order, values in range).
+      ASSERT_EQ(ps.size(), fam.params.size()) << fam.name;
+      for (std::size_t j = 0; j < ps.size(); ++j) {
+        EXPECT_EQ(ps[j].first, fam.params[j].name) << fam.name;
+        EXPECT_GE(ps[j].second, fam.params[j].lo) << fam.name;
+        EXPECT_LE(ps[j].second, fam.params[j].hi) << fam.name;
+      }
+      Rng grng(7);
+      const Graph g = fam.build(ps, grng);  // must not throw
+      EXPECT_GE(g.n(), 2u) << fam.name;
+    }
+  }
+}
+
+TEST(Registry, DrawsRespectDeclaredRangesEvenForHugeMaxN) {
+  // draw() must clamp to the declared ParamSpec ranges for ANY --max-n, or
+  // run_scenario rejects the fuzzer's own output mid-sweep.
+  Rng rng(44);
+  for (const FamilyInfo& fam : default_families().all()) {
+    for (const std::size_t max_n : {1000u, 100000u}) {
+      for (int i = 0; i < 20; ++i) {
+        const ScenarioParams ps = fam.draw(rng, max_n);
+        ASSERT_EQ(ps.size(), fam.params.size()) << fam.name;
+        for (std::size_t j = 0; j < ps.size(); ++j) {
+          EXPECT_GE(ps[j].second, fam.params[j].lo)
+              << fam.name << " " << ps[j].first << " max_n=" << max_n;
+          EXPECT_LE(ps[j].second, fam.params[j].hi)
+              << fam.name << " " << ps[j].first << " max_n=" << max_n;
+        }
+      }
+    }
+  }
+}
+
+TEST(Registry, ShrinkCandidatesAreSmallerAndBuildable) {
+  Rng rng(43);
+  for (const FamilyInfo& fam : default_families().all()) {
+    const ScenarioParams ps = fam.draw(rng, 48);
+    for (const ScenarioParams& cand : fam.shrink(ps)) {
+      EXPECT_NE(cand, ps) << fam.name;
+      Rng grng(7);
+      EXPECT_NO_THROW(fam.build(cand, grng)) << fam.name;
+    }
+  }
+}
+
+TEST(Runner, GraphBuildIsReplayable) {
+  Scenario s;
+  s.family = "gnm";
+  s.params = {{"n", 30}, {"m", 70}};
+  s.protocol = "flood_max";
+  s.seed = 12345;
+  const Graph a = build_scenario_graph(default_families(), s);
+  const Graph b = build_scenario_graph(default_families(), s);
+  ASSERT_EQ(a.n(), b.n());
+  ASSERT_EQ(a.m(), b.m());
+  for (EdgeId e = 0; e < a.m(); ++e)
+    EXPECT_EQ(a.edge_endpoints(e), b.edge_endpoints(e));
+  // A different seed draws a different random graph (same n, m).
+  s.seed = 54321;
+  const Graph c = build_scenario_graph(default_families(), s);
+  bool any_differs = c.m() != a.m();
+  for (EdgeId e = 0; !any_differs && e < a.m(); ++e)
+    any_differs = a.edge_endpoints(e) != c.edge_endpoints(e);
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Runner, RunIsReplayableFromTheToken) {
+  Scenario s;
+  s.family = "torus";
+  s.params = {{"rows", 4}, {"cols", 5}};
+  s.protocol = "kingdom";
+  s.knowledge = KnowledgeGrant::None;
+  s.seed = 99;
+  const auto a = run_scenario(default_protocols(), default_families(), s);
+  const auto b = run_scenario(default_protocols(), default_families(),
+                              Scenario::parse(s.encode()));
+  EXPECT_TRUE(a.ok());
+  EXPECT_EQ(a.report.run.rounds, b.report.run.rounds);
+  EXPECT_EQ(a.report.run.messages, b.report.run.messages);
+  EXPECT_EQ(a.report.run.bits, b.report.run.bits);
+  EXPECT_EQ(a.report.verdict.leader_slot, b.report.verdict.leader_slot);
+}
+
+TEST(Runner, ConfigurationErrorsThrowInsteadOfViolating) {
+  // Unknown names.
+  Scenario s;
+  s.family = "ring";
+  s.params = {{"n", 8}};
+  s.protocol = "no_such_protocol";
+  EXPECT_THROW(run_scenario(default_protocols(), default_families(), s),
+               std::invalid_argument);
+  s.protocol = "flood_max";
+  s.family = "no_such_family";
+  EXPECT_THROW(run_scenario(default_protocols(), default_families(), s),
+               std::invalid_argument);
+
+  // Knowledge below the protocol's minimum.
+  s.family = "ring";
+  s.protocol = "las_vegas";  // requires ND
+  s.knowledge = KnowledgeGrant::N;
+  EXPECT_THROW(run_scenario(default_protocols(), default_families(), s),
+               std::invalid_argument);
+
+  // Adversarial wakeup on a fixed-schedule protocol.
+  s.protocol = "spanner_elect";
+  s.knowledge = KnowledgeGrant::N;
+  s.wakeup = WakeupKind::Single;
+  EXPECT_THROW(run_scenario(default_protocols(), default_families(), s),
+               std::invalid_argument);
+
+  // Complete-only protocol on a non-complete family.
+  s.protocol = "sublinear_complete";
+  s.wakeup = WakeupKind::Simultaneous;
+  EXPECT_THROW(run_scenario(default_protocols(), default_families(), s),
+               std::invalid_argument);
+
+  // Param out of its declared range.
+  s.protocol = "flood_max";
+  s.knowledge = KnowledgeGrant::None;
+  s.params = {{"n", 2}};  // ring needs n >= 3
+  EXPECT_THROW(run_scenario(default_protocols(), default_families(), s),
+               std::invalid_argument);
+}
+
+TEST(Runner, ExplicitOverlayAgreementIsChecked) {
+  Scenario s;
+  s.family = "grid";
+  s.params = {{"rows", 4}, {"cols", 6}};
+  s.protocol = "explicit_flood_max";
+  s.seed = 17;
+  const auto out = run_scenario(default_protocols(), default_families(), s);
+  EXPECT_TRUE(out.ok()) << (out.violations.empty() ? "" : out.violations[0]);
+  EXPECT_TRUE(out.report.verdict.unique_leader);
+}
+
+TEST(Runner, DeterminismAxisRunsTheParallelPath) {
+  Scenario s;
+  s.family = "complete";
+  s.params = {{"n", 24}};
+  s.protocol = "flood_max";
+  s.seed = 5;
+  s.threads = 3;
+  const auto out = run_scenario(default_protocols(), default_families(), s);
+  EXPECT_TRUE(out.ok()) << (out.violations.empty() ? "" : out.violations[0]);
+}
+
+}  // namespace
+}  // namespace ule

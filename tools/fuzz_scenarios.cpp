@@ -1,0 +1,174 @@
+// The conformance fuzzer CLI: draw scenarios from a master seed, run them
+// through the invariant checker, shrink failures, print replay strings.
+//
+//   fuzz_scenarios --quick              1000 scenarios, small graphs (CI gate)
+//   fuzz_scenarios --smoke              200 scenarios (PR-workflow smoke)
+//   fuzz_scenarios --count N --max-n M  custom sweep
+//   fuzz_scenarios --time-budget SEC    stop drawing after SEC seconds
+//   fuzz_scenarios --seed S             change the master seed
+//   fuzz_scenarios --replay TOKEN      re-run one scenario from its token
+//   fuzz_scenarios --list              print registered protocols + families
+//   fuzz_scenarios --stats             print per-protocol envelope headroom
+//   fuzz_scenarios --no-shrink         report failures unshrunk
+//
+// Exit status: 0 when every scenario conforms, 1 on any violation, 2 on
+// usage / configuration errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "scenario/fuzzer.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+using namespace ule;
+
+namespace {
+
+void print_list(const ProtocolRegistry& protos, const FamilyRegistry& fams) {
+  std::printf("protocols (%zu):\n", protos.all().size());
+  for (const ProtocolInfo& p : protos.all()) {
+    std::printf("  %-20s %-13s min-knowledge=%-4s%s%s%s\n", p.name.c_str(),
+                to_string(p.contract), to_string(p.min_knowledge),
+                p.wakeup_tolerant ? " wakeup-tolerant" : "",
+                p.needs_complete ? " complete-only" : "",
+                p.explicit_overlay ? " explicit-overlay" : "");
+  }
+  std::printf("families (%zu):\n", fams.all().size());
+  for (const FamilyInfo& f : fams.all()) {
+    std::printf("  %-12s", f.name.c_str());
+    for (const ParamSpec& ps : f.params)
+      std::printf(" %s∈[%llu,%llu]", ps.name.c_str(),
+                  static_cast<unsigned long long>(ps.lo),
+                  static_cast<unsigned long long>(ps.hi));
+    std::printf("%s\n", f.complete ? "  (complete)" : "");
+  }
+}
+
+int replay(const ProtocolRegistry& protos, const FamilyRegistry& fams,
+           const std::string& token) {
+  Scenario s;
+  try {
+    s = Scenario::parse(token);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 2;
+  }
+  try {
+    const ScenarioOutcome out = run_scenario(protos, fams, s);
+    std::printf("scenario  %s\n", out.scenario.encode().c_str());
+    std::printf("shape     n=%zu m=%zu D=%u%s\n", out.shape.n, out.shape.m,
+                out.shape.diameter, out.shape.complete ? " complete" : "");
+    const RunResult& r = out.report.run;
+    std::printf("run       rounds=%llu executed=%llu messages=%llu bits=%llu "
+                "completed=%d\n",
+                static_cast<unsigned long long>(r.rounds),
+                static_cast<unsigned long long>(r.executed_rounds),
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.bits), r.completed ? 1 : 0);
+    std::printf("verdict   elected=%zu non_elected=%zu undecided=%zu%s\n",
+                out.report.verdict.elected, out.report.verdict.non_elected,
+                out.report.verdict.undecided,
+                out.report.verdict.unique_leader ? "  (unique leader)" : "");
+    if (out.ok()) {
+      std::printf("CONFORMS\n");
+      return 0;
+    }
+    std::printf("VIOLATIONS:\n");
+    for (const std::string& v : out.violations)
+      std::printf("  %s\n", v.c_str());
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "configuration error: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ProtocolRegistry& protos = default_protocols();
+  const FamilyRegistry& fams = default_families();
+
+  FuzzConfig cfg;
+  cfg.count = 3000;
+  cfg.max_n = 96;
+  bool stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      cfg.count = 1000;
+      cfg.max_n = 48;
+    } else if (arg == "--smoke") {
+      cfg.count = 200;
+      cfg.max_n = 40;
+    } else if (arg == "--count") {
+      cfg.count = std::strtoull(need_value("--count"), nullptr, 10);
+    } else if (arg == "--max-n") {
+      cfg.max_n = std::strtoull(need_value("--max-n"), nullptr, 10);
+    } else if (arg == "--seed") {
+      cfg.master_seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (arg == "--time-budget") {
+      cfg.time_budget_sec = std::strtod(need_value("--time-budget"), nullptr);
+    } else if (arg == "--no-shrink") {
+      cfg.shrink = false;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--list") {
+      print_list(protos, fams);
+      return 0;
+    } else if (arg == "--replay") {
+      return replay(protos, fams, need_value("--replay"));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("fuzzing %zu scenarios (master seed %llu, max n ~%zu)...\n",
+              cfg.count, static_cast<unsigned long long>(cfg.master_seed),
+              cfg.max_n);
+  const FuzzReport rep = run_fuzz(protos, fams, cfg, &std::cout);
+
+  std::printf("\nran %zu scenarios: %zu elected a unique leader, "
+              "%zu Monte-Carlo misses, %zu determinism cross-checks%s\n",
+              rep.scenarios_run, rep.runs_elected, rep.monte_carlo_misses,
+              rep.determinism_checked,
+              rep.time_budget_hit ? " (time budget hit)" : "");
+
+  if (stats) {
+    std::printf("\nenvelope headroom (max observed / registered bound):\n");
+    std::printf("  %-20s %6s %14s %14s\n", "protocol", "runs", "rounds",
+                "messages");
+    for (const EnvelopeStat& s : rep.envelope_stats) {
+      if (s.runs == 0) continue;
+      std::printf("  %-20s %6zu %13.1f%% %13.1f%%\n", s.protocol.c_str(),
+                  s.runs, 100.0 * s.max_round_ratio,
+                  100.0 * s.max_message_ratio);
+    }
+  }
+
+  if (rep.ok()) {
+    std::printf("\nall scenarios conform\n");
+    return 0;
+  }
+  std::printf("\n%zu FAILURES — minimal replay strings:\n",
+              rep.failures.size());
+  for (const FuzzFailure& f : rep.failures) {
+    std::printf("  %s\n", f.minimal.encode().c_str());
+    for (const std::string& v : f.minimal_violations)
+      std::printf("    %s\n", v.c_str());
+  }
+  return 1;
+}
