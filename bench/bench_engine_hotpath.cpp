@@ -2,10 +2,27 @@
 // SyncEngine on the three topology regimes the Table-1 reproductions sweep
 // (ring / clique / dumbbell), plus a quiescent-heavy scheduler stressor.
 //
-// Writes BENCH_engine.json (schema documented in ROADMAP.md): one row per
-// (workload, n) with wall_ms and derived rounds/sec, messages/sec and
-// node-steps/sec ("ops").  Every future engine-perf PR reruns this bench and
-// must not regress the trajectory.
+// Writes BENCH_engine.json: one row per (workload, n) with wall_ms and
+// derived rounds/sec, messages/sec and node-steps/sec ("ops").  Every future
+// engine-perf PR reruns this bench and must not regress the trajectory
+// (the bench-baseline convention; see ROADMAP.md).  Row schema:
+//
+//   { "bench": "engine_hotpath",
+//     "rows": [ { "workload": ring_dfs | clique_sublinear | dumbbell_least_el
+//                            | clique_flood_max
+//                            | ring_quiescent | ring_quiescent_perround,
+//                 "family": ring | clique | dumbbell, "n": ..., "m": ...,
+//                 "seed": ..., "threads": ..., "wall_ms": ...,
+//                 "logical_rounds": ..., "executed_rounds": ...,
+//                 "node_steps": ..., "messages": ..., "bits": ...,
+//                 "completed": ..., "elected": ..., "unique_leader": ...,
+//                 "rounds_per_sec": ..., "messages_per_sec": ...,
+//                 "ops_per_sec": ...,
+//                 "per_round_ns": ... (perround rows only) } ] }
+//
+// Counters (executed_rounds, messages, bits) are deterministic per seed and
+// per thread count and double as a regression check; wall times are
+// machine-specific.
 //
 //   $ ./bench_engine_hotpath                 # full sweep, ring up to 10^6
 //   $ ./bench_engine_hotpath --quick         # CI smoke (tiny n, <1s)

@@ -1,0 +1,137 @@
+// Sweep campaigns: the Complexity Lab's unit of work.
+//
+// A campaign runs every declared growth curve — a (protocol, family) pair
+// from the scenario registries whose ProtocolInfo carries GrowthExpectations
+// — over an ascending n-ladder with several seed replicates per rung, then
+// fits the log-log slope of each declared cost metric against n (lab/fit.hpp)
+// and checks it against the registry-declared exponent band.  It is the
+// quantitative counterpart of the conformance fuzzer: the fuzzer asks "does
+// every run obey its envelope?", the lab asks "does cost *grow* at the rate
+// the paper claims?".
+//
+// Execution is replicate-parallel on the PR-2 WorkerPool: every replicate is
+// one independent engine run (engine threads = 1), workers claim runs off a
+// shared counter, and results land in slots preassigned by run index — so
+// aggregation order, and with it every counter-derived statistic and fitted
+// exponent, is a pure function of (registries, CampaignConfig.master_seed).
+// Only wall-clock statistics are machine-dependent; serializing with
+// include_wall = false (lab/report.hpp) yields byte-identical rows across
+// reruns and worker counts, which tests/lab/campaign_test.cpp pins.
+//
+// Replicate seeds are domain-separated from the master seed by (protocol,
+// family, n, replicate) via splitmix64, the same discipline the scenario
+// runner uses to split graph/wakeup/run streams.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lab/fit.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+namespace ule::lab {
+
+struct CampaignConfig {
+  std::uint64_t master_seed = 0x1AB5EEDULL;
+  /// Seed replicates per (protocol, family, n) cell.
+  std::size_t replicates = 5;
+  /// WorkerPool size for replicate-level parallelism (0 = hardware
+  /// concurrency).  Never affects any counter statistic or fit.
+  unsigned threads = 0;
+  /// Small ladders for the CI smoke (seconds instead of minutes).
+  bool quick = false;
+  /// Restrict to these protocol / family registry keys (empty = no filter).
+  std::vector<std::string> protocols;
+  std::vector<std::string> families;
+  /// Override the n-ladder for every curve (empty = per-family default).
+  /// Values outside a family's declared size range are dropped per curve.
+  std::vector<std::uint64_t> ladder;
+  /// Forwarded to run_scenario (check_determinism is forced off: replicates
+  /// run with engine threads = 1; parallelism lives at the replicate level).
+  ScenarioRunConfig run;
+};
+
+/// Order statistics over one cell's replicate counters.  Median is the lower
+/// median, p95 the ceil(0.95·k)-th order statistic — both exact integers, so
+/// rows serialize identically on every machine.
+struct MetricStats {
+  std::uint64_t median = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t max = 0;
+};
+
+struct WallStats {
+  double median_ms = 0;
+  double p95_ms = 0;
+  double max_ms = 0;
+};
+
+/// One (protocol, family, n) cell: `replicates` independent runs.
+struct CellResult {
+  /// ACTUAL instance node count (ladder_params may round the nominal rung:
+  /// grid squares, regular parity, hypercube powers of two); fits use this.
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;         ///< edges of the replicate-0 instance
+  std::uint32_t diameter = 0;  ///< exact diameter of the replicate-0 instance
+  std::size_t replicates = 0;
+  MetricStats rounds, messages, bits;
+  /// Wall clock of the full scenario run (graph build + exact diameter +
+  /// engine); machine-specific, excluded from determinism comparisons.
+  WallStats wall;
+  /// Conformance violations across replicates, prefixed with the seed.
+  std::vector<std::string> violations;
+};
+
+struct FitOutcome {
+  GrowthExpectation expect;
+  PowerFit fit;
+  bool pass = false;
+};
+
+/// One declared curve: a (protocol, family) ladder plus its fitted exponents.
+struct CurveResult {
+  std::string protocol;
+  std::string family;
+  std::vector<CellResult> cells;  ///< ascending n
+  std::vector<FitOutcome> fits;   ///< one per declared GrowthExpectation
+};
+
+struct CampaignResult {
+  std::uint64_t master_seed = 0;
+  std::size_t replicates = 0;
+  std::size_t total_runs = 0;
+  std::vector<CurveResult> curves;
+
+  std::size_t failed_fits() const;
+  std::size_t violation_count() const;
+  bool ok() const { return failed_fits() == 0 && violation_count() == 0; }
+};
+
+/// Family parameters targeting ~n total nodes (single-`n` families directly;
+/// gnm m = min(3n, full), tree arity 2, regular d = 4, grid/torus ~square,
+/// bipartite balanced, hypercube dim = round(log2 n)).  Throws
+/// std::invalid_argument for families with no n-ladder convention
+/// (dumbbell, cliquecycle, lollipop, barbell).
+ScenarioParams ladder_params(const FamilyInfo& fam, std::uint64_t n);
+
+/// Default n-ladder for a family, clamped to its declared size range.
+/// Complete families get a shorter, denser ladder (instances are Θ(n²)).
+std::vector<std::uint64_t> default_ladder(const FamilyInfo& fam, bool quick);
+
+/// The replicate seed for (master, protocol, family, n, replicate).
+std::uint64_t replicate_seed(std::uint64_t master, const std::string& protocol,
+                             const std::string& family, std::uint64_t n,
+                             std::size_t replicate);
+
+/// Run the campaign.  `log`, when non-null, receives one line per finished
+/// curve (fitted exponents and pass/fail verdicts).
+CampaignResult run_campaign(const ProtocolRegistry& protocols,
+                            const FamilyRegistry& families,
+                            const CampaignConfig& cfg,
+                            std::ostream* log = nullptr);
+
+}  // namespace ule::lab

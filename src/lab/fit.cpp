@@ -1,0 +1,55 @@
+#include "lab/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ule::lab {
+
+PowerFit fit_power_law(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("fit_power_law: x/y size mismatch");
+  const std::size_t k = x.size();
+  if (k < 2) throw std::invalid_argument("fit_power_law: need >= 2 points");
+
+  std::vector<double> lx(k), ly(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!(x[i] > 0) || !(y[i] > 0))
+      throw std::invalid_argument("fit_power_law: values must be > 0");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    mx += lx[i];
+    my += ly[i];
+  }
+  mx /= static_cast<double>(k);
+  my /= static_cast<double>(k);
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double dx = lx[i] - mx, dy = ly[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0)
+    throw std::invalid_argument("fit_power_law: all x equal (zero variance)");
+
+  PowerFit f;
+  f.points = k;
+  f.exponent = sxy / sxx;
+  f.intercept = my - f.exponent * mx;
+
+  // Residual sum of squares; clamp tiny negatives from cancellation.
+  double sse = syy - f.exponent * sxy;
+  if (sse < 0) sse = 0;
+  f.r2 = syy == 0 ? 1.0 : 1.0 - sse / syy;
+  f.stderr_exponent =
+      k > 2 ? std::sqrt(sse / static_cast<double>(k - 2) / sxx) : 0.0;
+  return f;
+}
+
+}  // namespace ule::lab

@@ -1,0 +1,44 @@
+// Log-log least-squares fitting of growth exponents.
+//
+// The Complexity Lab's core question is "how does cost grow with n?", and the
+// answer for every bound in the paper's Table 1 is a power law up to polylog
+// factors: messages Θ(m), time Θ(D), the sublinear ~O(√n·log^{3/2} n) clique
+// bound.  On a log-log plot a power law y = c·x^a is a straight line of slope
+// a, so an ordinary least-squares fit of ln y against ln x recovers the
+// exponent directly, and the standard error of the slope gives a confidence
+// band: a curve whose fitted slope (± band) leaves the declared tolerance is
+// growing at the wrong rate, no matter what the constant is.
+//
+// Polylog factors do not fit a straight line exactly — d ln(n·ln n)/d ln n =
+// 1 + 1/ln n — so at lab-sized ladders a Θ(n log n) curve fits a slope around
+// 1.1–1.2.  Declared tolerances (GrowthExpectation::tol) are calibrated for
+// that drift; see scenario/registry.cpp.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ule::lab {
+
+/// Result of an ordinary least-squares fit of ln(y) = a·ln(x) + c.
+struct PowerFit {
+  double exponent = 0;   ///< a: the fitted growth exponent (log-log slope)
+  double intercept = 0;  ///< c: ln of the constant factor
+  double r2 = 0;         ///< coefficient of determination in log-log space
+  /// Standard error of the slope (0 when the fit is exact or k <= 2).
+  double stderr_exponent = 0;
+  std::size_t points = 0;
+
+  /// Half-width of the ~95% confidence band on the exponent (2 standard
+  /// errors; the lab's ladders are short, so this is indicative, not exact).
+  double confidence() const { return 2.0 * stderr_exponent; }
+};
+
+/// Fit y ≈ c·x^exponent over the sample points by least squares in log-log
+/// space.  Requires x.size() == y.size(), at least 2 points, and strictly
+/// positive values (throws std::invalid_argument otherwise).
+PowerFit fit_power_law(const std::vector<double>& x,
+                       const std::vector<double>& y);
+
+}  // namespace ule::lab

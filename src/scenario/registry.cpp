@@ -138,7 +138,10 @@ ProtocolRegistry build_protocols() {
       /*explicit_overlay=*/false,
       [](const Shape&, RunOptions&) { return make_flood_max(); },
       [](const Shape& s) { return 32 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 64; },
-      [](const Shape& s) { return 8 * s.m * (lg(s.n) + 8) + 8 * s.n + 64; }});
+      [](const Shape& s) { return 8 * s.m * (lg(s.n) + 8) + 8 * s.n + 64; },
+      {{"ring", "rounds", 1.0, 0.25, "O(D) time; D = n/2 on the ring"},
+       {"ring", "messages", 1.0, 0.35, "O(m log n); m = n on the ring"},
+       {"complete", "messages", 2.0, 0.35, "O(m log n); m = n(n-1)/2 on K_n"}}});
 
   const auto least_el_rounds = [](const Shape& s) {
     return 32 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 64;
@@ -153,7 +156,9 @@ ProtocolRegistry build_protocols() {
       [](const Shape&, RunOptions&) {
         return make_least_el(LeastElConfig::all_candidates());
       },
-      least_el_rounds, least_el_messages});
+      least_el_rounds, least_el_messages,
+      {{"ring", "messages", 1.0, 0.4, "O(m log n) least-element lists"},
+       {"ring", "rounds", 1.0, 0.3, "O(D) waves; D = n/2 on the ring"}}});
 
   reg.add(ProtocolInfo{
       "least_el_logn", Contract::MonteCarlo, KnowledgeGrant::N,
@@ -161,7 +166,9 @@ ProtocolRegistry build_protocols() {
       [](const Shape& s, RunOptions&) {
         return make_least_el(LeastElConfig::variant_A(s.n));
       },
-      least_el_rounds, least_el_messages});
+      least_el_rounds, least_el_messages,
+      {{"ring", "messages", 1.0, 0.4,
+        "O(m log n) with O(log n) expected candidates"}}});
 
   reg.add(ProtocolInfo{
       "least_el_f4", Contract::MonteCarlo, KnowledgeGrant::N,
@@ -196,7 +203,8 @@ ProtocolRegistry build_protocols() {
       true, false, false,
       [](const Shape&, RunOptions&) { return make_size_estimate_elect(); },
       [](const Shape& s) { return 48 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 96; },
-      [](const Shape& s) { return 16 * s.m * (lg(s.n) + 8) + 16 * s.n + 64; }});
+      [](const Shape& s) { return 16 * s.m * (lg(s.n) + 8) + 16 * s.n + 64; },
+      {{"ring", "messages", 1.0, 0.4, "O(m log n) without knowing n"}}});
 
   reg.add(ProtocolInfo{
       "clustering", Contract::MonteCarlo, KnowledgeGrant::N,
@@ -215,7 +223,9 @@ ProtocolRegistry build_protocols() {
       [](const Shape& s) {
         return 128 * dia(s) + 32 * lg(s.n) + 2 * s.n + 4 * wake_slack(s) + 128;
       },
-      kingdom_messages});
+      kingdom_messages,
+      {{"ring", "messages", 1.0, 0.4, "O(m log n) kingdom mergers"},
+       {"ring", "rounds", 1.0, 0.35, "O(D log n) merger phases"}}});
 
   reg.add(ProtocolInfo{
       "kingdom_knownD", Contract::Deterministic, KnowledgeGrant::ND,
@@ -242,7 +252,9 @@ ProtocolRegistry build_protocols() {
         return make_dfs_election(cfg);
       },
       [](const Shape& s) { return 32 * s.m + 8 * dia(s) + 4 * wake_slack(s) + 256; },
-      [](const Shape& s) { return 16 * s.m + 4 * s.n + 64; }});
+      [](const Shape& s) { return 16 * s.m + 4 * s.n + 64; },
+      {{"ring", "rounds", 1.0, 0.25, "Theorem 4.1: O(m) time; m = n on the ring"},
+       {"ring", "messages", 1.0, 0.25, "Theorem 4.1: O(m) messages"}}});
 
   // Cor 4.2: the Baswana–Sen construction runs on a fixed global round
   // schedule, so simultaneous wakeup is required.  The election runs on the
@@ -261,7 +273,12 @@ ProtocolRegistry build_protocols() {
       false, /*needs_complete=*/true, false,
       [](const Shape&, RunOptions&) { return make_sublinear_complete(); },
       [](const Shape&) { return Round{16}; },
-      [](const Shape& s) { return 4 * s.m + 4 * s.n + 64; }});
+      [](const Shape& s) { return 4 * s.m + 4 * s.n + 64; },
+      {{"complete", "messages", 0.5, 0.45,
+        "KPPRT sublinear bound ~O(sqrt(n) log^{3/2} n): the log^{3/2} factor "
+        "inflates the local slope at lab sizes, but it must stay well below "
+        "the linear-in-m trivial bound (slope 2)"},
+       {"complete", "rounds", 0.0, 0.15, "O(1) rounds on K_n"}}});
 
   // The explicit-election overlay over the flood-max baseline: same run plus
   // one LEADER flood (<= 2m messages, <= D + pacing extra rounds).  The
@@ -273,7 +290,9 @@ ProtocolRegistry build_protocols() {
       [](const Shape& s) { return 48 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 128; },
       [](const Shape& s) {
         return 8 * s.m * (lg(s.n) + 8) + 2 * s.m + 8 * s.n + 64;
-      }});
+      },
+      {{"ring", "messages", 1.0, 0.35,
+        "O(m log n) + one O(m) LEADER announcement flood"}}});
 
   return reg;
 }

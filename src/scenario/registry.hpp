@@ -59,6 +59,22 @@ ScenarioShape shape_of(const Graph& g, std::uint32_t diameter,
 /// The engine Knowledge granting exactly `grant` for this instance.
 Knowledge knowledge_for(const ScenarioShape& shape, KnowledgeGrant grant);
 
+/// One declared asymptotic-growth claim: running the protocol on an n-ladder
+/// of `family`, the log-log least-squares slope of `metric` against n must
+/// land within `exponent` ± `tol`.  These are the empirical counterparts of
+/// the paper's Table-1 entries; the Complexity Lab (src/lab/) sweeps every
+/// declared curve and fails when a fitted slope leaves its band.  Tolerances
+/// are calibrated for lab-sized ladders, where polylog factors inflate the
+/// local slope (d ln(n·ln n)/d ln n = 1 + 1/ln n ≈ 1.2 at n = 128), so a
+/// Θ(n log n) bound is declared as exponent 1 with tol ≥ 0.3.
+struct GrowthExpectation {
+  std::string family;  ///< family-registry key the n-ladder runs on
+  std::string metric;  ///< "rounds" | "messages" | "bits"
+  double exponent = 1.0;
+  double tol = 0.3;
+  std::string note;  ///< the paper bound this encodes (shown in reports)
+};
+
 struct ProtocolInfo {
   std::string name;
   Contract contract = Contract::Deterministic;
@@ -81,6 +97,8 @@ struct ProtocolInfo {
   std::function<Round(const ScenarioShape&)> round_envelope;
   /// Budget envelope: max messages a conforming run may send.
   std::function<std::uint64_t(const ScenarioShape&)> message_envelope;
+  /// Declared growth curves (may be empty); consumed by the Complexity Lab.
+  std::vector<GrowthExpectation> growth;
 };
 
 class ProtocolRegistry {

@@ -1,0 +1,197 @@
+// Campaign-level tests for the Complexity Lab: ladder conventions, the
+// replicate-seed discipline, expectation checking against a doctored
+// registry, and the headline determinism guarantee — a campaign rerun from
+// the same master seed yields byte-identical BENCH_lab.json rows (modulo
+// wall-clock fields) at every worker count.
+
+#include "lab/campaign.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lab/report.hpp"
+#include "scenario/registry.hpp"
+
+namespace ule::lab {
+namespace {
+
+CampaignConfig tiny_config() {
+  CampaignConfig cfg;
+  cfg.master_seed = 99991;
+  cfg.replicates = 2;
+  cfg.protocols = {"dfs", "flood_max"};
+  cfg.families = {"ring"};
+  cfg.ladder = {8, 16, 32};
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(CampaignTest, TinyCampaignSweepsAndFits) {
+  const CampaignResult res = run_campaign(default_protocols(),
+                                          default_families(), tiny_config());
+  ASSERT_EQ(res.curves.size(), 2u);  // dfs x ring, flood_max x ring
+  EXPECT_EQ(res.total_runs, 2u * 3u * 2u);
+  for (const CurveResult& c : res.curves) {
+    EXPECT_EQ(c.family, "ring");
+    ASSERT_EQ(c.cells.size(), 3u);
+    for (std::size_t i = 0; i < c.cells.size(); ++i) {
+      const CellResult& cell = c.cells[i];
+      EXPECT_EQ(cell.m, cell.n);  // a ring has n edges
+      EXPECT_EQ(cell.diameter, cell.n / 2);
+      EXPECT_EQ(cell.replicates, 2u);
+      EXPECT_TRUE(cell.violations.empty())
+          << c.protocol << " n=" << cell.n << ": " << cell.violations[0];
+      EXPECT_GE(cell.messages.max, cell.messages.p95);
+      EXPECT_GE(cell.messages.p95, cell.messages.median);
+      EXPECT_GT(cell.rounds.median, 0u);
+      if (i > 0) {
+        EXPECT_GT(cell.n, c.cells[i - 1].n);
+      }
+    }
+    EXPECT_FALSE(c.fits.empty());
+    for (const FitOutcome& f : c.fits) EXPECT_EQ(f.fit.points, 3u);
+  }
+}
+
+TEST(CampaignTest, RerunIsByteIdenticalAcrossWorkerCounts) {
+  CampaignConfig cfg = tiny_config();
+  cfg.threads = 1;
+  const CampaignResult a =
+      run_campaign(default_protocols(), default_families(), cfg);
+  cfg.threads = 3;
+  const CampaignResult b =
+      run_campaign(default_protocols(), default_families(), cfg);
+
+  const std::string rows_a = bench_json(a, /*include_wall=*/false);
+  const std::string rows_b = bench_json(b, /*include_wall=*/false);
+  EXPECT_EQ(rows_a, rows_b);
+
+  // A different master seed must actually change the sampled space.
+  cfg.master_seed = 777;
+  const CampaignResult c =
+      run_campaign(default_protocols(), default_families(), cfg);
+  EXPECT_NE(rows_a, bench_json(c, /*include_wall=*/false));
+}
+
+TEST(CampaignTest, DoctoredExpectationFailsTheCampaign) {
+  // Clone a registered protocol but declare an absurd growth exponent: the
+  // campaign must flag exactly that fit and report not-ok.
+  ProtocolInfo p = default_protocols().at("dfs");
+  p.growth = {{"ring", "rounds", 3.0, 0.05, "absurd cubic claim"}};
+  ProtocolRegistry reg;
+  reg.add(std::move(p));
+
+  CampaignConfig cfg = tiny_config();
+  cfg.protocols.clear();
+  cfg.families.clear();
+  const CampaignResult res = run_campaign(reg, default_families(), cfg);
+  ASSERT_EQ(res.curves.size(), 1u);
+  ASSERT_EQ(res.curves[0].fits.size(), 1u);
+  EXPECT_FALSE(res.curves[0].fits[0].pass);
+  EXPECT_EQ(res.failed_fits(), 1u);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(CampaignTest, EmptyCurveSelectionIsAConfigurationError) {
+  // A filter that matches nothing (typo, or a protocol with no declared
+  // growth bands) must throw, not report vacuous success.
+  CampaignConfig cfg = tiny_config();
+  cfg.protocols = {"no_such_protocol"};
+  EXPECT_THROW(run_campaign(default_protocols(), default_families(), cfg),
+               std::invalid_argument);
+  cfg = tiny_config();
+  cfg.protocols = {"clustering"};  // registered, but declares no bands
+  EXPECT_THROW(run_campaign(default_protocols(), default_families(), cfg),
+               std::invalid_argument);
+}
+
+TEST(CampaignTest, CellsRecordActualInstanceSize) {
+  // The grid convention squares the nominal rung: n=100 -> 10x10.  Cells and
+  // fits must use the built instance's node count, not the nominal value.
+  ProtocolInfo p = default_protocols().at("flood_max");
+  p.growth = {{"grid", "rounds", 0.5, 0.3, "O(D) = O(side) on a square grid"}};
+  ProtocolRegistry reg;
+  reg.add(std::move(p));
+
+  CampaignConfig cfg;
+  cfg.master_seed = 5;
+  cfg.replicates = 1;
+  cfg.threads = 1;
+  cfg.ladder = {24, 100};
+  const CampaignResult res = run_campaign(reg, default_families(), cfg);
+  ASSERT_EQ(res.curves.size(), 1u);
+  ASSERT_EQ(res.curves[0].cells.size(), 2u);
+  EXPECT_EQ(res.curves[0].cells[0].n, 16u);   // isqrt(24) -> 4x4
+  EXPECT_EQ(res.curves[0].cells[1].n, 100u);  // 10x10
+}
+
+TEST(CampaignTest, LadderParamsConventions) {
+  const FamilyRegistry& fams = default_families();
+  EXPECT_EQ(ladder_params(fams.at("ring"), 64),
+            (ScenarioParams{{"n", 64}}));
+  EXPECT_EQ(ladder_params(fams.at("gnm"), 100),
+            (ScenarioParams{{"n", 100}, {"m", 300}}));
+  // gnm at tiny n clamps m to the full graph.
+  EXPECT_EQ(ladder_params(fams.at("gnm"), 4),
+            (ScenarioParams{{"n", 4}, {"m", 6}}));
+  EXPECT_EQ(ladder_params(fams.at("tree"), 50),
+            (ScenarioParams{{"n", 50}, {"arity", 2}}));
+  EXPECT_EQ(ladder_params(fams.at("grid"), 100),
+            (ScenarioParams{{"rows", 10}, {"cols", 10}}));
+  EXPECT_EQ(ladder_params(fams.at("hypercube"), 64),
+            (ScenarioParams{{"dim", 6}}));
+  EXPECT_EQ(ladder_params(fams.at("bipartite"), 10),
+            (ScenarioParams{{"a", 5}, {"b", 5}}));
+  EXPECT_THROW(ladder_params(fams.at("dumbbell"), 64), std::invalid_argument);
+}
+
+TEST(CampaignTest, DefaultLaddersRespectFamilyRanges) {
+  const FamilyRegistry& fams = default_families();
+  for (const bool quick : {true, false}) {
+    for (const char* name : {"ring", "complete", "gnm"}) {
+      const FamilyInfo& fam = fams.at(name);
+      const auto ladder = default_ladder(fam, quick);
+      ASSERT_GE(ladder.size(), 2u) << name;
+      for (const std::uint64_t n : ladder) {
+        const ScenarioParams ps = ladder_params(fam, n);
+        // Size param within the family's declared range.
+        for (std::size_t i = 0; i < fam.params.size(); ++i) {
+          EXPECT_GE(ps[i].second, fam.params[i].lo) << name << " n=" << n;
+          EXPECT_LE(ps[i].second, fam.params[i].hi) << name << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(CampaignTest, ReplicateSeedsAreDomainSeparated) {
+  const std::uint64_t a = replicate_seed(1, "dfs", "ring", 64, 0);
+  EXPECT_NE(a, replicate_seed(1, "dfs", "ring", 64, 1));
+  EXPECT_NE(a, replicate_seed(1, "dfs", "ring", 128, 0));
+  EXPECT_NE(a, replicate_seed(1, "flood_max", "ring", 64, 0));
+  EXPECT_NE(a, replicate_seed(1, "dfs", "path", 64, 0));
+  EXPECT_NE(a, replicate_seed(2, "dfs", "ring", 64, 0));
+  EXPECT_EQ(a, replicate_seed(1, "dfs", "ring", 64, 0));
+}
+
+TEST(CampaignTest, GeneratedMarkdownIsWellFormed) {
+  const CampaignResult res = run_campaign(default_protocols(),
+                                          default_families(), tiny_config());
+  const std::string md = complexity_markdown(res);
+  EXPECT_NE(md.find("# Empirical complexity"), std::string::npos);
+  EXPECT_NE(md.find("`dfs` × ring"), std::string::npos);
+  EXPECT_NE(md.find("| protocol | family | metric |"), std::string::npos);
+
+  const std::string reg =
+      registry_markdown(default_protocols(), default_families());
+  EXPECT_NE(reg.find("GENERATED FILE"), std::string::npos);
+  for (const ProtocolInfo& p : default_protocols().all())
+    EXPECT_NE(reg.find("`" + p.name + "`"), std::string::npos) << p.name;
+  for (const FamilyInfo& f : default_families().all())
+    EXPECT_NE(reg.find("`" + f.name + "`"), std::string::npos) << f.name;
+}
+
+}  // namespace
+}  // namespace ule::lab

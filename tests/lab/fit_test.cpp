@@ -1,0 +1,88 @@
+// Unit tests for the log-log least-squares regressor (lab/fit.hpp): exact
+// power laws must be recovered to rounding, polylog-inflated curves must fit
+// the slopes the calibration in scenario/registry.cpp relies on, and the
+// confidence band must cover deterministic perturbations.
+
+#include "lab/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ule::lab {
+namespace {
+
+std::vector<double> ladder() { return {64, 128, 256, 512, 1024, 2048}; }
+
+TEST(FitTest, RecoversExactPowerLaw) {
+  std::vector<double> x = ladder(), y;
+  for (const double v : x) y.push_back(3.0 * std::pow(v, 1.7));
+  const PowerFit f = fit_power_law(x, y);
+  EXPECT_NEAR(f.exponent, 1.7, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 3.0, 1e-6);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+  EXPECT_NEAR(f.stderr_exponent, 0.0, 1e-9);
+  EXPECT_EQ(f.points, x.size());
+}
+
+TEST(FitTest, RecoversConstantAndLinear) {
+  std::vector<double> x = ladder();
+  const PowerFit c = fit_power_law(x, std::vector<double>(x.size(), 42.0));
+  EXPECT_NEAR(c.exponent, 0.0, 1e-12);
+  const PowerFit l = fit_power_law(x, x);
+  EXPECT_NEAR(l.exponent, 1.0, 1e-12);
+}
+
+// Θ(n log n): local slope 1 + 1/ln n ≈ 1.1–1.2 over lab ladders.  The
+// registry's tol=0.3+ bands for O(m log n) protocols depend on this.
+TEST(FitTest, LogFactorInflatesSlopeAsExpected) {
+  std::vector<double> x = ladder(), y;
+  for (const double v : x) y.push_back(v * std::log(v));
+  const PowerFit f = fit_power_law(x, y);
+  EXPECT_GT(f.exponent, 1.05);
+  EXPECT_LT(f.exponent, 1.25);
+  EXPECT_GT(f.r2, 0.999);
+}
+
+// ~O(√n·log^{3/2} n), the KPPRT sublinear shape: local slope
+// 0.5 + 1.5/ln n ≈ 0.7–0.9 over lab ladders — well separated from linear.
+TEST(FitTest, SublinearPolylogStaysBelowLinear) {
+  std::vector<double> x = ladder(), y;
+  for (const double v : x) y.push_back(std::sqrt(v) * std::pow(std::log(v), 1.5));
+  const PowerFit f = fit_power_law(x, y);
+  EXPECT_GT(f.exponent, 0.65);
+  EXPECT_LT(f.exponent, 0.95);
+}
+
+TEST(FitTest, ConfidenceBandCoversPerturbation) {
+  // Deterministic ±8% multiplicative wobble around x^2.
+  std::vector<double> x = ladder(), y;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    y.push_back(x[i] * x[i] * (i % 2 == 0 ? 1.08 : 0.92));
+  const PowerFit f = fit_power_law(x, y);
+  EXPECT_GT(f.stderr_exponent, 0.0);
+  EXPECT_LE(std::abs(f.exponent - 2.0), f.confidence())
+      << "fitted " << f.exponent << " +- " << f.confidence();
+  EXPECT_LT(f.r2, 1.0);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(FitTest, TwoPointsFitExactlyWithZeroStderr) {
+  const PowerFit f = fit_power_law({10, 100}, {5, 500});
+  EXPECT_NEAR(f.exponent, 2.0, 1e-12);
+  EXPECT_EQ(f.stderr_exponent, 0.0);  // k <= 2: no residual dof
+  EXPECT_EQ(f.confidence(), 0.0);
+}
+
+TEST(FitTest, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_power_law({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1, 2}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({-1, 2}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({5, 5}, {1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ule::lab

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Markdown link check: every relative link target in the given markdown files
+# (and every .md file under the given directories) must exist on disk.
+# External links (http/https/mailto) and pure #anchors are skipped; anchors on
+# relative links are stripped before the existence check.
+#
+#   tools/check_md_links.sh README.md docs
+#
+# Exit status: 0 when every relative link resolves, 1 otherwise.
+set -u
+
+fail=0
+files=()
+for arg in "$@"; do
+  if [ -d "$arg" ]; then
+    while IFS= read -r f; do files+=("$f"); done \
+      < <(find "$arg" -name '*.md' | sort)
+  else
+    files+=("$arg")
+  fi
+done
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "usage: $0 <file.md | dir> ..." >&2
+  exit 1
+fi
+
+for f in "${files[@]}"; do
+  if [ ! -f "$f" ]; then
+    echo "MISSING FILE: $f" >&2
+    fail=1
+    continue
+  fi
+  dir=$(dirname "$f")
+  # Inline links: [text](target). Reference-style links are not used in this
+  # repo. grep -o keeps one match per link even with several per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK in $f: ($target)" >&2
+      fail=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "all relative markdown links resolve (${#files[@]} files checked)"
+fi
+exit "$fail"

@@ -1,0 +1,192 @@
+// The Complexity Lab CLI: run sweep campaigns over every registry-declared
+// growth curve, fit growth exponents, and emit the bench baseline + docs.
+//
+//   complexity_lab                       default campaign: full ladders,
+//                                        writes BENCH_lab.json +
+//                                        docs/COMPLEXITY.md, exit 1 when any
+//                                        fitted exponent leaves its band
+//   complexity_lab --quick               small ladders (CI smoke, seconds)
+//   complexity_lab --seed S              change the master seed
+//   complexity_lab --replicates R        seed replicates per cell (default 5)
+//   complexity_lab --threads T           worker pool size (0 = hardware)
+//   complexity_lab --protocol P          restrict to protocol P (repeatable)
+//   complexity_lab --family F            restrict to family F (repeatable)
+//   complexity_lab --ladder 32,64,128    override every curve's n-ladder
+//   complexity_lab --out FILE            JSON path (default BENCH_lab.json)
+//   complexity_lab --md FILE             report path (docs/COMPLEXITY.md)
+//   complexity_lab --no-md / --no-json   skip an output
+//   complexity_lab --no-check            exit 0 even when fits fail
+//   complexity_lab --list-registry       print the registries (plain text)
+//   complexity_lab --list-registry --markdown
+//                                        emit docs/REGISTRY.md to stdout
+//                                        (CI regenerates + diffs it)
+//
+// Exit status: 0 = every fit in band and zero conformance violations,
+// 1 = a fit left its band or a run violated an invariant, 2 = usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lab/campaign.hpp"
+#include "lab/report.hpp"
+#include "scenario/registry.hpp"
+
+using namespace ule;
+
+namespace {
+
+void print_registry_plain(const ProtocolRegistry& protos,
+                          const FamilyRegistry& fams) {
+  std::printf("protocols (%zu):\n", protos.all().size());
+  for (const ProtocolInfo& p : protos.all()) {
+    std::printf("  %-20s %-13s min-knowledge=%-4s%s%s%s\n", p.name.c_str(),
+                to_string(p.contract), to_string(p.min_knowledge),
+                p.wakeup_tolerant ? " wakeup-tolerant" : "",
+                p.needs_complete ? " complete-only" : "",
+                p.explicit_overlay ? " explicit-overlay" : "");
+    for (const GrowthExpectation& e : p.growth)
+      std::printf("    growth: %s %s ~ n^%.2f +- %.2f  (%s)\n",
+                  e.family.c_str(), e.metric.c_str(), e.exponent, e.tol,
+                  e.note.c_str());
+  }
+  std::printf("families (%zu):\n", fams.all().size());
+  for (const FamilyInfo& f : fams.all()) {
+    std::printf("  %-12s", f.name.c_str());
+    for (const ParamSpec& ps : f.params)
+      std::printf(" %s in [%llu,%llu]", ps.name.c_str(),
+                  static_cast<unsigned long long>(ps.lo),
+                  static_cast<unsigned long long>(ps.hi));
+    std::printf("%s\n", f.complete ? "  (complete)" : "");
+  }
+}
+
+std::vector<std::uint64_t> parse_ladder(const char* arg) {
+  std::vector<std::uint64_t> out;
+  const std::string s = arg;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtoull(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ProtocolRegistry& protos = default_protocols();
+  const FamilyRegistry& fams = default_families();
+
+  lab::CampaignConfig cfg;
+  std::string out_json = "BENCH_lab.json";
+  std::string out_md = "docs/COMPLEXITY.md";
+  bool write_json = true, write_md = true, check = true;
+  bool list_registry = false, markdown = false;
+  bool replicates_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      cfg.quick = true;
+    } else if (arg == "--seed") {
+      cfg.master_seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (arg == "--replicates") {
+      cfg.replicates = std::strtoull(need_value("--replicates"), nullptr, 10);
+      replicates_set = true;
+    } else if (arg == "--threads") {
+      cfg.threads =
+          static_cast<unsigned>(std::strtoul(need_value("--threads"), nullptr, 10));
+    } else if (arg == "--protocol") {
+      cfg.protocols.push_back(need_value("--protocol"));
+    } else if (arg == "--family") {
+      cfg.families.push_back(need_value("--family"));
+    } else if (arg == "--ladder") {
+      cfg.ladder = parse_ladder(need_value("--ladder"));
+    } else if (arg == "--out") {
+      out_json = need_value("--out");
+    } else if (arg == "--md") {
+      out_md = need_value("--md");
+    } else if (arg == "--no-md") {
+      write_md = false;
+    } else if (arg == "--no-json") {
+      write_json = false;
+    } else if (arg == "--no-check") {
+      check = false;
+    } else if (arg == "--list-registry") {
+      list_registry = true;
+    } else if (arg == "--markdown") {
+      markdown = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // --quick lowers the replicate default; an explicit --replicates wins
+  // regardless of flag order.
+  if (cfg.quick && !replicates_set) cfg.replicates = 3;
+
+  if (list_registry) {
+    if (markdown)
+      std::fputs(lab::registry_markdown(protos, fams).c_str(), stdout);
+    else
+      print_registry_plain(protos, fams);
+    return 0;
+  }
+  if (markdown) {
+    std::fprintf(stderr, "--markdown only applies to --list-registry\n");
+    return 2;
+  }
+
+  std::printf("complexity lab: %s ladders, master seed %llu, "
+              "%zu replicates per cell\n\n",
+              cfg.quick ? "quick" : "full",
+              static_cast<unsigned long long>(cfg.master_seed),
+              cfg.replicates);
+
+  lab::CampaignResult res;
+  try {
+    res = lab::run_campaign(protos, fams, cfg, &std::cout);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "configuration error: %s\n", e.what());
+    return 2;
+  }
+
+  try {
+    if (write_json) {
+      lab::write_text_file(out_json, lab::bench_json(res));
+      std::printf("\nwrote %s\n", out_json.c_str());
+    }
+    if (write_md) {
+      lab::write_text_file(out_md, lab::complexity_markdown(res));
+      std::printf("wrote %s\n", out_md.c_str());
+    }
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "output error: %s\n", e.what());
+    return 2;
+  }
+
+  const std::size_t failed = res.failed_fits();
+  const std::size_t viol = res.violation_count();
+  std::printf("\n%zu engine runs over %zu curves: %zu fit failures, "
+              "%zu conformance violations\n",
+              res.total_runs, res.curves.size(), failed, viol);
+  if (res.ok()) {
+    std::printf("all fitted exponents within their declared bands\n");
+    return 0;
+  }
+  return check ? 1 : 0;
+}

@@ -55,6 +55,7 @@ int replay(const ProtocolRegistry& protos, const FamilyRegistry& fams,
     s = Scenario::parse(token);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
+    std::fprintf(stderr, "(token grammar: docs/REPLAY.md)\n");
     return 2;
   }
   try {
@@ -170,5 +171,7 @@ int main(int argc, char** argv) {
     for (const std::string& v : f.minimal_violations)
       std::printf("    %s\n", v.c_str());
   }
+  std::printf("reproduce with `fuzz_scenarios --replay <token>`; "
+              "token grammar: docs/REPLAY.md\n");
   return 1;
 }
