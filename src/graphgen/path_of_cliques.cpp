@@ -1,0 +1,30 @@
+#include "graphgen/path_of_cliques.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ule {
+
+Graph make_path_of_cliques(std::size_t cliques, std::size_t size) {
+  if (cliques < 2) throw std::invalid_argument("need >= 2 cliques");
+  if (size < 1) throw std::invalid_argument("need clique size >= 1");
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const auto slot = [size](std::size_t j, std::size_t k) {
+    return static_cast<NodeId>(j * size + k);
+  };
+  for (std::size_t j = 0; j < cliques; ++j) {
+    for (std::size_t a = 0; a < size; ++a) {
+      // Clique within group j.
+      for (std::size_t b = a + 1; b < size; ++b)
+        edges.emplace_back(slot(j, a), slot(j, b));
+      // Biclique to group j+1.
+      if (j + 1 < cliques)
+        for (std::size_t b = 0; b < size; ++b)
+          edges.emplace_back(slot(j, a), slot(j + 1, b));
+    }
+  }
+  return Graph::from_edges(cliques * size, edges);
+}
+
+}  // namespace ule

@@ -1,0 +1,30 @@
+// Path of cliques: the diameter-ladder workhorse.
+//
+// `cliques` groups of `size` nodes each; every group is a clique and every
+// pair of consecutive groups is completely joined (a biclique), so each hop
+// along the path changes the group index by exactly one.  The diameter is
+// therefore EXACTLY cliques - 1 for every size >= 1 (size = 1 degenerates to
+// a path), which is what makes the family usable as a diameter ladder: hold
+// the total node count ~fixed, grow the number of groups, and the measured
+// BFS diameter equals the declared rung with no off-by-one slack — the paper's
+// O(D)-time claims can then be fitted against D directly instead of being
+// conflated with n (the Θ(D) additive term of the Casteigts et al. bit-round
+// bound lives on this axis, not on n).
+//
+//   n = cliques * size
+//   m = cliques * size*(size-1)/2 + (cliques-1) * size^2
+//   D = cliques - 1 (exact)
+
+#pragma once
+
+#include <cstddef>
+
+#include "net/graph.hpp"
+
+namespace ule {
+
+/// Group of node v (nodes are numbered group-major).
+/// slot(j, k) = j * size + k for group j in [0, cliques), member k in [0, size).
+Graph make_path_of_cliques(std::size_t cliques, std::size_t size);
+
+}  // namespace ule

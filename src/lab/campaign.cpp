@@ -131,11 +131,36 @@ ScenarioParams ladder_params(const FamilyInfo& fam, std::uint64_t n) {
                               "\" has no n-ladder convention");
 }
 
+std::uint64_t default_nominal_n(bool quick) { return quick ? 96 : 256; }
+
+std::vector<std::uint64_t> default_diameter_ladder(const FamilyInfo& fam,
+                                                   bool quick,
+                                                   std::uint64_t nominal_n) {
+  if (!fam.diameter_ladder.has_value())
+    throw std::invalid_argument("family \"" + fam.name +
+                                "\" has no diameter-ladder convention");
+  const DiameterLadder& dl = *fam.diameter_ladder;
+  // Rungs start at 8: every protocol pays a few additive pacing/echo rounds,
+  // and at D = 4 that constant dominates the log-log slope.
+  const std::vector<std::uint64_t> base =
+      quick ? std::vector<std::uint64_t>{8, 16, 32, 48}
+            : std::vector<std::uint64_t>{8, 16, 32, 64, 128};
+  std::vector<std::uint64_t> out;
+  for (const std::uint64_t d : base) {
+    if (d < dl.min_d || d > dl.max_d) continue;
+    if (d > nominal_n / 2) continue;  // keep the clique blobs non-degenerate
+    out.push_back(d);
+  }
+  return out;
+}
+
 std::vector<std::uint64_t> default_ladder(const FamilyInfo& fam, bool quick) {
   // Complete instances are Θ(n²) edges, so their ladder tops out lower.
   std::vector<std::uint64_t> base;
   if (fam.complete)
-    base = quick ? std::vector<std::uint64_t>{16, 32, 64, 128}
+    // The quick ladder starts at 32: the sublinear band's log^{3/2} factor
+    // keeps the local slope near 1 below that, drowning the √n shape.
+    base = quick ? std::vector<std::uint64_t>{32, 64, 128, 256}
                  : std::vector<std::uint64_t>{32, 64, 128, 256, 512};
   else
     base = quick ? std::vector<std::uint64_t>{24, 48, 96, 192}
@@ -153,12 +178,14 @@ std::vector<std::uint64_t> default_ladder(const FamilyInfo& fam, bool quick) {
 }
 
 std::uint64_t replicate_seed(std::uint64_t master, const std::string& protocol,
-                             const std::string& family, std::uint64_t n,
+                             const std::string& family,
+                             const std::string& axis, std::uint64_t rung,
                              std::size_t replicate) {
   std::uint64_t h = mix(master, 0xC0A1B2C3D4E5F607ULL);
   h = mix_string(h, protocol);
   h = mix_string(h, family);
-  h = mix(h, n);
+  h = mix_string(h, axis);
+  h = mix(h, rung);
   h = mix(h, replicate);
   return h;
 }
@@ -174,34 +201,64 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
   res.replicates = cfg.replicates;
 
   // --- enumerate curves and their ladders -------------------------------
+  const std::uint64_t nominal =
+      cfg.nominal_n != 0 ? cfg.nominal_n : default_nominal_n(cfg.quick);
   struct Curve {
     const ProtocolInfo* proto;
     const FamilyInfo* fam;
+    std::string axis;
     std::vector<GrowthExpectation> expects;
     std::vector<std::uint64_t> ladder;
+    /// Diameter axis only: per-rung params + declared exact diameter.
+    std::vector<DiameterRung> rungs;
   };
   std::vector<Curve> curves;
   for (const ProtocolInfo& p : protocols.all()) {
     if (!selected(cfg.protocols, p.name)) continue;
     for (const GrowthExpectation& e : p.growth) {
       if (!selected(cfg.families, e.family)) continue;
+      if (e.axis != "n" && e.axis != "diameter")
+        throw std::invalid_argument("growth expectation " + p.name + " x " +
+                                    e.family + " declares unknown axis \"" +
+                                    e.axis + "\"");
       const FamilyInfo& fam = families.at(e.family);
       auto it = std::find_if(curves.begin(), curves.end(), [&](const Curve& c) {
-        return c.proto == &p && c.fam == &fam;
+        return c.proto == &p && c.fam == &fam && c.axis == e.axis;
       });
       if (it == curves.end()) {
         Curve c;
         c.proto = &p;
         c.fam = &fam;
-        c.ladder = cfg.ladder.empty() ? default_ladder(fam, cfg.quick)
-                                      : cfg.ladder;
-        if (const ParamSpec* spec = find_spec(fam, "n"); spec != nullptr)
-          std::erase_if(c.ladder, [&](std::uint64_t n) {
-            return n < spec->lo || n > spec->hi;
+        c.axis = e.axis;
+        if (e.axis == "diameter") {
+          if (!fam.diameter_ladder.has_value())
+            throw std::invalid_argument(
+                "curve " + p.name + " x " + fam.name +
+                " declares the diameter axis, but the family has no "
+                "diameter-ladder convention");
+          const DiameterLadder& dl = *fam.diameter_ladder;
+          c.ladder = cfg.d_ladder.empty()
+                         ? default_diameter_ladder(fam, cfg.quick, nominal)
+                         : cfg.d_ladder;
+          std::erase_if(c.ladder, [&](std::uint64_t d) {
+            return d < dl.min_d || d > dl.max_d;
           });
+          for (const std::uint64_t d : c.ladder)
+            c.rungs.push_back(dl.rung(nominal, d));
+        } else {
+          c.ladder = cfg.ladder.empty() ? default_ladder(fam, cfg.quick)
+                                        : cfg.ladder;
+          if (const ParamSpec* spec = find_spec(fam, "n"); spec != nullptr)
+            std::erase_if(c.ladder, [&](std::uint64_t n) {
+              return n < spec->lo || n > spec->hi;
+            });
+          for (const std::uint64_t n : c.ladder)
+            c.rungs.push_back(DiameterRung{ladder_params(fam, n), 0});
+        }
         if (c.ladder.size() < 2)
           throw std::invalid_argument("curve " + p.name + " x " + fam.name +
-                                      " has a ladder of < 2 valid sizes");
+                                      " [" + c.axis +
+                                      "] has a ladder of < 2 valid rungs");
         curves.push_back(std::move(c));
         it = curves.end() - 1;
       }
@@ -226,12 +283,12 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
       for (std::size_t r = 0; r < cfg.replicates; ++r) {
         Scenario s;
         s.family = c.fam->name;
-        s.params = ladder_params(*c.fam, c.ladder[li]);
+        s.params = c.rungs[li].params;
         s.protocol = c.proto->name;
         s.knowledge = c.proto->min_knowledge;
         s.wakeup = WakeupKind::Simultaneous;
         s.seed = replicate_seed(cfg.master_seed, c.proto->name, c.fam->name,
-                                c.ladder[li], r);
+                                c.axis, c.ladder[li], r);
         s.threads = 1;
         items.push_back(Item{ci, li, r, std::move(s)});
       }
@@ -283,20 +340,26 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
     CurveResult cr;
     cr.protocol = c.proto->name;
     cr.family = c.fam->name;
+    cr.axis = c.axis;
     for (std::size_t li = 0; li < c.ladder.size(); ++li) {
       CellResult cell;
-      cell.n = c.ladder[li];
+      // Fallbacks for a rung whose replicate-0 run died before building a
+      // graph (the violation fails the campaign either way): the nominal n
+      // rung on the n-axis, the convention's declared exact diameter on the
+      // diameter axis.
+      cell.n = c.axis == "n" ? c.ladder[li] : 0;
+      cell.diameter = static_cast<std::uint32_t>(c.rungs[li].diameter);
       cell.replicates = cfg.replicates;
       std::vector<std::uint64_t> rounds, messages, bits;
       std::vector<double> wall;
       for (std::size_t r = 0; r < cfg.replicates; ++r) {
         const RunSlot& slot = slots[item_base + r];
-        if (r == 0) {
-          // ladder_params may round the target (grid squares, regular parity,
-          // hypercube powers of two): cells and fits use the ACTUAL instance
-          // size, falling back to the nominal rung only when the run died
-          // before building a graph.
-          if (slot.n != 0) cell.n = slot.n;
+        if (r == 0 && slot.n != 0) {
+          // The conventions may round the target (grid squares, regular
+          // parity, cliquecycle's D' = 4*ceil(D/4)): cells and fits use the
+          // ACTUAL instance, falling back to the declared rung only when the
+          // run died before building a graph.
+          cell.n = slot.n;
           cell.m = slot.m;
           cell.diameter = slot.diameter;
         }
@@ -329,13 +392,14 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
         const MetricStats& ms = e.metric == "rounds" ? cell.rounds
                                 : e.metric == "bits" ? cell.bits
                                                      : cell.messages;
-        x.push_back(static_cast<double>(cell.n));
+        const std::uint64_t ax = c.axis == "diameter" ? cell.diameter : cell.n;
+        x.push_back(static_cast<double>(std::max<std::uint64_t>(ax, 1)));
         y.push_back(static_cast<double>(std::max<std::uint64_t>(ms.median, 1)));
       }
       FitOutcome fo;
       fo.expect = e;
       fo.fit = fit_power_law(x, y);
-      fo.pass = std::abs(fo.fit.exponent - e.exponent) <= e.tol;
+      fo.pass = exponent_in_band(e.exponent, e.tol, fo.fit);
       cr.fits.push_back(std::move(fo));
     }
 
@@ -343,10 +407,11 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
       for (const FitOutcome& f : cr.fits) {
         char buf[256];
         std::snprintf(buf, sizeof(buf),
-                      "%-20s x %-10s %-8s ~ n^%.3f (+-%.3f)  expected "
+                      "%-20s x %-14s %-8s ~ %s^%.3f (+-%.3f)  expected "
                       "%.2f+-%.2f  R2=%.4f  %s\n",
                       cr.protocol.c_str(), cr.family.c_str(),
-                      f.expect.metric.c_str(), f.fit.exponent,
+                      f.expect.metric.c_str(),
+                      cr.axis == "diameter" ? "D" : "n", f.fit.exponent,
                       f.fit.confidence(), f.expect.exponent, f.expect.tol,
                       f.fit.r2, f.pass ? "PASS" : "FAIL");
         *log << buf;

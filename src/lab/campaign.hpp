@@ -1,13 +1,26 @@
 // Sweep campaigns: the Complexity Lab's unit of work.
 //
-// A campaign runs every declared growth curve — a (protocol, family) pair
-// from the scenario registries whose ProtocolInfo carries GrowthExpectations
-// — over an ascending n-ladder with several seed replicates per rung, then
-// fits the log-log slope of each declared cost metric against n (lab/fit.hpp)
-// and checks it against the registry-declared exponent band.  It is the
-// quantitative counterpart of the conformance fuzzer: the fuzzer asks "does
-// every run obey its envelope?", the lab asks "does cost *grow* at the rate
-// the paper claims?".
+// A campaign runs every declared growth curve — a (protocol, family, axis)
+// triple from the scenario registries whose ProtocolInfo carries
+// GrowthExpectations — over an ascending ladder with several seed replicates
+// per rung, then fits the log-log slope of each declared cost metric against
+// the declared axis (lab/fit.hpp) and checks it against the
+// registry-declared exponent band.  It is the quantitative counterpart of
+// the conformance fuzzer: the fuzzer asks "does every run obey its
+// envelope?", the lab asks "does cost *grow* at the rate the paper claims?".
+//
+// Two ladder axes, because the paper's bounds live on two axes:
+//
+//   axis "n"         the family's shape is fixed and the node count grows
+//                    (ladder_params); fits run against the ACTUAL instance
+//                    size.  This is where the message bounds (Θ(m),
+//                    O(m log n), the KPPRT sublinear clique bound) live.
+//   axis "diameter"  the total size stays ~nominal_n and the diameter grows
+//                    (FamilyInfo::diameter_ladder, e.g. cliquepath /
+//                    barbell / cliquecycle); fits run against the exact
+//                    BFS-measured diameter.  This is where the O(D)-time
+//                    claims live — an n-ladder alone conflates the two axes,
+//                    since D usually grows with n.
 //
 // Execution is replicate-parallel on the PR-2 WorkerPool: every replicate is
 // one independent engine run (engine threads = 1), workers claim runs off a
@@ -19,8 +32,8 @@
 // reruns and worker counts, which tests/lab/campaign_test.cpp pins.
 //
 // Replicate seeds are domain-separated from the master seed by (protocol,
-// family, n, replicate) via splitmix64, the same discipline the scenario
-// runner uses to split graph/wakeup/run streams.
+// family, axis, rung, replicate) via splitmix64, the same discipline the
+// scenario runner uses to split graph/wakeup/run streams.
 
 #pragma once
 
@@ -47,9 +60,16 @@ struct CampaignConfig {
   /// Restrict to these protocol / family registry keys (empty = no filter).
   std::vector<std::string> protocols;
   std::vector<std::string> families;
-  /// Override the n-ladder for every curve (empty = per-family default).
-  /// Values outside a family's declared size range are dropped per curve.
+  /// Override the n-ladder for every n-axis curve (empty = per-family
+  /// default).  Values outside a family's declared size range are dropped
+  /// per curve.
   std::vector<std::uint64_t> ladder;
+  /// Override the D-ladder for every diameter-axis curve (empty = default).
+  /// Rungs outside a family convention's [min_d, max_d] are dropped.
+  std::vector<std::uint64_t> d_ladder;
+  /// Fixed nominal instance size for diameter-axis curves (0 = default:
+  /// 96 quick / 256 full).
+  std::uint64_t nominal_n = 0;
   /// Forwarded to run_scenario (check_determinism is forced off: replicates
   /// run with engine threads = 1; parallelism lives at the replicate level).
   ScenarioRunConfig run;
@@ -92,11 +112,14 @@ struct FitOutcome {
   bool pass = false;
 };
 
-/// One declared curve: a (protocol, family) ladder plus its fitted exponents.
+/// One declared curve: a (protocol, family, axis) ladder plus its fitted
+/// exponents.  The same (protocol, family) pair may appear once per axis —
+/// the ladders sweep different instances.
 struct CurveResult {
   std::string protocol;
   std::string family;
-  std::vector<CellResult> cells;  ///< ascending n
+  std::string axis;               ///< "n" | "diameter"
+  std::vector<CellResult> cells;  ///< ascending along the axis
   std::vector<FitOutcome> fits;   ///< one per declared GrowthExpectation
 };
 
@@ -122,9 +145,23 @@ ScenarioParams ladder_params(const FamilyInfo& fam, std::uint64_t n);
 /// Complete families get a shorter, denser ladder (instances are Θ(n²)).
 std::vector<std::uint64_t> default_ladder(const FamilyInfo& fam, bool quick);
 
-/// The replicate seed for (master, protocol, family, n, replicate).
+/// Default fixed nominal size for diameter-axis curves (96 quick, 256 full).
+std::uint64_t default_nominal_n(bool quick);
+
+/// Default D-ladder for a family with a diameter-ladder convention, clamped
+/// to the convention's [min_d, max_d] and to nominal_n / 2 (so the per-rung
+/// clique blobs never degenerate).  Throws std::invalid_argument when the
+/// family declares no convention.
+std::vector<std::uint64_t> default_diameter_ladder(const FamilyInfo& fam,
+                                                   bool quick,
+                                                   std::uint64_t nominal_n);
+
+/// The replicate seed for (master, protocol, family, axis, rung, replicate).
+/// The axis participates in the domain separation so an n-axis and a
+/// diameter-axis curve of the same pair never share coins.
 std::uint64_t replicate_seed(std::uint64_t master, const std::string& protocol,
-                             const std::string& family, std::uint64_t n,
+                             const std::string& family,
+                             const std::string& axis, std::uint64_t rung,
                              std::size_t replicate);
 
 /// Run the campaign.  `log`, when non-null, receives one line per finished

@@ -52,4 +52,17 @@ PowerFit fit_power_law(const std::vector<double>& x,
   return f;
 }
 
+double effective_tolerance(double expected_exponent, double declared_tol,
+                           const PowerFit& fit) {
+  if (std::abs(expected_exponent) <= kNearZeroExponent)
+    return declared_tol + fit.confidence();
+  return declared_tol;
+}
+
+bool exponent_in_band(double expected_exponent, double declared_tol,
+                      const PowerFit& fit) {
+  return std::abs(fit.exponent - expected_exponent) <=
+         effective_tolerance(expected_exponent, declared_tol, fit);
+}
+
 }  // namespace ule::lab

@@ -41,4 +41,24 @@ struct PowerFit {
 PowerFit fit_power_law(const std::vector<double>& x,
                        const std::vector<double>& y);
 
+/// Expected exponents at or below this magnitude take the near-zero
+/// tolerance path (see effective_tolerance).
+inline constexpr double kNearZeroExponent = 0.25;
+
+/// The tolerance a fitted exponent is checked against for a declared band.
+///
+/// For ordinary bands this is just the declared tolerance.  Near-zero bands
+/// ("cost independent of the axis", |expected| <= kNearZeroExponent) get the
+/// fit's own ~95% confidence half-width added: a genuinely flat curve has no
+/// dynamic range in the metric, so integer replicate noise dominates its
+/// log-log slope — but that same noise widens the slope's standard error, so
+/// widening by the confidence admits flat-but-noisy curves while a genuinely
+/// growing curve (tight confidence around a nonzero slope) still fails.
+double effective_tolerance(double expected_exponent, double declared_tol,
+                           const PowerFit& fit);
+
+/// The band verdict: |fit.exponent - expected| <= effective_tolerance(...).
+bool exponent_in_band(double expected_exponent, double declared_tol,
+                      const PowerFit& fit);
+
 }  // namespace ule::lab

@@ -44,4 +44,8 @@ std::string registry_markdown(const ProtocolRegistry& protocols,
 /// Write `content` to `path` (throws std::runtime_error on failure).
 void write_text_file(const std::string& path, const std::string& content);
 
+/// Read `path` in full (throws std::runtime_error on failure).  Used by the
+/// --trend gate to load the baseline and current BENCH_lab.json documents.
+std::string read_text_file(const std::string& path);
+
 }  // namespace ule::lab

@@ -1,0 +1,349 @@
+#include "lab/trend.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace ule::lab {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal parser for the flat document bench_json emits: one top-level
+// object with a "bench" string and a "rows" array of flat objects whose
+// values are strings, numbers or booleans.  Nothing nests deeper, so this is
+// deliberately not a general JSON parser — anything outside that shape is a
+// parse error, which is exactly what we want from a gate input.
+// ---------------------------------------------------------------------------
+
+struct Value {
+  enum class Kind { Str, Num, Bool } kind = Kind::Num;
+  std::string str;
+  double num = 0;
+  bool boolean = false;
+};
+
+using Row = std::map<std::string, Value>;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  /// Parse the whole document; returns the rows array.
+  std::vector<Row> parse_document() {
+    expect('{');
+    std::vector<Row> rows;
+    bool saw_rows = false;
+    for (;;) {
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "rows") {
+        rows = parse_rows();
+        saw_rows = true;
+      } else {
+        parse_scalar();  // "bench" and any future top-level scalar
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect('}');
+    if (!saw_rows) fail("document has no \"rows\" array");
+    return rows;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::invalid_argument("BENCH_lab.json parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of document");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      fail(std::string("expected '") + c + "', got '" + s_[pos_] + "'");
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) ++pos_;
+      out += s_[pos_++];
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Value parse_scalar() {
+    Value v;
+    const char c = peek();
+    if (c == '"') {
+      v.kind = Value::Kind::Str;
+      v.str = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      const char* word = c == 't' ? "true" : "false";
+      for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+        if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
+      }
+      v.kind = Value::Kind::Bool;
+      v.boolean = c == 't';
+      return v;
+    }
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E'))
+      ++end;
+    if (end == pos_) fail("expected a value");
+    v.kind = Value::Kind::Num;
+    try {
+      v.num = std::stod(s_.substr(pos_, end - pos_));
+    } catch (const std::exception&) {
+      fail("malformed number \"" + s_.substr(pos_, end - pos_) + "\"");
+    }
+    pos_ = end;
+    return v;
+  }
+
+  Row parse_row() {
+    expect('{');
+    Row row;
+    if (peek() == '}') {
+      ++pos_;
+      return row;
+    }
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      row.emplace(std::move(key), parse_scalar());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return row;
+    }
+  }
+
+  std::vector<Row> parse_rows() {
+    expect('[');
+    std::vector<Row> rows;
+    if (peek() == ']') {
+      ++pos_;
+      return rows;
+    }
+    for (;;) {
+      rows.push_back(parse_row());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return rows;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+std::string get_str(const Row& row, const std::string& key,
+                    const std::string& fallback = "") {
+  const auto it = row.find(key);
+  if (it == row.end() || it->second.kind != Value::Kind::Str) return fallback;
+  return it->second.str;
+}
+
+bool get_num(const Row& row, const std::string& key, double* out) {
+  const auto it = row.find(key);
+  if (it == row.end() || it->second.kind != Value::Kind::Num) return false;
+  *out = it->second.num;
+  return true;
+}
+
+/// Key of a row for baseline<->current matching ("" = not a compared kind).
+/// Pre-axis documents (PR 4) carried no axis field; default to "n" so an old
+/// baseline stays comparable after the axis column lands.
+std::string row_key(const Row& row) {
+  const std::string kind = get_str(row, "kind");
+  const std::string axis = get_str(row, "axis", "n");
+  if (kind == "cell") {
+    // Both coordinates: on the n-axis the diameter can repeat across rungs
+    // (complete graphs), on the diameter axis the ~fixed nominal size can —
+    // together they are unique on either ladder.
+    double n = 0, d = 0;
+    get_num(row, "n", &n);
+    get_num(row, "diameter", &d);
+    return "cell " + get_str(row, "protocol") + " x " + get_str(row, "family") +
+           " [" + axis + "] n=" +
+           std::to_string(static_cast<std::uint64_t>(n)) +
+           " D=" + std::to_string(static_cast<std::uint64_t>(d));
+  }
+  if (kind == "fit") {
+    return "fit " + get_str(row, "protocol") + " x " + get_str(row, "family") +
+           " [" + axis + "] " + get_str(row, "metric");
+  }
+  return "";
+}
+
+/// The deterministic numeric fields of a row kind (wall-clock fields are
+/// deliberately absent).
+const std::vector<std::string>& compared_fields(const std::string& kind) {
+  // n and diameter are part of the row key; a shape change surfaces as a
+  // missing/new row pair rather than a field drift.
+  static const std::vector<std::string> cell = {
+      "m",           "replicates",  "rounds_median",    "rounds_p95",
+      "rounds_max",  "messages_median", "messages_p95", "messages_max",
+      "bits_median", "bits_p95",    "bits_max"};
+  static const std::vector<std::string> fit = {"points", "expected", "tol"};
+  static const std::vector<std::string> none;
+  if (kind == "cell") return cell;
+  if (kind == "fit") return fit;
+  return none;
+}
+
+}  // namespace
+
+TrendReport compare_lab_trend(const std::string& baseline_json,
+                              const std::string& current_json,
+                              const TrendConfig& cfg) {
+  const std::vector<Row> base = Parser(baseline_json).parse_document();
+  const std::vector<Row> cur = Parser(current_json).parse_document();
+
+  TrendReport rep;
+
+  // --- meta: incomparable campaigns are a configuration change -----------
+  const auto find_meta = [](const std::vector<Row>& rows) -> const Row* {
+    for (const Row& r : rows)
+      if (get_str(r, "kind") == "meta") return &r;
+    return nullptr;
+  };
+  const Row* mb = find_meta(base);
+  const Row* mc = find_meta(cur);
+  if (mb == nullptr || mc == nullptr) {
+    rep.errors.push_back("missing meta row (baseline and current must both "
+                         "be complexity_lab documents)");
+    return rep;
+  }
+  for (const char* key : {"master_seed", "replicates"}) {
+    double vb = 0, vc = 0;
+    get_num(*mb, key, &vb);
+    get_num(*mc, key, &vc);
+    if (vb != vc)
+      rep.errors.push_back(
+          std::string("meta: ") + key + " differs (baseline " +
+          std::to_string(static_cast<std::uint64_t>(vb)) + ", current " +
+          std::to_string(static_cast<std::uint64_t>(vc)) +
+          ") — the campaigns are incomparable; regenerate the baseline");
+  }
+  if (!rep.errors.empty()) return rep;
+
+  // --- index the current rows by key --------------------------------------
+  std::map<std::string, const Row*> cur_by_key;
+  for (const Row& r : cur) {
+    const std::string key = row_key(r);
+    if (!key.empty()) cur_by_key[key] = &r;
+  }
+
+  std::map<std::string, bool> matched;
+  for (const auto& [key, row] : cur_by_key) matched[key] = false;
+
+  for (const Row& b : base) {
+    const std::string key = row_key(b);
+    if (key.empty()) continue;
+    const auto it = cur_by_key.find(key);
+    if (it == cur_by_key.end()) {
+      (cfg.allow_missing ? rep.notes : rep.errors)
+          .push_back("missing from current: " + key);
+      continue;
+    }
+    matched[key] = true;
+    const Row& c = *it->second;
+    const std::string kind = get_str(b, "kind");
+    if (kind == "cell")
+      ++rep.cells_compared;
+    else
+      ++rep.fits_compared;
+
+    for (const std::string& field : compared_fields(kind)) {
+      double vb = 0, vc = 0;
+      const bool hb = get_num(b, field, &vb), hc = get_num(c, field, &vc);
+      if (!hb || !hc) {
+        if (hb != hc)
+          rep.errors.push_back(key + ": field " + field +
+                               " present in only one document");
+        continue;
+      }
+      const double denom = std::max(std::abs(vb), 1.0);
+      if (vb != vc && std::abs(vb - vc) > cfg.counter_rel_tol * denom)
+        rep.errors.push_back(key + ": " + field + " drifted " +
+                             std::to_string(vb) + " -> " +
+                             std::to_string(vc));
+    }
+
+    if (kind == "fit") {
+      // exponent and its stderr share the float tolerance (the stderr feeds
+      // the near-zero band verdict, so it is load-bearing too).
+      for (const char* field : {"exponent", "stderr"}) {
+        double eb = 0, ec = 0;
+        if (get_num(b, field, &eb) && get_num(c, field, &ec) &&
+            std::abs(eb - ec) > cfg.exponent_tol)
+          rep.errors.push_back(key + ": " + field + " drifted " +
+                               std::to_string(eb) + " -> " +
+                               std::to_string(ec) + " (tol " +
+                               std::to_string(cfg.exponent_tol) + ")");
+      }
+      const auto pass_of = [](const Row& r) {
+        const auto it2 = r.find("pass");
+        return it2 != r.end() && it2->second.kind == Value::Kind::Bool &&
+               it2->second.boolean;
+      };
+      if (pass_of(b) && !pass_of(c))
+        rep.errors.push_back(key + ": was in band, now FAILS its band");
+      if (!pass_of(b) && pass_of(c))
+        rep.notes.push_back(key + ": was out of band, now passes");
+    }
+    if (kind == "cell") {
+      const auto ok_of = [](const Row& r) {
+        const auto it2 = r.find("ok");
+        return it2 == r.end() || it2->second.kind != Value::Kind::Bool ||
+               it2->second.boolean;
+      };
+      if (ok_of(b) && !ok_of(c))
+        rep.errors.push_back(key + ": cell now has conformance violations");
+    }
+  }
+
+  for (const auto& [key, seen] : matched)
+    if (!seen) rep.notes.push_back("new in current: " + key);
+
+  return rep;
+}
+
+}  // namespace ule::lab

@@ -15,6 +15,7 @@
 #include "graphgen/clique_cycle.hpp"
 #include "graphgen/dumbbell.hpp"
 #include "graphgen/generators.hpp"
+#include "graphgen/path_of_cliques.hpp"
 #include "spanner/spanner_elect.hpp"
 
 namespace ule {
@@ -141,7 +142,12 @@ ProtocolRegistry build_protocols() {
       [](const Shape& s) { return 8 * s.m * (lg(s.n) + 8) + 8 * s.n + 64; },
       {{"ring", "rounds", 1.0, 0.25, "O(D) time; D = n/2 on the ring"},
        {"ring", "messages", 1.0, 0.35, "O(m log n); m = n on the ring"},
-       {"complete", "messages", 2.0, 0.35, "O(m log n); m = n(n-1)/2 on K_n"}}});
+       {"complete", "messages", 2.0, 0.35, "O(m log n); m = n(n-1)/2 on K_n"},
+       {"cliquepath", "rounds", 1.0, 0.3,
+        "O(D) time on the diameter ladder (n ~fixed, D grows); pacing/echo "
+        "constants deflate the local slope", "diameter"},
+       {"star", "rounds", 0.0, 0.2,
+        "O(D) time is independent of n at fixed D (star: D = 2)"}}});
 
   const auto least_el_rounds = [](const Shape& s) {
     return 32 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 64;
@@ -158,7 +164,9 @@ ProtocolRegistry build_protocols() {
       },
       least_el_rounds, least_el_messages,
       {{"ring", "messages", 1.0, 0.4, "O(m log n) least-element lists"},
-       {"ring", "rounds", 1.0, 0.3, "O(D) waves; D = n/2 on the ring"}}});
+       {"ring", "rounds", 1.0, 0.3, "O(D) waves; D = n/2 on the ring"},
+       {"cliquepath", "rounds", 1.0, 0.3,
+        "O(D) waves on the diameter ladder", "diameter"}}});
 
   reg.add(ProtocolInfo{
       "least_el_logn", Contract::MonteCarlo, KnowledgeGrant::N,
@@ -196,7 +204,12 @@ ProtocolRegistry build_protocols() {
         return make_least_el(LeastElConfig::las_vegas(s.diameter));
       },
       [](const Shape& s) { return 48 * (3 * dia(s) + 8) + 2 * s.n + 64; },
-      least_el_messages});
+      least_el_messages,
+      {{"ring", "messages", 1.0, 0.4,
+        "O(m log n) least-element lists per epoch"},
+       {"cliquepath", "rounds", 1.0, 0.4,
+        "Cor 4.6: O(D)-round epochs at fixed n; the epoch-count median "
+        "wobbles at small replicate counts", "diameter"}}});
 
   reg.add(ProtocolInfo{
       "size_estimate", Contract::LasVegas, KnowledgeGrant::None,
@@ -204,14 +217,21 @@ ProtocolRegistry build_protocols() {
       [](const Shape&, RunOptions&) { return make_size_estimate_elect(); },
       [](const Shape& s) { return 48 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 96; },
       [](const Shape& s) { return 16 * s.m * (lg(s.n) + 8) + 16 * s.n + 64; },
-      {{"ring", "messages", 1.0, 0.4, "O(m log n) without knowing n"}}});
+      {{"ring", "messages", 1.0, 0.4, "O(m log n) without knowing n"},
+       {"barbell", "rounds", 1.0, 0.4,
+        "O(D) up/down census waves at fixed n", "diameter"}}});
 
   reg.add(ProtocolInfo{
       "clustering", Contract::MonteCarlo, KnowledgeGrant::N,
       false, false, false,
       [](const Shape&, RunOptions&) { return make_clustering(); },
       [](const Shape& s) { return 64 * dia(s) * lg(s.n) + 2 * s.n + 256; },
-      [](const Shape& s) { return 16 * s.m + 64 * s.n * lg(s.n) + 64; }});
+      [](const Shape& s) { return 16 * s.m + 64 * s.n * lg(s.n) + 64; },
+      {{"gnm", "messages", 1.0, 0.45, "O(m + n log n) cluster formation"},
+       {"barbell", "rounds", 0.5, 0.35,
+        "O(D log n) cluster growth at fixed n: the additive Theta(log n) "
+        "phase cost halves the local slope at lab-sized D; slope 0 (no D "
+        "dependence) and slope 1 both leave the band", "diameter"}}});
 
   const auto kingdom_messages = [](const Shape& s) {
     return 32 * s.m * (lg(s.n) + 4) + 8 * s.n + 64;
@@ -225,7 +245,10 @@ ProtocolRegistry build_protocols() {
       },
       kingdom_messages,
       {{"ring", "messages", 1.0, 0.4, "O(m log n) kingdom mergers"},
-       {"ring", "rounds", 1.0, 0.35, "O(D log n) merger phases"}}});
+       {"ring", "rounds", 1.0, 0.35, "O(D log n) merger phases"},
+       {"cliquecycle", "rounds", 1.0, 0.35,
+        "O(D log n) merger phases; log n fixed on the D-ladder",
+        "diameter"}}});
 
   reg.add(ProtocolInfo{
       "kingdom_knownD", Contract::Deterministic, KnowledgeGrant::ND,
@@ -266,7 +289,13 @@ ProtocolRegistry build_protocols() {
         return make_spanner_elect(SpannerElectConfig{3, 0});
       },
       [](const Shape& s) { return 200 * dia(s) + 2 * s.n + 256; },
-      [](const Shape& s) { return 24 * s.m + 8 * s.n * (lg(s.n) + 8) + 64; }});
+      [](const Shape& s) { return 24 * s.m + 8 * s.n * (lg(s.n) + 8) + 64; },
+      {{"gnm", "messages", 1.0, 0.45,
+        "O(m) Baswana-Sen + O(n log n) election on the spanner"},
+       {"cliquecycle", "rounds", 0.75, 0.3,
+        "Cor 4.2: O(D) election on the 3-spanner (diameter <= (2k-1)D + 2k) "
+        "after O(1) construction phases, whose additive rounds deflate the "
+        "local slope at lab-sized D", "diameter"}}});
 
   reg.add(ProtocolInfo{
       "sublinear_complete", Contract::MonteCarlo, KnowledgeGrant::N,
@@ -292,7 +321,9 @@ ProtocolRegistry build_protocols() {
         return 8 * s.m * (lg(s.n) + 8) + 2 * s.m + 8 * s.n + 64;
       },
       {{"ring", "messages", 1.0, 0.35,
-        "O(m log n) + one O(m) LEADER announcement flood"}}});
+        "O(m log n) + one O(m) LEADER announcement flood"},
+       {"cliquepath", "rounds", 1.0, 0.35,
+        "O(D) election + one O(D) LEADER flood", "diameter"}}});
 
   return reg;
 }
@@ -526,6 +557,55 @@ FamilyRegistry build_families() {
       shrink_param(out, ps, 1, 1);
       return out;
     };
+    // D-ladder: bridge = D - 2 (one clique hop at each end is exact for
+    // clique >= 2), cliques absorb the rest of the nominal size.  n stays
+    // within ~1 of nominal: 2*clique + bridge - 1.
+    DiameterLadder dl;
+    dl.min_d = 3;
+    dl.max_d = 1024;
+    dl.rung = [](std::uint64_t nominal_n, std::uint64_t d) {
+      const std::uint64_t spare = nominal_n > d - 3 ? nominal_n - (d - 3) : 4;
+      const std::uint64_t clique = std::clamp<std::uint64_t>(spare / 2, 2, 256);
+      return DiameterRung{params2("clique", clique, "bridge", d - 2), d};
+    };
+    f.diameter_ladder = std::move(dl);
+    reg.add(std::move(f));
+  }
+
+  {
+    // Path of `cliques` groups of `size` nodes with consecutive groups
+    // completely joined: every hop changes the group index by exactly one, so
+    // the diameter is exactly cliques - 1 for every size >= 1.  That
+    // exactness is the point — it is the diameter-ladder workhorse (fixed
+    // nominal n, growing D) for the O(D)-time claims.
+    FamilyInfo f;
+    f.name = "cliquepath";
+    f.params = {{"cliques", 2, 2048}, {"size", 1, 64}};
+    f.build = [](const ScenarioParams& ps, Rng&) {
+      return make_path_of_cliques(get_param(ps, "cliques"),
+                                  get_param(ps, "size"));
+    };
+    f.draw = [](Rng& rng, std::size_t max_n) {
+      const std::uint64_t size = rng.in_range(1, 4);
+      const std::uint64_t hi = cap(max_n / size, 2, 2048);
+      return params2("cliques", rng.in_range(2, hi), "size", size);
+    };
+    f.shrink = [](const ScenarioParams& ps) {
+      std::vector<ScenarioParams> out;
+      shrink_param(out, ps, 0, 2);
+      shrink_param(out, ps, 1, 1);
+      return out;
+    };
+    DiameterLadder dl;
+    dl.min_d = 2;
+    dl.max_d = 2047;
+    dl.rung = [](std::uint64_t nominal_n, std::uint64_t d) {
+      const std::uint64_t cliques = d + 1;
+      const std::uint64_t size = std::clamp<std::uint64_t>(
+          (nominal_n + cliques / 2) / cliques, 1, 64);
+      return DiameterRung{params2("cliques", cliques, "size", size), d};
+    };
+    f.diameter_ladder = std::move(dl);
     reg.add(std::move(f));
   }
 
@@ -654,6 +734,23 @@ FamilyRegistry build_families() {
       if (d / 2 >= 3) out.push_back(params2("n", n, "D", d / 2));
       return out;
     };
+    // D-ladder: the construction rounds the requested D up to D' = 4*ceil(D/4)
+    // cliques; for gamma >= 3 the exact diameter is D' + 1 (antipodal middle
+    // nodes pay D'/2 connector edges each way plus one entry->exit hop inside
+    // every traversed clique and one hop out of / into the end cliques).
+    // gamma >= 3 is forced by raising n to 3*D' when the nominal size is too
+    // small for the rung; tests/graphgen/family_properties_test.cpp pins the
+    // closed form by BFS.
+    DiameterLadder dl;
+    dl.min_d = 3;
+    dl.max_d = 512;
+    dl.rung = [](std::uint64_t nominal_n, std::uint64_t d) {
+      const std::uint64_t d_prime = 4 * ((d + 3) / 4);
+      const std::uint64_t n = std::clamp<std::uint64_t>(
+          std::max(nominal_n, 3 * d_prime), 4, 4096);
+      return DiameterRung{params2("n", n, "D", d), d_prime + 1};
+    };
+    f.diameter_ladder = std::move(dl);
     reg.add(std::move(f));
   }
 

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,20 +60,35 @@ ScenarioShape shape_of(const Graph& g, std::uint32_t diameter,
 /// The engine Knowledge granting exactly `grant` for this instance.
 Knowledge knowledge_for(const ScenarioShape& shape, KnowledgeGrant grant);
 
-/// One declared asymptotic-growth claim: running the protocol on an n-ladder
-/// of `family`, the log-log least-squares slope of `metric` against n must
-/// land within `exponent` ± `tol`.  These are the empirical counterparts of
-/// the paper's Table-1 entries; the Complexity Lab (src/lab/) sweeps every
-/// declared curve and fails when a fitted slope leaves its band.  Tolerances
-/// are calibrated for lab-sized ladders, where polylog factors inflate the
-/// local slope (d ln(n·ln n)/d ln n = 1 + 1/ln n ≈ 1.2 at n = 128), so a
-/// Θ(n log n) bound is declared as exponent 1 with tol ≥ 0.3.
+/// One declared asymptotic-growth claim: running the protocol over a ladder
+/// of `family` instances, the log-log least-squares slope of `metric` against
+/// the declared `axis` must land within `exponent` ± `tol`.  These are the
+/// empirical counterparts of the paper's Table-1 entries; the Complexity Lab
+/// (src/lab/) sweeps every declared curve and fails when a fitted slope
+/// leaves its band.
+///
+/// Two axes, because the paper's bounds live on two axes: message bounds are
+/// stated in n and m (axis "n": an ascending n-ladder), while the time bounds
+/// are stated in the diameter — universal election runs in O(D) rounds, and
+/// the lower-bound constructions hold D fixed while n grows — so O(D) claims
+/// sweep a family's diameter ladder (axis "diameter": total size ~fixed,
+/// growing D; see FamilyInfo::diameter_ladder) and fit against the
+/// BFS-measured diameter.
+///
+/// Tolerances are calibrated for lab-sized ladders, where polylog factors
+/// inflate the local slope (d ln(n·ln n)/d ln n = 1 + 1/ln n ≈ 1.2 at
+/// n = 128), so a Θ(n log n) bound is declared as exponent 1 with tol ≥ 0.3.
+/// Near-zero bands ("rounds independent of the axis") additionally get the
+/// fit's own confidence width added to the tolerance (lab/fit.hpp,
+/// effective_tolerance): a flat curve has no dynamic range in the metric, so
+/// replicate noise dominates its slope.
 struct GrowthExpectation {
-  std::string family;  ///< family-registry key the n-ladder runs on
+  std::string family;  ///< family-registry key the ladder runs on
   std::string metric;  ///< "rounds" | "messages" | "bits"
   double exponent = 1.0;
   double tol = 0.3;
   std::string note;  ///< the paper bound this encodes (shown in reports)
+  std::string axis = "n";  ///< "n" | "diameter": the ladder the fit runs on
 };
 
 struct ProtocolInfo {
@@ -122,6 +138,28 @@ struct ParamSpec {
   std::uint64_t hi = 1;
 };
 
+/// One rung of a family's diameter ladder: the parameterization to build and
+/// the EXACT diameter the built instance will have.  Conventions must be
+/// exact — tests/graphgen/family_properties_test.cpp BFS-measures every rung
+/// and fails on any off-by-one, because a rung whose declared D drifts from
+/// the real diameter silently poisons every diameter-axis fit.
+struct DiameterRung {
+  ScenarioParams params;
+  std::uint64_t diameter = 0;
+};
+
+/// A family's diameter-ladder convention: instances of ~`nominal_n` total
+/// nodes whose diameter grows with the rung (the dual of the n-ladder, where
+/// the shape stays fixed and n grows).  rung(nominal_n, d) returns params
+/// within the declared ParamSpec ranges and the exact resulting diameter;
+/// `d` ranges over [min_d, max_d] (the lab additionally caps rungs at
+/// ~nominal_n / 2 so the clique blobs never degenerate).
+struct DiameterLadder {
+  std::uint64_t min_d = 2;
+  std::uint64_t max_d = 512;
+  std::function<DiameterRung(std::uint64_t nominal_n, std::uint64_t d)> rung;
+};
+
 struct FamilyInfo {
   std::string name;
   std::vector<ParamSpec> params;
@@ -137,6 +175,10 @@ struct FamilyInfo {
   /// Candidate strictly-smaller parameterizations for failure shrinking
   /// (roughly halving and decrementing); empty when already minimal.
   std::function<std::vector<ScenarioParams>(const ScenarioParams&)> shrink;
+  /// Diameter-ladder convention (fixed nominal n, growing D); absent for
+  /// families whose diameter is tied to n (ring, path) or constant
+  /// (complete, star).  Consumed by diameter-axis growth expectations.
+  std::optional<DiameterLadder> diameter_ladder;
 };
 
 class FamilyRegistry {

@@ -11,7 +11,10 @@
 #include "graphgen/dumbbell.hpp"
 #include "graphgen/generators.hpp"
 #include "graphgen/graph_algos.hpp"
+#include "graphgen/path_of_cliques.hpp"
 #include "helpers.hpp"
+#include "lab/campaign.hpp"
+#include "scenario/registry.hpp"
 
 namespace ule {
 namespace {
@@ -63,7 +66,7 @@ TEST_P(FamilyStructure, ShuffledPortsPreserveStructure) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyStructure,
-                         ::testing::Range<std::size_t>(0, 16));
+                         ::testing::Range<std::size_t>(0, 17));
 
 TEST(FamilyDiameters, ClosedFormsHold) {
   EXPECT_EQ(diameter_exact(make_path(17)), 16u);
@@ -134,6 +137,63 @@ TEST(CliqueCycleConstruction, MatchesFigureOne) {
   NodeId w = v;
   for (int i = 0; i < 4; ++i) w = cc.rotate(w);
   EXPECT_EQ(w, v);
+}
+
+TEST(PathOfCliquesConstruction, ClosedFormsHold) {
+  // cliques * size nodes, per-group cliques + consecutive bicliques, and —
+  // the property the diameter ladder stands on — diameter EXACTLY
+  // cliques - 1 for every group size.
+  const Graph g = make_path_of_cliques(5, 4);
+  EXPECT_EQ(g.n(), 20u);
+  EXPECT_EQ(g.m(), 5u * (4u * 3u / 2) + 4u * 4u * 4u);
+  EXPECT_EQ(diameter_exact(g), 4u);
+  check_structure(g);
+  EXPECT_EQ(diameter_exact(make_path_of_cliques(7, 1)), 6u);  // size 1 = path
+  EXPECT_EQ(diameter_exact(make_path_of_cliques(2, 6)), 1u);  // 2 groups = K12
+  EXPECT_EQ(make_path_of_cliques(2, 6).m(), 12u * 11u / 2);
+  EXPECT_THROW(make_path_of_cliques(1, 4), std::invalid_argument);
+  EXPECT_THROW(make_path_of_cliques(3, 0), std::invalid_argument);
+}
+
+TEST(DiameterLadders, BfsDiameterMatchesEveryDeclaredRung) {
+  // For every family with a diameter-ladder convention, the BFS-measured
+  // diameter of the built instance must EQUAL the declared rung diameter
+  // across the whole default ladder (quick and full) — an off-by-one rung
+  // definition would silently poison every diameter-axis fit.
+  std::size_t conventions = 0;
+  for (const FamilyInfo& fam : default_families().all()) {
+    if (!fam.diameter_ladder.has_value()) continue;
+    ++conventions;
+    for (const bool quick : {true, false}) {
+      const std::uint64_t nominal = lab::default_nominal_n(quick);
+      const auto ladder = lab::default_diameter_ladder(fam, quick, nominal);
+      ASSERT_GE(ladder.size(), 2u) << fam.name;
+      for (const std::uint64_t d : ladder) {
+        const DiameterRung rung = fam.diameter_ladder->rung(nominal, d);
+        Rng rng(7);
+        const Graph g = fam.build(rung.params, rng);
+        EXPECT_EQ(diameter_exact(g), rung.diameter)
+            << fam.name << " rung d=" << d;
+        // "Fixed nominal n": the size stays within 2x of nominal while the
+        // diameter spans the whole ladder.
+        EXPECT_GE(g.n(), nominal / 2) << fam.name << " rung d=" << d;
+        EXPECT_LE(g.n(), 2 * nominal) << fam.name << " rung d=" << d;
+        check_structure(g);
+      }
+    }
+    // Off-default rungs too (odd values, the convention minimum): exactness
+    // must not be an artifact of the power-of-two ladder.
+    for (const std::uint64_t d :
+         {fam.diameter_ladder->min_d, fam.diameter_ladder->min_d + 1,
+          std::uint64_t{11}, std::uint64_t{27}}) {
+      if (d > fam.diameter_ladder->max_d) continue;
+      const DiameterRung rung = fam.diameter_ladder->rung(128, d);
+      Rng rng(11);
+      EXPECT_EQ(diameter_exact(fam.build(rung.params, rng)), rung.diameter)
+          << fam.name << " rung d=" << d;
+    }
+  }
+  EXPECT_GE(conventions, 3u);  // cliquepath, barbell, cliquecycle
 }
 
 TEST(RandomFamilies, SweepRespectsParameters) {

@@ -12,6 +12,7 @@
 #include "graphgen/dumbbell.hpp"
 #include "graphgen/generators.hpp"
 #include "graphgen/graph_algos.hpp"
+#include "graphgen/path_of_cliques.hpp"
 #include "net/graph.hpp"
 #include "net/rng.hpp"
 
@@ -49,6 +50,7 @@ inline std::vector<Family> standard_families() {
   add("regular20-4", make_random_regular(20, 4, rng));
   add("dumbbell16-30", make_dumbbell(16, 30, 0, 5).graph);
   add("cliquecycle24-8", make_clique_cycle(24, 8).graph);
+  add("cliquepath6x4", make_path_of_cliques(6, 4));
   return fams;
 }
 

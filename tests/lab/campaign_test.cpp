@@ -1,8 +1,9 @@
-// Campaign-level tests for the Complexity Lab: ladder conventions, the
-// replicate-seed discipline, expectation checking against a doctored
-// registry, and the headline determinism guarantee — a campaign rerun from
-// the same master seed yields byte-identical BENCH_lab.json rows (modulo
-// wall-clock fields) at every worker count.
+// Campaign-level tests for the Complexity Lab: ladder conventions on both
+// axes, the replicate-seed discipline, expectation checking against a
+// doctored registry, and the headline determinism guarantee — a campaign
+// rerun from the same master seed yields byte-identical BENCH_lab.json rows
+// (modulo wall-clock fields) at every worker count, on the n-ladder and the
+// diameter ladder alike.
 
 #include "lab/campaign.hpp"
 
@@ -53,6 +54,90 @@ TEST(CampaignTest, TinyCampaignSweepsAndFits) {
     EXPECT_FALSE(c.fits.empty());
     for (const FitOutcome& f : c.fits) EXPECT_EQ(f.fit.points, 3u);
   }
+}
+
+CampaignConfig diameter_config() {
+  CampaignConfig cfg;
+  cfg.master_seed = 424243;
+  cfg.replicates = 2;
+  cfg.protocols = {"flood_max"};
+  cfg.families = {"cliquepath"};
+  cfg.d_ladder = {8, 16, 32};
+  cfg.nominal_n = 64;
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(CampaignTest, DiameterCampaignSweepsTheDeclaredAxis) {
+  const CampaignResult res = run_campaign(default_protocols(),
+                                          default_families(),
+                                          diameter_config());
+  ASSERT_EQ(res.curves.size(), 1u);
+  const CurveResult& c = res.curves[0];
+  EXPECT_EQ(c.protocol, "flood_max");
+  EXPECT_EQ(c.family, "cliquepath");
+  EXPECT_EQ(c.axis, "diameter");
+  ASSERT_EQ(c.cells.size(), 3u);
+  std::uint64_t expect_d = 8;
+  for (const CellResult& cell : c.cells) {
+    // The convention is exact: the measured diameter IS the rung.
+    EXPECT_EQ(cell.diameter, expect_d);
+    // The total size stays pinned near the nominal while D quadruples.
+    EXPECT_GE(cell.n, 48u);
+    EXPECT_LE(cell.n, 80u);
+    EXPECT_TRUE(cell.violations.empty())
+        << "D=" << cell.diameter << ": " << cell.violations[0];
+    expect_d *= 2;
+  }
+  ASSERT_FALSE(c.fits.empty());
+  for (const FitOutcome& f : c.fits) {
+    EXPECT_EQ(f.expect.axis, "diameter");
+    EXPECT_EQ(f.fit.points, 3u);
+    // Rounds grow with D while n is fixed — the whole point of the axis.
+    EXPECT_GT(f.fit.exponent, 0.3);
+  }
+}
+
+TEST(CampaignTest, DiameterCampaignIsByteIdenticalAcrossWorkerCounts) {
+  // The same convention the n-ladder pins, on the new axis: worker counts
+  // {1, 2, hardware} must serialize identical rows (modulo wall clocks).
+  CampaignConfig cfg = diameter_config();
+  cfg.threads = 1;
+  const std::string rows_1 = bench_json(
+      run_campaign(default_protocols(), default_families(), cfg),
+      /*include_wall=*/false);
+  cfg.threads = 2;
+  const std::string rows_2 = bench_json(
+      run_campaign(default_protocols(), default_families(), cfg),
+      /*include_wall=*/false);
+  cfg.threads = 0;  // hardware concurrency
+  const std::string rows_hw = bench_json(
+      run_campaign(default_protocols(), default_families(), cfg),
+      /*include_wall=*/false);
+  EXPECT_EQ(rows_1, rows_2);
+  EXPECT_EQ(rows_1, rows_hw);
+  EXPECT_NE(rows_1.find("\"axis\": \"diameter\""), std::string::npos);
+}
+
+TEST(CampaignTest, DiameterAxisWithoutConventionIsAConfigurationError) {
+  // Declaring the diameter axis on a family without a diameter-ladder
+  // convention must throw, not silently sweep the wrong thing.
+  ProtocolInfo p = default_protocols().at("flood_max");
+  p.growth = {{"ring", "rounds", 1.0, 0.3, "bogus", "diameter"}};
+  ProtocolRegistry reg;
+  reg.add(std::move(p));
+  EXPECT_THROW(run_campaign(reg, default_families(), diameter_config()),
+               std::invalid_argument);
+
+  // So must an axis name outside {n, diameter}.
+  ProtocolInfo q = default_protocols().at("flood_max");
+  q.growth = {{"ring", "rounds", 1.0, 0.3, "bogus", "edges"}};
+  ProtocolRegistry reg2;
+  reg2.add(std::move(q));
+  CampaignConfig cfg = diameter_config();
+  cfg.families = {"ring"};
+  EXPECT_THROW(run_campaign(reg2, default_families(), cfg),
+               std::invalid_argument);
 }
 
 TEST(CampaignTest, RerunIsByteIdenticalAcrossWorkerCounts) {
@@ -145,6 +230,46 @@ TEST(CampaignTest, LadderParamsConventions) {
   EXPECT_EQ(ladder_params(fams.at("bipartite"), 10),
             (ScenarioParams{{"a", 5}, {"b", 5}}));
   EXPECT_THROW(ladder_params(fams.at("dumbbell"), 64), std::invalid_argument);
+  // cliquepath is diameter-ladder-only: its size splits over two params with
+  // no canonical n-ladder shape.
+  EXPECT_THROW(ladder_params(fams.at("cliquepath"), 64),
+               std::invalid_argument);
+}
+
+TEST(CampaignTest, DefaultDiameterLaddersRespectConventions) {
+  const FamilyRegistry& fams = default_families();
+  std::size_t with_convention = 0;
+  for (const FamilyInfo& fam : fams.all()) {
+    if (!fam.diameter_ladder.has_value()) {
+      EXPECT_THROW(default_diameter_ladder(fam, false, 256),
+                   std::invalid_argument)
+          << fam.name;
+      continue;
+    }
+    ++with_convention;
+    for (const bool quick : {true, false}) {
+      const std::uint64_t nominal = default_nominal_n(quick);
+      const auto ladder = default_diameter_ladder(fam, quick, nominal);
+      ASSERT_GE(ladder.size(), 2u) << fam.name;
+      for (const std::uint64_t d : ladder) {
+        EXPECT_GE(d, fam.diameter_ladder->min_d) << fam.name;
+        EXPECT_LE(d, fam.diameter_ladder->max_d) << fam.name;
+        EXPECT_LE(d, nominal / 2) << fam.name;
+        // Rung params stay within the family's declared ParamSpec ranges —
+        // otherwise run_scenario rejects the campaign's own scenarios.
+        const DiameterRung rung = fam.diameter_ladder->rung(nominal, d);
+        ASSERT_EQ(rung.params.size(), fam.params.size()) << fam.name;
+        for (std::size_t i = 0; i < rung.params.size(); ++i) {
+          EXPECT_EQ(rung.params[i].first, fam.params[i].name) << fam.name;
+          EXPECT_GE(rung.params[i].second, fam.params[i].lo) << fam.name;
+          EXPECT_LE(rung.params[i].second, fam.params[i].hi) << fam.name;
+        }
+        EXPECT_GE(rung.diameter, d) << fam.name;  // rounding never shrinks D
+      }
+    }
+  }
+  // cliquepath, barbell, cliquecycle at least.
+  EXPECT_GE(with_convention, 3u);
 }
 
 TEST(CampaignTest, DefaultLaddersRespectFamilyRanges) {
@@ -167,13 +292,16 @@ TEST(CampaignTest, DefaultLaddersRespectFamilyRanges) {
 }
 
 TEST(CampaignTest, ReplicateSeedsAreDomainSeparated) {
-  const std::uint64_t a = replicate_seed(1, "dfs", "ring", 64, 0);
-  EXPECT_NE(a, replicate_seed(1, "dfs", "ring", 64, 1));
-  EXPECT_NE(a, replicate_seed(1, "dfs", "ring", 128, 0));
-  EXPECT_NE(a, replicate_seed(1, "flood_max", "ring", 64, 0));
-  EXPECT_NE(a, replicate_seed(1, "dfs", "path", 64, 0));
-  EXPECT_NE(a, replicate_seed(2, "dfs", "ring", 64, 0));
-  EXPECT_EQ(a, replicate_seed(1, "dfs", "ring", 64, 0));
+  const std::uint64_t a = replicate_seed(1, "dfs", "ring", "n", 64, 0);
+  EXPECT_NE(a, replicate_seed(1, "dfs", "ring", "n", 64, 1));
+  EXPECT_NE(a, replicate_seed(1, "dfs", "ring", "n", 128, 0));
+  EXPECT_NE(a, replicate_seed(1, "flood_max", "ring", "n", 64, 0));
+  EXPECT_NE(a, replicate_seed(1, "dfs", "path", "n", 64, 0));
+  EXPECT_NE(a, replicate_seed(2, "dfs", "ring", "n", 64, 0));
+  // The axis participates: an n-rung and a D-rung of the same value never
+  // share coins.
+  EXPECT_NE(a, replicate_seed(1, "dfs", "ring", "diameter", 64, 0));
+  EXPECT_EQ(a, replicate_seed(1, "dfs", "ring", "n", 64, 0));
 }
 
 TEST(CampaignTest, GeneratedMarkdownIsWellFormed) {
@@ -181,8 +309,9 @@ TEST(CampaignTest, GeneratedMarkdownIsWellFormed) {
                                           default_families(), tiny_config());
   const std::string md = complexity_markdown(res);
   EXPECT_NE(md.find("# Empirical complexity"), std::string::npos);
-  EXPECT_NE(md.find("`dfs` × ring"), std::string::npos);
-  EXPECT_NE(md.find("| protocol | family | metric |"), std::string::npos);
+  EXPECT_NE(md.find("`dfs` × ring [n]"), std::string::npos);
+  EXPECT_NE(md.find("| protocol | family | axis | metric |"),
+            std::string::npos);
 
   const std::string reg =
       registry_markdown(default_protocols(), default_families());

@@ -76,6 +76,74 @@ TEST(FitTest, TwoPointsFitExactlyWithZeroStderr) {
   EXPECT_EQ(f.confidence(), 0.0);
 }
 
+// --- diameter-axis synthetics ----------------------------------------------
+// The D-ladder fits run on exactly these x values (lab default D-ladder);
+// the synthetics mirror the measured shapes so the registry's declared bands
+// are backed by unit-level evidence, not only by campaign runs.
+
+std::vector<double> d_ladder() { return {8, 16, 32, 64, 128}; }
+
+TEST(FitTest, RecoversLinearDiameterCurve) {
+  // rounds = 2D: pure O(D) time recovers slope 1 exactly.
+  std::vector<double> x = d_ladder(), y;
+  for (const double d : x) y.push_back(2 * d);
+  const PowerFit f = fit_power_law(x, y);
+  EXPECT_NEAR(f.exponent, 1.0, 1e-12);
+  EXPECT_TRUE(exponent_in_band(1.0, 0.3, f));
+}
+
+TEST(FitTest, AdditiveConstantDeflatesTheDiameterSlopePredictably) {
+  // rounds = 2D + 10 (pacing/echo constants): the local slope sags below 1
+  // but stays inside the calibrated 1.0 +- 0.3 band the O(D) protocols
+  // declare; a band tighter than the deflation would misfire.
+  std::vector<double> x = d_ladder(), y;
+  for (const double d : x) y.push_back(2 * d + 10);
+  const PowerFit f = fit_power_law(x, y);
+  EXPECT_GT(f.exponent, 0.8);
+  EXPECT_LT(f.exponent, 1.0);
+  EXPECT_TRUE(exponent_in_band(1.0, 0.3, f));
+}
+
+TEST(FitTest, RejectsConstantCurveDoctoredIntoALinearBand) {
+  // A protocol whose rounds do NOT grow with D must fail an O(D) band: the
+  // near-zero widening only applies to near-zero EXPECTED exponents, never
+  // to the fitted value, so a flat curve cannot sneak into a linear band.
+  std::vector<double> x = d_ladder();
+  const PowerFit flat = fit_power_law(x, std::vector<double>(x.size(), 37.0));
+  EXPECT_NEAR(flat.exponent, 0.0, 1e-12);
+  EXPECT_EQ(effective_tolerance(1.0, 0.3, flat), 0.3);
+  EXPECT_FALSE(exponent_in_band(1.0, 0.3, flat));
+
+  // And the converse: a genuinely linear curve fails a constant band even
+  // with the widened path — its fit is exact, so the confidence is zero.
+  const PowerFit linear = fit_power_law(x, x);
+  EXPECT_EQ(effective_tolerance(0.0, 0.15, linear), 0.15);
+  EXPECT_FALSE(exponent_in_band(0.0, 0.15, linear));
+}
+
+TEST(FitTest, NearZeroBandWidensByTheFitsOwnConfidence) {
+  // Flat-but-noisy (integer round counts wobbling by one): the slope is
+  // small but nonzero, and its confidence is comparable.  Pick the declared
+  // tolerance between |slope| - confidence and |slope|: the raw band check
+  // rejects, the near-zero path accepts.
+  const std::vector<double> x = d_ladder();
+  const std::vector<double> y = {7, 6, 8, 7, 9};
+  const PowerFit f = fit_power_law(x, y);
+  ASSERT_GT(std::abs(f.exponent), 0.0);
+  ASSERT_GT(f.confidence(), 0.0);
+  const double tol = std::abs(f.exponent) - f.confidence() / 2;
+  ASSERT_GT(tol, 0.0);
+  EXPECT_GT(std::abs(f.exponent - 0.0), tol);  // raw band check would reject
+  EXPECT_EQ(effective_tolerance(0.0, tol, f), tol + f.confidence());
+  EXPECT_TRUE(exponent_in_band(0.0, tol, f));  // widened path accepts
+
+  // The widening is gated on the EXPECTED exponent, bounded by the
+  // kNearZeroExponent threshold.
+  EXPECT_EQ(effective_tolerance(kNearZeroExponent + 0.01, tol, f), tol);
+  EXPECT_EQ(effective_tolerance(-kNearZeroExponent, tol, f),
+            tol + f.confidence());
+}
+
 TEST(FitTest, RejectsDegenerateInput) {
   EXPECT_THROW(fit_power_law({1, 2}, {1}), std::invalid_argument);
   EXPECT_THROW(fit_power_law({1}, {1}), std::invalid_argument);

@@ -30,6 +30,29 @@ TEST(Fuzzer, CleanRegistryFuzzesViolationFree) {
   EXPECT_GT(rep.determinism_checked, 0u);
 }
 
+TEST(Fuzzer, NewDiameterFamilyFuzzesViolationFree) {
+  // A focused smoke on the D-ladder family: every scenario the fuzzer draws
+  // is a cliquepath instance, swept across wakeup schedules, knowledge
+  // grants and thread counts by the usual distribution.
+  ProtocolRegistry protos;
+  for (const char* name : {"flood_max", "kingdom", "dfs", "least_el_all"})
+    protos.add(default_protocols().at(name));
+  FamilyRegistry fams;
+  fams.add(default_families().at("cliquepath"));
+
+  FuzzConfig cfg;
+  cfg.master_seed = 0xD1A11;
+  cfg.count = 80;
+  cfg.max_n = 40;
+  const FuzzReport rep = run_fuzz(protos, fams, cfg);
+  EXPECT_EQ(rep.scenarios_run, cfg.count);
+  EXPECT_TRUE(rep.ok()) << rep.failures.size() << " failures, first: "
+                        << (rep.failures.empty()
+                                ? ""
+                                : rep.failures[0].minimal.encode());
+  EXPECT_GT(rep.runs_elected, cfg.count / 2);
+}
+
 TEST(Fuzzer, DrawSequenceIsDeterministic) {
   const auto draw_some = [] {
     Rng rng(0xD5EED);

@@ -46,15 +46,40 @@ TEST(ScenarioCodec, ParseInvertsEncodeOnHandPickedScenarios) {
   EXPECT_EQ(Scenario::parse(one.encode()), one);
 }
 
+TEST(ScenarioCodec, CliquepathTokensRoundTripAndReplay) {
+  // The D-ladder family goes through the same replay-token grammar as
+  // everything else; its two params are registry-ordered (cliques, size).
+  Scenario s;
+  s.family = "cliquepath";
+  s.params = {{"cliques", 9}, {"size", 3}};
+  s.protocol = "flood_max";
+  s.seed = 77;
+  EXPECT_EQ(s.encode(), "ule1:cliquepath{cliques=9,size=3}:flood_max:k=none:w=sim:s=77:t=1");
+  EXPECT_EQ(Scenario::parse(s.encode()), s);
+
+  // And the built instance honors the family's exactness guarantee inside a
+  // full conformance run: D = cliques - 1.
+  const auto out = run_scenario(default_protocols(), default_families(), s);
+  EXPECT_TRUE(out.ok()) << (out.violations.empty() ? "" : out.violations[0]);
+  EXPECT_EQ(out.shape.n, 27u);
+  EXPECT_EQ(out.shape.diameter, 8u);
+}
+
 TEST(ScenarioCodec, ParseInvertsEncodeOnTheFuzzDistribution) {
-  // The acceptance property: parse(encode(s)) == s for every drawable s.
+  // The acceptance property: parse(encode(s)) == s for every drawable s —
+  // and the distribution actually reaches every registered family (so a
+  // newly added family, e.g. cliquepath, is covered the moment it lands).
   Rng rng(0xABCDEF);
+  std::set<std::string> drawn;
   for (int i = 0; i < 500; ++i) {
     const Scenario s = draw_scenario(rng, default_protocols(),
                                      default_families(), 64, 0.3);
+    drawn.insert(s.family);
     const std::string token = s.encode();
     EXPECT_EQ(Scenario::parse(token), s) << token;
   }
+  for (const FamilyInfo& fam : default_families().all())
+    EXPECT_TRUE(drawn.count(fam.name)) << fam.name << " never drawn";
 }
 
 TEST(ScenarioCodec, ParseRejectsMalformedTokens) {

@@ -11,7 +11,10 @@
 //   complexity_lab --threads T           worker pool size (0 = hardware)
 //   complexity_lab --protocol P          restrict to protocol P (repeatable)
 //   complexity_lab --family F            restrict to family F (repeatable)
-//   complexity_lab --ladder 32,64,128    override every curve's n-ladder
+//   complexity_lab --ladder 32,64,128    override every n-axis curve's ladder
+//   complexity_lab --d-ladder 4,8,16     override every diameter-axis ladder
+//   complexity_lab --nominal-n N         fixed total size for diameter-axis
+//                                        curves (default 96 quick / 256 full)
 //   complexity_lab --out FILE            JSON path (default BENCH_lab.json)
 //   complexity_lab --md FILE             report path (docs/COMPLEXITY.md)
 //   complexity_lab --no-md / --no-json   skip an output
@@ -20,9 +23,19 @@
 //   complexity_lab --list-registry --markdown
 //                                        emit docs/REGISTRY.md to stdout
 //                                        (CI regenerates + diffs it)
+//   complexity_lab --trend BASELINE CURRENT
+//                                        diff two BENCH_lab.json documents
+//                                        and fail on drift in any
+//                                        deterministic counter statistic or
+//                                        fitted exponent (lab/trend.hpp;
+//                                        the CI trend gate)
+//   complexity_lab --trend-exp-tol T     exponent drift tolerance (0.05)
+//   complexity_lab --allow-missing       tolerate baseline rows absent from
+//                                        the current document
 //
-// Exit status: 0 = every fit in band and zero conformance violations,
-// 1 = a fit left its band or a run violated an invariant, 2 = usage errors.
+// Exit status: 0 = every fit in band and zero conformance violations (for
+// --trend: no drift), 1 = a fit left its band, a run violated an invariant
+// or the trend gate found drift, 2 = usage errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +46,7 @@
 
 #include "lab/campaign.hpp"
 #include "lab/report.hpp"
+#include "lab/trend.hpp"
 #include "scenario/registry.hpp"
 
 using namespace ule;
@@ -84,10 +98,12 @@ int main(int argc, char** argv) {
   const FamilyRegistry& fams = default_families();
 
   lab::CampaignConfig cfg;
+  lab::TrendConfig trend_cfg;
   std::string out_json = "BENCH_lab.json";
   std::string out_md = "docs/COMPLEXITY.md";
+  std::string trend_baseline, trend_current;
   bool write_json = true, write_md = true, check = true;
-  bool list_registry = false, markdown = false;
+  bool list_registry = false, markdown = false, trend = false;
   bool replicates_set = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -115,6 +131,19 @@ int main(int argc, char** argv) {
       cfg.families.push_back(need_value("--family"));
     } else if (arg == "--ladder") {
       cfg.ladder = parse_ladder(need_value("--ladder"));
+    } else if (arg == "--d-ladder") {
+      cfg.d_ladder = parse_ladder(need_value("--d-ladder"));
+    } else if (arg == "--nominal-n") {
+      cfg.nominal_n = std::strtoull(need_value("--nominal-n"), nullptr, 10);
+    } else if (arg == "--trend") {
+      trend = true;
+      trend_baseline = need_value("--trend");
+      trend_current = need_value("--trend");
+    } else if (arg == "--trend-exp-tol") {
+      trend_cfg.exponent_tol =
+          std::strtod(need_value("--trend-exp-tol"), nullptr);
+    } else if (arg == "--allow-missing") {
+      trend_cfg.allow_missing = true;
     } else if (arg == "--out") {
       out_json = need_value("--out");
     } else if (arg == "--md") {
@@ -138,6 +167,34 @@ int main(int argc, char** argv) {
   // --quick lowers the replicate default; an explicit --replicates wins
   // regardless of flag order.
   if (cfg.quick && !replicates_set) cfg.replicates = 3;
+
+  if (trend) {
+    try {
+      const lab::TrendReport rep = lab::compare_lab_trend(
+          lab::read_text_file(trend_baseline),
+          lab::read_text_file(trend_current), trend_cfg);
+      for (const std::string& n : rep.notes)
+        std::printf("note:  %s\n", n.c_str());
+      for (const std::string& e : rep.errors)
+        std::printf("DRIFT: %s\n", e.c_str());
+      std::printf("trend gate: %zu cells + %zu fits compared against %s: "
+                  "%zu drifts\n",
+                  rep.cells_compared, rep.fits_compared,
+                  trend_baseline.c_str(), rep.errors.size());
+      if (rep.ok()) {
+        std::printf("no drift outside tolerance\n");
+        return 0;
+      }
+      std::printf("counter statistics and exponents are pure functions of "
+                  "the master seed;\nintentional changes must regenerate the "
+                  "committed baselines (see\ndocs/ARCHITECTURE.md, "
+                  "\"Trend gate\")\n");
+      return 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trend error: %s\n", e.what());
+      return 2;
+    }
+  }
 
   if (list_registry) {
     if (markdown)
