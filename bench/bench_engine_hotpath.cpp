@@ -9,7 +9,7 @@
 //
 //   { "bench": "engine_hotpath",
 //     "rows": [ { "workload": ring_dfs | clique_sublinear | dumbbell_least_el
-//                            | clique_flood_max
+//                            | clique_flood_max | adversary_off_overhead
 //                            | ring_quiescent | ring_quiescent_perround,
 //                 "family": ring | clique | dumbbell, "n": ..., "m": ...,
 //                 "seed": ..., "threads": ..., "wall_ms": ...,
@@ -43,6 +43,10 @@
 //                    parallel pipeline targets.  Swept at threads ∈
 //                    {1, 2, 4, hw} (deduped); counters must be identical
 //                    across the sweep (checked, not just reported).
+//   adversary_off_overhead  Flood-max on K_n twice: plain vs an INERT
+//                    adversary config (seed set, every knob zero).  All
+//                    counters must be identical (hard failure otherwise);
+//                    the wall-clock ratio is recorded, not gated.
 //   ring_quiescent   One spinning node on an otherwise unwoken ring, 1000
 //                    rounds, zero messages: pure per-round scheduler cost.
 //                    Wall time must be independent of n (the seed engine's
@@ -310,6 +314,59 @@ int main(int argc, char** argv) {
         }
         report_row(report, "clique_flood_max", "clique", n, seed, mr, t);
       }
+    }
+  }
+
+  // --- adversary_off_overhead: the zero-overhead contract, pinned ---
+  // An INERT adversary config (seed set, every knob zero — active() is
+  // false) must compile down to the exact fault-free hot path.  Counters are
+  // compared hard (exit 1 on any divergence); the wall-clock ratio is
+  // recorded for trend-watching but not gated — wall noise on CI runners
+  // would make a gate flaky, and the counter identity is the real contract.
+  if (enabled("adversary_off_overhead")) {
+    for (std::size_t n :
+         capped(quick ? std::initializer_list<std::size_t>{48}
+                      : std::initializer_list<std::size_t>{512})) {
+      const Graph g = make_complete(n);
+      RunOptions opt;
+      opt.seed = seed;
+      opt.congest = CongestMode::Off;
+      opt.threads = threads;
+      opt.parallel_cutoff = parallel_cutoff;
+      const Measured plain = run_election_timed(g, make_flood_max(), opt);
+      opt.adversary = AdversaryConfig{};
+      opt.adversary.seed = 0xFEED;  // inert: seed set, no knobs
+      const Measured inert = run_election_timed(g, make_flood_max(), opt);
+      if (inert.run.rounds != plain.run.rounds ||
+          inert.run.executed_rounds != plain.run.executed_rounds ||
+          inert.run.node_steps != plain.run.node_steps ||
+          inert.run.messages != plain.run.messages ||
+          inert.run.bits != plain.run.bits ||
+          inert.run.elected != plain.run.elected ||
+          inert.run.last_progress != plain.run.last_progress ||
+          inert.run.crashed != 0 || !inert.unique_leader) {
+        std::fprintf(stderr,
+                     "ZERO-OVERHEAD BREAK: inert adversary diverges from the "
+                     "plain run on clique_flood_max n=%zu\n",
+                     n);
+        return 1;
+      }
+      const double ratio =
+          plain.wall_ms > 0 ? inert.wall_ms / plain.wall_ms : 1.0;
+      report.add_row()
+          .set("workload", "adversary_off_overhead")
+          .set("family", "clique")
+          .set("n", static_cast<std::uint64_t>(n))
+          .set("seed", seed)
+          .set("threads", static_cast<std::uint64_t>(threads))
+          .set("wall_ms", inert.wall_ms)
+          .set("plain_wall_ms", plain.wall_ms)
+          .set("wall_ratio", ratio)
+          .set("counters_identical", true);
+      std::printf("%-18s %-9s n=%-8zu t=%-2u %10.2f ms  vs plain %.2f ms  "
+                  "ratio %.3f (counters identical)\n",
+                  "adv_off_overhead", "clique", n, threads, inert.wall_ms,
+                  plain.wall_ms, ratio);
     }
   }
 

@@ -31,6 +31,7 @@ ElectionReport run_election(const Graph& g, const ProcessFactory& factory,
   cfg.record_edge_traffic = opt.record_edge_traffic;
   cfg.threads = opt.threads;
   if (opt.parallel_cutoff != 0) cfg.parallel_cutoff = opt.parallel_cutoff;
+  cfg.adversary = opt.adversary;
 
   SyncEngine eng(g, cfg);
 

@@ -52,6 +52,8 @@ struct RunOptions {
   /// Override the engine's sequential-fallback cutoff (0 = engine default).
   /// Mainly for tests that force tiny rounds onto the parallel path.
   std::size_t parallel_cutoff = 0;
+  /// Seeded delivery/fault adversary (net/adversary.hpp).  Default = off.
+  AdversaryConfig adversary;
 };
 
 struct ElectionReport {

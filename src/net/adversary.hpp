@@ -1,0 +1,86 @@
+// The deterministic message/fault adversary (see docs/ADVERSARY.md).
+//
+// The paper's model is lockstep-synchronous and fault-free: a message sent in
+// round r arrives at the start of round r+1, exactly once, in send order, and
+// no node ever stops.  AdversaryConfig relaxes each of those guarantees
+// independently, under a *seeded oblivious adversary*: every adverse decision
+// (delay amount, drop, duplication, inbox reordering) is a pure function of
+// (adversary seed, sender, edge, per-sender send index) — never of thread
+// interleaving or wall clock — so adversarial runs remain bit-for-bit
+// reproducible at every thread count, exactly like fault-free runs.
+//
+//   max_delay   bounded asynchrony: a message sent in round r arrives in
+//               round r + 1 + d with d drawn uniformly from [0, max_delay].
+//               FIFO per edge is NOT preserved (delays are per-message).
+//   drop        each message is destroyed in transit with this probability.
+//               The send is still billed (the sender paid for it); the
+//               receiver simply never sees it.
+//   duplicate   each message is delivered twice with this probability (the
+//               copy draws its own delay).  The copy is NOT billed — it is
+//               the adversary's forgery, not the sender's message.
+//   reorder     per receiver per round: with this probability an inbox of
+//               two or more messages is shuffled (Fisher-Yates, seeded),
+//               breaking the engine's send-order delivery guarantee.
+//   crashes     crash-stop schedule: (node, round) pairs; from the start of
+//               that round on, the node never steps and never sends again.
+//               Messages already in flight to it are delivered-and-dropped
+//               (and still counted) like any halted node's.
+//
+// A default-constructed config is OFF: the engine detects this once and
+// compiles down to the exact fault-free hot path (no per-send or per-round
+// adversary work; pinned by the adversary_off_overhead bench row).  The seed
+// alone is inert — only a non-zero fault knob activates the adversary.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/rng.hpp"
+#include "net/types.hpp"
+
+namespace ule {
+
+struct AdversaryConfig {
+  /// Seed of the adversary's own coin stream, domain-separated from every
+  /// run/graph/wakeup stream.  Inert while all fault knobs are zero.
+  std::uint64_t seed = 1;
+  /// Max extra delivery rounds per message (0 = synchronous delivery).
+  Round max_delay = 0;
+  /// Per-message destruction probability in [0, 1].
+  double drop = 0.0;
+  /// Per-message duplication probability in [0, 1].
+  double duplicate = 0.0;
+  /// Per-receiver-per-round inbox shuffle probability in [0, 1].
+  double reorder = 0.0;
+  /// Crash-stop schedule: node `first` halts at the start of round `second`.
+  std::vector<std::pair<NodeId, Round>> crashes;
+
+  /// Any per-message fault active (drop / duplicate / delay)?
+  bool send_faults() const {
+    return max_delay > 0 || drop > 0.0 || duplicate > 0.0;
+  }
+  /// Any fault at all?  False = the engine takes the exact fault-free path.
+  bool active() const {
+    return send_faults() || reorder > 0.0 || !crashes.empty();
+  }
+};
+
+/// The adversary's per-message coin: a pure function of (seed, sender, edge,
+/// the sender's send index), so it is identical however the round's nodes are
+/// interleaved across workers.  Inputs are avalanched pairwise (same rationale
+/// as node_rng: raw XOR of small consecutive values would alias streams).
+inline std::uint64_t adversary_coin(std::uint64_t seed, std::uint64_t a,
+                                    std::uint64_t b, std::uint64_t c) {
+  std::uint64_t sm = seed ^ (0xA24BAED4963EE407ULL * (a + 1));
+  sm = splitmix64(sm) ^ (0x9FB21C651E98DF25ULL * (b + 1));
+  sm = splitmix64(sm) ^ c;
+  return splitmix64(sm);
+}
+
+/// Domain separation for the reorder stream (keyed by receiver + round, not
+/// by sender + send index).
+inline constexpr std::uint64_t kAdversaryReorderDomain = 0x5E4D3C2B1A0F9E8DULL;
+
+}  // namespace ule

@@ -113,6 +113,30 @@ SyncEngine::SyncEngine(const Graph& g, EngineConfig cfg)
   traffic_on_ = cfg_.record_edge_traffic;
   watching_ = !cfg_.watch_edges.empty();
 
+  const AdversaryConfig& adv = cfg_.adversary;
+  if (adv.drop < 0.0 || adv.drop > 1.0 || adv.duplicate < 0.0 ||
+      adv.duplicate > 1.0 || adv.reorder < 0.0 || adv.reorder > 1.0)
+    throw std::invalid_argument("adversary probabilities must be in [0, 1]");
+  send_faults_on_ = adv.send_faults();
+  delays_on_ = adv.max_delay > 0;
+  reorder_on_ = adv.reorder > 0.0;
+  crashes_on_ = !adv.crashes.empty();
+  if (delays_on_) delay_ring_.resize(adv.max_delay + 1);
+  if (crashes_on_) {
+    for (const auto& [slot, at] : adv.crashes) {
+      if (slot >= n)
+        throw std::invalid_argument("crash schedule names node " +
+                                    std::to_string(slot) + " in an " +
+                                    std::to_string(n) + "-node graph");
+      (void)at;
+    }
+    crash_schedule_ = adv.crashes;
+    std::stable_sort(crash_schedule_.begin(), crash_schedule_.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second < b.second;
+                     });
+  }
+
   threads_ = cfg_.threads != 0
                  ? cfg_.threads
                  : std::max(1u, std::thread::hardware_concurrency());
@@ -222,6 +246,10 @@ void SyncEngine::do_send(SendLane& lane, NodeId from, PortId port,
   if (!msg) throw std::invalid_argument("null message");
   const Graph::HalfEdge& he =
       account_send(lane, from, port, msg->size_bits(), nullptr, msg.get());
+  if (send_faults_on_) [[unlikely]] {
+    adv_enqueue(lane, from, he, FlatMsg{}, std::move(msg));
+    return;
+  }
   lane.out.push_back(
       OutboundEnvelope{he.to, he.rev, he.edge, FlatMsg{}, std::move(msg)});
 }
@@ -232,13 +260,44 @@ void SyncEngine::do_send(SendLane& lane, NodeId from, PortId port,
     throw std::invalid_argument("flat message without a type tag");
   const Graph::HalfEdge& he =
       account_send(lane, from, port, msg.bits, &msg, nullptr);
+  if (send_faults_on_) [[unlikely]] {
+    adv_enqueue(lane, from, he, msg, nullptr);
+    return;
+  }
   lane.out.push_back(OutboundEnvelope{he.to, he.rev, he.edge, msg, nullptr});
+}
+
+void SyncEngine::adv_enqueue(SendLane& lane, NodeId from,
+                             const Graph::HalfEdge& he, const FlatMsg& flat,
+                             MessagePtr msg) {
+  const AdversaryConfig& adv = cfg_.adversary;
+  // account_send already billed this send and bumped sent_by_node_[from]; the
+  // post-increment value is the sender's send index — a pure function of the
+  // sender's own history, identical at every thread count (each node's sends
+  // are sequential within its own step, and sent_by_node_[from] is only ever
+  // touched by the worker stepping `from`).
+  Rng coin(adversary_coin(adv.seed, from, he.edge, sent_by_node_[from]));
+  if (adv.drop > 0.0 && coin.bernoulli(adv.drop)) return;  // billed, eaten
+  const int copies =
+      (adv.duplicate > 0.0 && coin.bernoulli(adv.duplicate)) ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    // The duplicate shares the payload: FlatMsg by value, legacy MessagePtr
+    // by refcount (payloads are immutable by the Process contract).
+    lane.out.push_back(OutboundEnvelope{he.to, he.rev, he.edge, flat,
+                                        c + 1 == copies ? std::move(msg) : msg});
+    if (delays_on_)
+      lane.adv_arrive.push_back(round_ + 1 + coin.below(adv.max_delay + 1));
+  }
 }
 
 void SyncEngine::deliver_round() {
   // Reset the previous round's buckets (only the nodes that had one).
   for (const NodeId s : dirty_) inbox_len_[s] = 0;
   dirty_.clear();
+  if (delays_on_) [[unlikely]] {
+    deliver_round_delayed();
+    return;
+  }
   // Quiescent fast path: a sequential round's sends all live in lane 0.
   if (lanes_.size() == 1 && lanes_[0].out.empty()) return;
   std::size_t total = 0;
@@ -302,6 +361,105 @@ void SyncEngine::deliver_round() {
       lane.out.clear();
     }
   }
+}
+
+void SyncEngine::deliver_round_delayed() {
+  const std::size_t W = delay_ring_.size();
+  // Envelopes parked for this round deliver FIRST: they were sent in earlier
+  // rounds, and older sends precede this round's on-time sends.  The ring
+  // slot holds them in park order, which is global send order (lane order at
+  // the round that parked them).
+  adv_due_.clear();
+  std::vector<OutboundEnvelope>& due_slot = delay_ring_[round_ % W];
+  if (!due_slot.empty()) {
+    pending_count_ -= due_slot.size();
+    for (OutboundEnvelope& f : due_slot) adv_due_.push_back(std::move(f));
+    due_slot.clear();
+  }
+  // Route last round's fresh sends (lane order = send order) by their drawn
+  // arrival round: due now, or parked for a future slot.  Live arrivals span
+  // rounds (round_, round_ + W], exactly W values, so slots never mix rounds
+  // and the slot drained above can be re-filled only with arrivals W rounds
+  // out.
+  for (SendLane& lane : lanes_) {
+    for (std::size_t i = 0; i < lane.out.size(); ++i) {
+      if (lane.adv_arrive[i] <= round_) {
+        adv_due_.push_back(std::move(lane.out[i]));
+      } else {
+        delay_ring_[lane.adv_arrive[i] % W].push_back(std::move(lane.out[i]));
+        ++pending_count_;
+      }
+    }
+    lane.out.clear();
+    lane.adv_arrive.clear();
+  }
+  if (adv_due_.empty()) return;
+
+  // Sequential CSR bucketing of the due set — identical to the fault-free
+  // pass, minus the parallel scatter (adversarial delivery volume per round
+  // is a fraction of the fault-free case; keeping it sequential keeps the
+  // ordering argument trivial).
+  for (const OutboundEnvelope& f : adv_due_) {
+    if (inbox_len_[f.to]++ == 0) dirty_.push_back(f.to);
+  }
+  std::uint32_t cursor = 0;
+  for (const NodeId s : dirty_) {
+    inbox_off_[s] = cursor;
+    cursor += inbox_len_[s];
+    inbox_len_[s] = 0;  // reused as the fill cursor during the scatter
+  }
+  delivery_.resize(adv_due_.size());
+  for (OutboundEnvelope& f : adv_due_) {
+    Envelope& env = delivery_[inbox_off_[f.to] + inbox_len_[f.to]++];
+    env.port = f.at_port;
+    env.flat = f.flat;
+    env.msg = std::move(f.msg);
+  }
+  adv_due_.clear();
+}
+
+void SyncEngine::apply_reorder() {
+  const AdversaryConfig& adv = cfg_.adversary;
+  for (const NodeId s : dirty_) {
+    const std::uint32_t len = inbox_len_[s];
+    if (len < 2) continue;  // nothing to permute
+    // Keyed by (receiver, round, inbox size) under the reorder domain: pure
+    // function of what was delivered, never of how lanes were interleaved.
+    Rng coin(adversary_coin(adv.seed ^ kAdversaryReorderDomain, s, round_, len));
+    if (!coin.bernoulli(adv.reorder)) continue;
+    Envelope* inbox = delivery_.data() + inbox_off_[s];
+    for (std::uint32_t i = len - 1; i > 0; --i)
+      std::swap(inbox[i], inbox[coin.below(i + 1)]);
+  }
+}
+
+void SyncEngine::apply_crashes() {
+  // `<= round_`, not `==`: fast-forward may jump the round counter past a
+  // scheduled kill; the victim slept through the gap, so killing it late is
+  // observationally identical to killing it on time.
+  while (crash_idx_ < crash_schedule_.size() &&
+         crash_schedule_[crash_idx_].second <= round_) {
+    const NodeId s = crash_schedule_[crash_idx_].first;
+    ++crash_idx_;
+    NodeState& n = nodes_[s];
+    if (n.state == RunState::Halted) continue;  // already dead (or done)
+    n.state = RunState::Halted;
+    crashed_slots_.push_back(s);
+    ++result_.crashed;
+  }
+}
+
+Round SyncEngine::earliest_pending_arrival() const {
+  const std::size_t W = delay_ring_.size();
+  Round best = kRoundForever;
+  for (std::size_t s = 0; s < W; ++s) {
+    if (delay_ring_[s].empty()) continue;
+    // A non-empty slot holds exactly one arrival round: the unique value in
+    // (round_, round_ + W] congruent to s mod W.
+    const Round r = round_ + 1 + (s + W - ((round_ + 1) % W)) % W;
+    best = std::min(best, r);
+  }
+  return best;
 }
 
 void SyncEngine::pop_due_wakes(std::vector<NodeId>& runnable) {
@@ -382,8 +540,14 @@ RunResult SyncEngine::run() {
       break;
     }
 
+    // Crash-stop kills apply at the start of their round, before delivery
+    // and stepping: the victim's sends of earlier rounds stand, and from
+    // here on it neither steps nor sends.
+    if (crashes_on_) [[unlikely]] apply_crashes();
+
     // Deliver messages sent last round (fills dirty_ and the CSR buckets).
     deliver_round();
+    if (reorder_on_) [[unlikely]] apply_reorder();
 
     // Who runs this round?  Union of running nodes, message receivers, and
     // due wake deadlines — then sorted, so execution order is ascending slot
@@ -391,6 +555,8 @@ RunResult SyncEngine::run() {
     runnable.clear();
     ++runnable_epoch_;
     for (const NodeId s : running_) {
+      if (crashes_on_ && nodes_[s].state != RunState::Running)
+        continue;  // killed since it was queued
       runnable_mark_[s] = runnable_epoch_;
       runnable.push_back(s);
     }
@@ -405,16 +571,20 @@ RunResult SyncEngine::run() {
     pop_due_wakes(runnable);
 
     if (runnable.empty()) {
-      // Nothing to do this round.  The next scheduled wake is the first
-      // live heap entry; drop stale ones on the way (lazy deletion).
+      // Nothing to do this round.  The next event is the first live wake
+      // deadline (drop stale heap entries on the way — lazy deletion) or,
+      // under adversarial delays, the earliest in-flight arrival.
       while (!wake_heap_.empty() &&
              !wake_entry_live(wake_heap_.top().first, wake_heap_.top().second))
         wake_heap_.pop();
-      if (wake_heap_.empty()) {
+      Round next = wake_heap_.empty() ? kRoundForever : wake_heap_.top().first;
+      if (delays_on_ && pending_count_ > 0) [[unlikely]]
+        next = std::min(next, earliest_pending_arrival());
+      if (next == kRoundForever) {
         result_.completed = true;  // global quiescence
         break;
       }
-      round_ = cfg_.fast_forward ? wake_heap_.top().first : round_ + 1;
+      round_ = cfg_.fast_forward ? next : round_ + 1;
       continue;
     }
 
@@ -422,6 +592,7 @@ RunResult SyncEngine::run() {
 
     ++result_.executed_rounds;
     result_.node_steps += runnable.size();
+    const std::uint64_t messages_before_round = result_.messages;
     if (!parallel_ok_ || runnable.size() < cfg_.parallel_cutoff) [[likely]] {
       // Sequential fast path: execute in slot order into lane 0 and fold its
       // counter block inline (the quiescent per-round cost lives here).
@@ -440,6 +611,10 @@ RunResult SyncEngine::run() {
       // slot order (rethrows the first worker error).
       execute_round_parallel(runnable);
     }
+
+    if (result_.messages != messages_before_round ||
+        result_.last_status_change == round_)
+      result_.last_progress = round_;
 
     // Post-round transitions: rebuild the running set; every node that went
     // to sleep with a finite deadline gets a heap entry (duplicates are
@@ -468,7 +643,37 @@ RunResult SyncEngine::run() {
       case Status::Undecided: ++result_.undecided; break;
     }
   }
+  if (!result_.completed) {
+    // Non-termination sample: the first 32 live undecided slots.  Crash
+    // victims are excluded — they can never decide, so listing them would
+    // bury the nodes whose indecision is the actual diagnosis.
+    for (NodeId s = 0; s < graph_.n(); ++s) {
+      if (result_.undecided_nodes.size() >= 32) break;
+      if (nodes_[s].status != Status::Undecided) continue;
+      if (std::find(crashed_slots_.begin(), crashed_slots_.end(), s) !=
+          crashed_slots_.end())
+        continue;
+      result_.undecided_nodes.push_back(s);
+    }
+  }
   return result_;
+}
+
+std::string describe_nontermination(const RunResult& r) {
+  if (r.completed) return "";
+  std::string out = "hit max_rounds at round " + std::to_string(r.rounds) +
+                    "; last progress (send or status change) at round " +
+                    std::to_string(r.last_progress);
+  if (r.crashed > 0)
+    out += "; " + std::to_string(r.crashed) + " node(s) crashed";
+  out += "; " + std::to_string(r.undecided) + " undecided";
+  if (!r.undecided_nodes.empty()) {
+    out += " (nodes";
+    for (const NodeId s : r.undecided_nodes) out += " " + std::to_string(s);
+    if (r.undecided_nodes.size() >= 32) out += " ...";
+    out += ")";
+  }
+  return out;
 }
 
 std::string format_trace(const SyncEngine& eng, std::size_t max_lines) {

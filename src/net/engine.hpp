@@ -52,6 +52,15 @@
 // microseconds; a quiescent ring round costs ~16 ns), as do runs with
 // order-dependent instrumentation (tracing, edge traffic, edge watches).
 //
+// ADVERSARY (EngineConfig::adversary, net/adversary.hpp): a seeded oblivious
+// adversary can delay (bounded), drop, duplicate and reorder messages and
+// crash-stop nodes.  Delayed envelopes park in a small ring of future-arrival
+// buckets and re-enter the normal CSR delivery machinery in their arrival
+// round; every adverse coin is a pure function of (adversary seed, sender,
+// edge, send index), so adversarial runs are bit-for-bit identical at every
+// thread count.  With the adversary off (the default) the engine runs the
+// exact fault-free hot path — no adversary state is allocated or touched.
+//
 // Instrumentation: total messages and bits, per-node send counts, optional
 // per-edge traffic, and *edge watches* — per-edge records of the first round
 // a message crossed, used to operationalize the bridge-crossing (BC) problem
@@ -68,6 +77,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/adversary.hpp"
 #include "net/graph.hpp"
 #include "net/knowledge.hpp"
 #include "net/message.hpp"
@@ -120,6 +130,13 @@ struct EngineConfig {
   /// ~1.6 runnable nodes/round — must stay on the ~16 ns sequential path).
   /// The CSR scatter pass parallelizes at 16x this many delivered envelopes.
   std::size_t parallel_cutoff = 192;
+  /// Seeded delivery/fault adversary (net/adversary.hpp).  Default = off: the
+  /// engine takes the exact fault-free hot path.  Adversarial delivery (the
+  /// delay ring and the CSR bucket pass it feeds) is sequential; node stepping
+  /// still parallelizes, and adversarial runs stay bit-for-bit identical at
+  /// every thread count because every adverse coin is keyed by
+  /// (adversary.seed, sender, edge, send index), never by execution order.
+  AdversaryConfig adversary;
 };
 
 struct RunResult {
@@ -134,7 +151,22 @@ struct RunResult {
   std::size_t non_elected = 0;
   std::size_t undecided = 0;
   Round last_status_change = 0;  ///< the paper's "from round T on" T
+  /// Last executed round that made observable progress (sent a message or
+  /// changed a status).  Under adversarial drops/crashes a run can livelock —
+  /// spin to max_rounds without progressing — and `rounds - last_progress`
+  /// is then the length of the silent tail.
+  Round last_progress = 0;
+  /// Nodes killed by the adversary's crash-stop schedule.
+  std::size_t crashed = 0;
+  /// Non-termination sample, filled only when !completed: up to 32 slots that
+  /// were still Undecided when max_rounds cut the run off (crashed nodes
+  /// excluded — they can never decide).  Makes adversary-induced livelock
+  /// debuggable from the result alone; see describe_nontermination().
+  std::vector<NodeId> undecided_nodes;
 };
+
+/// One-line diagnostic for a run that hit max_rounds (empty if it completed).
+std::string describe_nontermination(const RunResult& r);
 
 /// One recorded engine event (requires cfg.trace_limit > 0).
 struct TraceEvent {
@@ -319,6 +351,24 @@ class SyncEngine {
   /// round, in first-delivery order).  Clears the previous round's buckets
   /// first.  The scatter runs on the worker pool above the cutoff.
   void deliver_round();
+  /// Adversarial-delay delivery: drain the ring slot due this round, then
+  /// route fresh lane envelopes by their drawn arrival round (due now vs.
+  /// back into the ring), and CSR-bucket the due set sequentially.  Delayed
+  /// envelopes ride the same dirty_/CSR machinery downstream.
+  void deliver_round_delayed();
+  /// Adversary hook inside do_send (send_faults_on_ only): roll drop /
+  /// duplicate / delay coins and append the surviving envelope copies.
+  void adv_enqueue(SendLane& lane, NodeId from, const Graph::HalfEdge& he,
+                   const FlatMsg& flat, MessagePtr msg);
+  /// Seeded per-receiver inbox shuffles (reorder_on_ only), applied after
+  /// delivery, before any node steps.
+  void apply_reorder();
+  /// Kill every scheduled crash victim whose round has come (crashes_on_).
+  void apply_crashes();
+  /// Earliest arrival round of any in-flight delayed envelope (requires
+  /// pending_count_ > 0): the fast-forward floor while the wake heap is
+  /// empty or later.
+  Round earliest_pending_arrival() const;
   /// Pop every wake-heap entry due at `round_` into the runnable buffer.
   void pop_due_wakes(std::vector<NodeId>& runnable);
   /// True while `s` is waiting (Unwoken/Sleeping) on deadline `r`.
@@ -367,6 +417,24 @@ class SyncEngine {
   bool tracing_ = false;
   bool traffic_on_ = false;
   bool watching_ = false;
+
+  // Adversary state (net/adversary.hpp).  Every flag below is false — and
+  // every container empty — when cfg.adversary is inactive, so the fault-free
+  // run never touches any of it beyond one predicted-not-taken branch.
+  bool send_faults_on_ = false;  // drop / duplicate / delay hook in do_send
+  bool delays_on_ = false;       // max_delay > 0: delivery takes the ring path
+  bool reorder_on_ = false;      // seeded inbox shuffles after delivery
+  bool crashes_on_ = false;      // crash-stop schedule is non-empty
+  /// Delay ring: slot r % (max_delay + 1) holds the envelopes arriving in
+  /// round r.  Live arrivals always span < max_delay + 1 distinct rounds, so
+  /// slots never mix arrival rounds; each slot's contents are appended in
+  /// global send order, which makes delayed delivery deterministic.
+  std::vector<std::vector<OutboundEnvelope>> delay_ring_;
+  std::size_t pending_count_ = 0;      // envelopes waiting in the ring
+  std::vector<OutboundEnvelope> adv_due_;  // staging: this round's arrivals
+  std::vector<std::pair<NodeId, Round>> crash_schedule_;  // sorted by round
+  std::size_t crash_idx_ = 0;          // next unapplied schedule entry
+  std::vector<NodeId> crashed_slots_;  // victims, in kill order
 
   void record(TraceEvent ev) {
     if (trace_.size() < cfg_.trace_limit) {

@@ -79,6 +79,10 @@ struct OutboundEnvelope {
 /// Cache-line aligned so two workers' counter increments never share a line.
 struct alignas(64) SendLane {
   std::vector<OutboundEnvelope> out;  ///< envelopes sent by this shard
+  /// Adversarial delays only (net/adversary.hpp, max_delay > 0): the absolute
+  /// arrival round of the envelope at the same index of `out`.  Stays empty —
+  /// zero bytes touched per send — on every other run.
+  std::vector<Round> adv_arrive;
   std::uint64_t messages = 0;
   std::uint64_t bits = 0;
   std::uint64_t congest_violations = 0;

@@ -27,6 +27,37 @@ std::uint64_t rough_n(const ScenarioParams& ps) {
   return prod;
 }
 
+/// Draw an adversary exercising a non-empty subset of `safe` (never a class
+/// outside it: the runner would reject the scenario as a config error).
+/// Knob strengths stay moderate — the goal is a schedule the protocol
+/// declared it survives, not a denial-of-service.
+ScenarioAdversary draw_adversary(Rng& rng, std::uint8_t safe,
+                                 std::size_t max_n) {
+  std::vector<std::uint8_t> declared;
+  for (const std::uint8_t c : {faults::kDelay, faults::kDrop,
+                               faults::kDuplicate, faults::kReorder,
+                               faults::kCrash}) {
+    if (safe & c) declared.push_back(c);
+  }
+  std::uint8_t pick = 0;
+  for (const std::uint8_t c : declared)
+    if (rng.below(2) == 0) pick |= c;
+  if (pick == 0) pick = declared[rng.below(declared.size())];
+
+  ScenarioAdversary a;
+  if (pick & faults::kDelay) a.max_delay = rng.in_range(1, 3);
+  if (pick & faults::kDrop) a.drop_pm = rng.in_range(1, 300);
+  if (pick & faults::kDuplicate) a.dup_pm = rng.in_range(1, 300);
+  if (pick & faults::kReorder) a.reorder_pm = rng.in_range(1, 500);
+  if (pick & faults::kCrash)
+    a.crashes = {{rng.below(std::max<std::uint64_t>(1, max_n)),
+                  rng.in_range(1, 6)}};
+  // Only coin-using knobs get a seed: a crash-only schedule draws no coins,
+  // and the seed would not survive the token (no a= segment to carry it).
+  if (a.any_faults()) a.seed = rng.in_range(1, std::uint64_t{1} << 32);
+  return a;
+}
+
 bool still_fails(const ProtocolRegistry& protocols,
                  const FamilyRegistry& families, const Scenario& s,
                  const ScenarioRunConfig& cfg) {
@@ -41,7 +72,7 @@ bool still_fails(const ProtocolRegistry& protocols,
 
 Scenario draw_scenario(Rng& rng, const ProtocolRegistry& protocols,
                        const FamilyRegistry& families, std::size_t max_n,
-                       double threads_fraction) {
+                       double threads_fraction, double adversary_fraction) {
   const auto& protos = protocols.all();
   if (protos.empty()) throw std::invalid_argument("empty protocol registry");
   const ProtocolInfo& proto = protos[rng.below(protos.size())];
@@ -77,6 +108,9 @@ Scenario draw_scenario(Rng& rng, const ProtocolRegistry& protocols,
   s.seed = rng.in_range(1, std::uint64_t{1} << 48);
   if (rng.uniform01() < threads_fraction)
     s.threads = static_cast<unsigned>(rng.in_range(2, 4));
+  if (proto.safe_under != faults::kNone &&
+      rng.uniform01() < adversary_fraction)
+    s.adversary = draw_adversary(rng, proto.safe_under, max_n);
   return s;
 }
 
@@ -125,7 +159,49 @@ Scenario shrink_scenario(const ProtocolRegistry& protocols,
       candidates.push_back(std::move(c));
     }
 
-    // 3. Drop the adversarial wakeup schedule — or, when the failure needs
+    // 3. Drop or weaken the delivery/fault adversary: the whole thing first
+    // (is it an adversarial bug at all?), then one knob at a time, then
+    // halving the survivors — so the minimal token keeps exactly the faults
+    // the failure needs, at roughly the weakest strength that still bites.
+    if (cur.adversary.active()) {
+      const auto with_adv = [&cur](auto&& mutate) {
+        Scenario c = cur;
+        mutate(c.adversary);
+        if (!c.adversary.active()) c.adversary = ScenarioAdversary{};
+        return c;
+      };
+      candidates.push_back(
+          with_adv([](ScenarioAdversary& a) { a = ScenarioAdversary{}; }));
+      if (cur.adversary.max_delay > 0)
+        candidates.push_back(
+            with_adv([](ScenarioAdversary& a) { a.max_delay = 0; }));
+      if (cur.adversary.drop_pm > 0)
+        candidates.push_back(
+            with_adv([](ScenarioAdversary& a) { a.drop_pm = 0; }));
+      if (cur.adversary.dup_pm > 0)
+        candidates.push_back(
+            with_adv([](ScenarioAdversary& a) { a.dup_pm = 0; }));
+      if (cur.adversary.reorder_pm > 0)
+        candidates.push_back(
+            with_adv([](ScenarioAdversary& a) { a.reorder_pm = 0; }));
+      if (!cur.adversary.crashes.empty())
+        candidates.push_back(
+            with_adv([](ScenarioAdversary& a) { a.crashes.clear(); }));
+      if (cur.adversary.max_delay > 1)
+        candidates.push_back(
+            with_adv([](ScenarioAdversary& a) { a.max_delay /= 2; }));
+      if (cur.adversary.drop_pm > 1)
+        candidates.push_back(
+            with_adv([](ScenarioAdversary& a) { a.drop_pm /= 2; }));
+      if (cur.adversary.dup_pm > 1)
+        candidates.push_back(
+            with_adv([](ScenarioAdversary& a) { a.dup_pm /= 2; }));
+      if (cur.adversary.reorder_pm > 1)
+        candidates.push_back(
+            with_adv([](ScenarioAdversary& a) { a.reorder_pm /= 2; }));
+    }
+
+    // 4. Drop the adversarial wakeup schedule — or, when the failure needs
     // it, at least halve the spread.
     if (cur.wakeup != WakeupKind::Simultaneous) {
       Scenario c = cur;
@@ -140,14 +216,14 @@ Scenario shrink_scenario(const ProtocolRegistry& protocols,
       }
     }
 
-    // 4. Drop the thread count (is it a parallelism bug at all?).
+    // 5. Drop the thread count (is it a parallelism bug at all?).
     if (cur.threads > 1) {
       Scenario c = cur;
       c.threads = 1;
       candidates.push_back(std::move(c));
     }
 
-    // 5. Reduce the knowledge grant to the protocol's minimum.
+    // 6. Reduce the knowledge grant to the protocol's minimum.
     if (cur.knowledge != proto.min_knowledge) {
       Scenario c = cur;
       c.knowledge = proto.min_knowledge;
@@ -200,8 +276,9 @@ FuzzReport run_fuzz(const ProtocolRegistry& protocols,
       }
     }
 
-    const Scenario s = draw_scenario(rng, protocols, families, cfg.max_n,
-                                     cfg.threads_fraction);
+    const Scenario s =
+        draw_scenario(rng, protocols, families, cfg.max_n,
+                      cfg.threads_fraction, cfg.adversary_fraction);
     const ScenarioOutcome out = run_scenario(protocols, families, s, cfg.run);
     ++report.scenarios_run;
     if (out.report.verdict.unique_leader) ++report.runs_elected;
@@ -210,8 +287,11 @@ FuzzReport run_fuzz(const ProtocolRegistry& protocols,
         out.report.verdict.elected == 0)
       ++report.monte_carlo_misses;
     if (s.threads > 1) ++report.determinism_checked;
+    if (s.adversary.active()) ++report.adversarial_runs;
 
-    {
+    // Envelope headroom calibrates the REGISTERED bounds, which describe the
+    // fault-free model; adversarial runs (stretched envelopes) stay out.
+    if (!s.adversary.active()) {
       EnvelopeStat& st = stat_of(s.protocol);
       ++st.runs;
       const double rr = static_cast<double>(out.report.run.rounds) /

@@ -10,11 +10,14 @@
 // Shrinking is greedy: from a failing scenario, candidate simplifications
 // are tried in a fixed order — family parameter shrinks (halve / decrement,
 // from the family registry), substituting the structurally simplest families
-// (path, ring) at a small size, dropping the adversarial wakeup schedule,
-// dropping the thread count, and reducing the knowledge grant to the
-// protocol's minimum.  The first candidate that still fails is adopted and
-// the walk restarts; the result is a local minimum — every further
-// single-step simplification passes.
+// (path, ring) at a small size, dropping or weakening the delivery/fault
+// adversary (whole thing first, then one knob at a time, then halving the
+// survivors), dropping the adversarial wakeup schedule, dropping the thread
+// count, and reducing the knowledge grant to the protocol's minimum.  The
+// first candidate that still fails is adopted and the walk restarts; the
+// result is a local minimum — every further single-step simplification
+// passes.  A failure that NEEDS the adversary therefore keeps its `a=` /
+// `f=` token segments, pared down to the knobs that actually bite.
 
 #pragma once
 
@@ -39,6 +42,10 @@ struct FuzzConfig {
   /// Fraction of scenarios drawn with threads > 1 (the determinism axis
   /// costs a second run).  In [0, 1].
   double threads_fraction = 0.25;
+  /// Fraction of scenarios drawn with a delivery/fault adversary.  Drawn
+  /// adversaries exercise only classes inside the protocol's safe_under
+  /// mask, so every draw is a valid scenario (never a config error).
+  double adversary_fraction = 0.25;
   /// Stop drawing after this many seconds (0 = no budget).  Used by the
   /// nightly time-boxed job; the count still caps the total.
   double time_budget_sec = 0;
@@ -67,6 +74,7 @@ struct FuzzReport {
   std::size_t runs_elected = 0;        ///< scenarios ending with a unique leader
   std::size_t monte_carlo_misses = 0;  ///< MC scenarios that elected nobody
   std::size_t determinism_checked = 0; ///< scenarios rerun at threads > 1
+  std::size_t adversarial_runs = 0;    ///< scenarios drawn with an adversary
   bool time_budget_hit = false;
   std::vector<FuzzFailure> failures;
   std::vector<EnvelopeStat> envelope_stats;
@@ -75,10 +83,12 @@ struct FuzzReport {
 };
 
 /// Draw one valid scenario (protocol, compatible family, params, knowledge
-/// >= the protocol's minimum, wakeup it tolerates, seed, threads).
+/// >= the protocol's minimum, wakeup it tolerates, seed, threads, and — with
+/// probability adversary_fraction — an adversary over a non-empty subset of
+/// the protocol's declared-safe fault classes).
 Scenario draw_scenario(Rng& rng, const ProtocolRegistry& protocols,
                        const FamilyRegistry& families, std::size_t max_n,
-                       double threads_fraction);
+                       double threads_fraction, double adversary_fraction = 0);
 
 /// Greedily shrink a failing scenario (see file comment).  Returns the
 /// minimal still-failing scenario; `steps`, when non-null, receives the

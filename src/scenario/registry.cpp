@@ -29,6 +29,36 @@ const char* to_string(Contract c) {
   return "?";
 }
 
+namespace faults {
+
+std::uint8_t classes(const ScenarioAdversary& adv) {
+  std::uint8_t c = kNone;
+  if (adv.max_delay != 0) c |= kDelay;
+  if (adv.drop_pm != 0) c |= kDrop;
+  if (adv.dup_pm != 0) c |= kDuplicate;
+  if (adv.reorder_pm != 0) c |= kReorder;
+  if (!adv.crashes.empty()) c |= kCrash;
+  return c;
+}
+
+std::string to_string(std::uint8_t classes) {
+  if (classes == kNone) return "none";
+  std::string out;
+  const auto append = [&](std::uint8_t bit, const char* name) {
+    if (!(classes & bit)) return;
+    if (!out.empty()) out += '|';
+    out += name;
+  };
+  append(kDelay, "delay");
+  append(kDrop, "drop");
+  append(kDuplicate, "dup");
+  append(kReorder, "reorder");
+  append(kCrash, "crash");
+  return out;
+}
+
+}  // namespace faults
+
 ScenarioShape shape_of(const Graph& g, std::uint32_t diameter,
                        Round wakeup_span, bool adversarial_wakeup) {
   ScenarioShape s;
@@ -133,10 +163,37 @@ ProtocolRegistry build_protocols() {
   // The O(D)-time deterministic baseline: echoes + outbox pacing put the
   // constant well above 1, and adoption chains (up to O(log n) expected
   // improvements per node under random id placement) stretch both envelopes.
+  // Safety declarations (safe_under / live_under_async) are EMPIRICAL
+  // contracts, pinned per class by the adversary conformance matrix
+  // (tests/scenario/adversary_matrix_test.cpp) and hunted at scale by the
+  // fuzzer's adversarial draws (counterexamples that survived the small
+  // matrix grid fell to `fuzz_scenarios --quick`).  The calibration cuts
+  // against the obvious intuition in both directions:
+  //   - reorder and crash-stop are safe for every protocol in the registry
+  //     (no protocol reads its inbox positionally, and a crash only silences
+  //     a node);
+  //   - the wave/echo protocols (flood_max, the least-element family,
+  //     las_vegas, size_estimate) survive NEITHER delay NOR drop NOR
+  //     duplication: their completion accounting assumes exactly-once,
+  //     FIFO delivery, so a dropped or overtaken forward lets a node
+  //     complete its own wave without ever hearing the better id, and a
+  //     duplicate trips "more echoes than forwards";
+  //   - kingdom tolerates delay, drop and reorder (a lost merger just
+  //     stalls the conquest) but NOT duplication — a replayed surrender
+  //     resurrects a dead kingdom and two kings emerge; the known-D variant
+  //     additionally loses LIVENESS under asynchrony (its fixed radius
+  //     relaunches forever on delayed stragglers), the repo's one
+  //     live_under_async = false entry;
+  //   - sublinear_complete is the robust outlier (kAll): a referee decides
+  //     exactly once, so forged or lost traffic only costs liveness;
+  //   - the explicit overlay is strictly more fragile than its base
+  //     election: a dropped or delayed LEADER flood re-elects.
+
   reg.add(ProtocolInfo{
       "flood_max", Contract::Deterministic, KnowledgeGrant::None,
       /*wakeup_tolerant=*/true, /*needs_complete=*/false,
       /*explicit_overlay=*/false,
+      /*safe_under=*/faults::kReorder | faults::kCrash, /*live_under_async=*/true,
       [](const Shape&, RunOptions&) { return make_flood_max(); },
       [](const Shape& s) { return 32 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 64; },
       [](const Shape& s) { return 8 * s.m * (lg(s.n) + 8) + 8 * s.n + 64; },
@@ -159,6 +216,7 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "least_el_all", Contract::LasVegas, KnowledgeGrant::None,
       true, false, false,
+      /*safe_under=*/faults::kReorder | faults::kCrash, /*live_under_async=*/true,
       [](const Shape&, RunOptions&) {
         return make_least_el(LeastElConfig::all_candidates());
       },
@@ -171,6 +229,7 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "least_el_logn", Contract::MonteCarlo, KnowledgeGrant::N,
       true, false, false,
+      /*safe_under=*/faults::kReorder | faults::kCrash, /*live_under_async=*/true,
       [](const Shape& s, RunOptions&) {
         return make_least_el(LeastElConfig::variant_A(s.n));
       },
@@ -181,6 +240,7 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "least_el_f4", Contract::MonteCarlo, KnowledgeGrant::N,
       true, false, false,
+      /*safe_under=*/faults::kReorder | faults::kCrash, /*live_under_async=*/true,
       [](const Shape&, RunOptions&) {
         return make_least_el(LeastElConfig::theorem_4_4(4.0));
       },
@@ -189,6 +249,7 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "least_el_b05", Contract::MonteCarlo, KnowledgeGrant::N,
       true, false, false,
+      /*safe_under=*/faults::kReorder | faults::kCrash, /*live_under_async=*/true,
       [](const Shape&, RunOptions&) {
         return make_least_el(LeastElConfig::variant_B(0.05));
       },
@@ -200,6 +261,7 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "las_vegas", Contract::LasVegas, KnowledgeGrant::ND,
       false, false, false,
+      /*safe_under=*/faults::kReorder | faults::kCrash, /*live_under_async=*/true,
       [](const Shape& s, RunOptions&) {
         return make_least_el(LeastElConfig::las_vegas(s.diameter));
       },
@@ -214,6 +276,7 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "size_estimate", Contract::LasVegas, KnowledgeGrant::None,
       true, false, false,
+      /*safe_under=*/faults::kReorder | faults::kCrash, /*live_under_async=*/true,
       [](const Shape&, RunOptions&) { return make_size_estimate_elect(); },
       [](const Shape& s) { return 48 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 96; },
       [](const Shape& s) { return 16 * s.m * (lg(s.n) + 8) + 16 * s.n + 64; },
@@ -224,6 +287,7 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "clustering", Contract::MonteCarlo, KnowledgeGrant::N,
       false, false, false,
+      /*safe_under=*/faults::kReorder | faults::kCrash, /*live_under_async=*/true,
       [](const Shape&, RunOptions&) { return make_clustering(); },
       [](const Shape& s) { return 64 * dia(s) * lg(s.n) + 2 * s.n + 256; },
       [](const Shape& s) { return 16 * s.m + 64 * s.n * lg(s.n) + 64; },
@@ -239,6 +303,9 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "kingdom", Contract::Deterministic, KnowledgeGrant::None,
       true, false, false,
+      /*safe_under=*/faults::kDelay | faults::kDrop | faults::kReorder |
+          faults::kCrash,
+      /*live_under_async=*/true,
       [](const Shape&, RunOptions&) { return make_kingdom(); },
       [](const Shape& s) {
         return 128 * dia(s) + 32 * lg(s.n) + 2 * s.n + 4 * wake_slack(s) + 128;
@@ -253,6 +320,14 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "kingdom_knownD", Contract::Deterministic, KnowledgeGrant::ND,
       true, false, false,
+      /*safe_under=*/faults::kDelay | faults::kDrop | faults::kReorder |
+          faults::kCrash,
+      // Safety is message-driven (the spanning check holds "regardless of
+      // timing"), but the FIXED radius leans on the synchronous schedule for
+      // termination: delayed stragglers from a finished expedition can keep
+      // reporting an open frontier, and the phase relaunches forever — the
+      // doubling variant outgrows them, a fixed D+1 never does.
+      /*live_under_async=*/false,
       [](const Shape& s, RunOptions&) {
         KingdomConfig cfg;
         cfg.known_diameter = std::max<std::uint64_t>(1, s.diameter);
@@ -268,6 +343,7 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "dfs", Contract::Deterministic, KnowledgeGrant::None,
       true, false, false,
+      /*safe_under=*/faults::kDelay | faults::kDrop | faults::kReorder | faults::kCrash, /*live_under_async=*/true,
       [](const Shape& s, RunOptions& opt) {
         opt.ids = IdScheme::RandomPermutation;
         DfsConfig cfg;
@@ -285,6 +361,7 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "spanner_elect", Contract::LasVegas, KnowledgeGrant::N,
       false, false, false,
+      /*safe_under=*/faults::kReorder, /*live_under_async=*/true,
       [](const Shape&, RunOptions&) {
         return make_spanner_elect(SpannerElectConfig{3, 0});
       },
@@ -300,6 +377,7 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "sublinear_complete", Contract::MonteCarlo, KnowledgeGrant::N,
       false, /*needs_complete=*/true, false,
+      /*safe_under=*/faults::kAll, /*live_under_async=*/true,
       [](const Shape&, RunOptions&) { return make_sublinear_complete(); },
       [](const Shape&) { return Round{16}; },
       [](const Shape& s) { return 4 * s.m + 4 * s.n + 64; },
@@ -315,6 +393,7 @@ ProtocolRegistry build_protocols() {
   reg.add(ProtocolInfo{
       "explicit_flood_max", Contract::Deterministic, KnowledgeGrant::None,
       true, false, /*explicit_overlay=*/true,
+      /*safe_under=*/faults::kReorder | faults::kCrash, /*live_under_async=*/true,
       [](const Shape&, RunOptions&) { return make_explicit(make_flood_max()); },
       [](const Shape& s) { return 48 * dia(s) + 2 * s.n + 4 * wake_slack(s) + 128; },
       [](const Shape& s) {

@@ -41,6 +41,28 @@ enum class Contract : std::uint8_t {
 
 const char* to_string(Contract c);
 
+/// Fault classes of the delivery adversary (net/adversary.hpp), as a bitmask
+/// so a protocol can declare exactly which relaxations of the paper's
+/// lockstep-synchronous fault-free model its SAFETY survives.  Safety here is
+/// the paper's agreement half of the contract — never more than one leader,
+/// never an agreement violation — with liveness declared separately
+/// (ProtocolInfo::live_under_async): under drops and crashes no reactive
+/// protocol can promise termination.
+namespace faults {
+inline constexpr std::uint8_t kNone = 0;
+inline constexpr std::uint8_t kDelay = 1;      ///< bounded delivery delays
+inline constexpr std::uint8_t kDrop = 2;       ///< message loss
+inline constexpr std::uint8_t kDuplicate = 4;  ///< message duplication
+inline constexpr std::uint8_t kReorder = 8;    ///< inbox reordering
+inline constexpr std::uint8_t kCrash = 16;     ///< crash-stop node faults
+inline constexpr std::uint8_t kAll = 31;
+
+/// The classes a scenario-level adversary config exercises.
+std::uint8_t classes(const ScenarioAdversary& adv);
+/// Human-readable "delay|drop|..." (or "none") for reports and errors.
+std::string to_string(std::uint8_t classes);
+}  // namespace faults
+
 /// Everything a protocol's prepare / envelope functions may assume about one
 /// scenario instance.  Derived from the built graph + wakeup schedule by the
 /// runner; tests and benches build it with shape_of().
@@ -106,6 +128,19 @@ struct ProtocolInfo {
   /// The protocol is an explicit-election overlay (make_explicit): the
   /// runner additionally checks that every node learned the leader's id.
   bool explicit_overlay = false;
+  /// Fault classes (faults::k*) under which the protocol's SAFETY holds:
+  /// no run under an adversary restricted to these classes ever elects two
+  /// leaders or violates agreement.  The runner rejects scenarios whose
+  /// adversary exercises an undeclared class (a config error, not a
+  /// violation); the conformance fuzzer draws adversaries inside this mask
+  /// and the nightly hunts for declarations that are too generous.
+  std::uint8_t safe_under = faults::kNone;
+  /// Liveness survives bounded asynchrony: under an adversary limited to
+  /// delay / duplicate / reorder (no loss, no crashes) the protocol still
+  /// terminates with a unique leader — inside a round envelope stretched by
+  /// the delay bound.  Clock-driven protocols (fixed global schedules,
+  /// epoch restarts) are generally not, even when their safety is.
+  bool live_under_async = false;
   /// Build the factory.  opt.knowledge is already set (>= min_knowledge);
   /// prepare may set opt.ids and other per-protocol options.
   std::function<ProcessFactory(const ScenarioShape&, RunOptions&)> prepare;

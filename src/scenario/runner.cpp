@@ -90,6 +90,21 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
   if (s.wakeup != WakeupKind::Simultaneous && !proto.wakeup_tolerant)
     throw std::invalid_argument("protocol \"" + proto.name +
                                 "\" requires simultaneous wakeup");
+  const std::uint8_t adv_classes = faults::classes(s.adversary);
+  if (adv_classes & ~proto.safe_under)
+    throw std::invalid_argument(
+        "protocol \"" + proto.name + "\" declares no safety under " +
+        faults::to_string(adv_classes & ~proto.safe_under) +
+        " faults (safe_under = " + faults::to_string(proto.safe_under) + ")");
+  // Liveness is only promised without loss OR forgery: drops and crashes can
+  // livelock any reactive protocol, and duplicated messages stall echo
+  // accounting even where they cannot forge a second leader (kingdom
+  // quiesces undecided under duplication).  Delay and reorder alone must
+  // still terminate when the protocol declares live_under_async.
+  const bool enforce_liveness =
+      adv_classes == faults::kNone ||
+      (proto.live_under_async &&
+       (adv_classes & ~(faults::kDelay | faults::kReorder)) == 0);
 
   const Graph g = build_scenario_graph(families, s);
 
@@ -105,14 +120,22 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
                                 "\" requires a complete topology; family \"" +
                                 s.family + "\" instance is not complete");
 
-  const Round round_env = proto.round_envelope(out.shape);
-  const std::uint64_t msg_env = proto.message_envelope(out.shape);
+  // Under an adversary the envelopes stretch: every hop can cost up to
+  // 1 + max_delay rounds, and reordering / duplication can reroute adoption
+  // chains onto costlier paths (the 2x message headroom).
+  const Round round_env =
+      proto.round_envelope(out.shape) *
+      (adv_classes == faults::kNone ? 1 : s.adversary.max_delay + 2);
+  const std::uint64_t msg_env =
+      proto.message_envelope(out.shape) *
+      (adv_classes == faults::kNone ? 1 : 2);
 
   RunOptions opt;
   opt.seed = s.seed;
   opt.knowledge = knowledge_for(out.shape, s.knowledge);
   opt.congest = CongestMode::Count;
   opt.max_rounds = round_env * cfg.envelope_slack;
+  opt.adversary = s.adversary.engine_config(g.n());
   const std::vector<Round> wake = scenario_wakeup(s, g.n());
   if (!wake.empty()) opt.wakeup = wake;
   opt.threads = 1;
@@ -139,22 +162,26 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
   const ElectionReport& rep = out.report;
   auto violate = [&out](std::string v) { out.violations.push_back(std::move(v)); };
 
-  // --- safety ---
+  // --- safety (holds under EVERY declared adversary) ---
   if (rep.verdict.elected > 1)
     violate("safety: " + std::to_string(rep.verdict.elected) + " leaders");
-  const bool must_elect = proto.contract != Contract::MonteCarlo;
+  const bool must_elect =
+      proto.contract != Contract::MonteCarlo && enforce_liveness;
   if (must_elect && !rep.verdict.unique_leader)
     violate("safety: " + std::string(to_string(proto.contract)) +
             " contract, but elected=" + std::to_string(rep.verdict.elected) +
             " undecided=" + std::to_string(rep.verdict.undecided));
   if (rep.verdict.elected == 1 && rep.verdict.undecided != 0 &&
-      rep.run.completed)
+      rep.run.completed && adv_classes == faults::kNone)
     violate("safety: a leader exists but " +
             std::to_string(rep.verdict.undecided) + " nodes never decided");
 
   // --- explicit overlay agreement ---
+  // Disagreement is a safety breach under every adversary; full coverage
+  // ("everyone learned an id") is a liveness property — a dropped LEADER
+  // flood legitimately leaves gaps.
   if (proto.explicit_overlay && rep.verdict.unique_leader) {
-    if (know_count != g.n())
+    if (know_count != g.n() && enforce_liveness)
       violate("explicit: only " + std::to_string(know_count) + "/" +
               std::to_string(g.n()) + " nodes learned a leader id");
     if (learned.size() > 1)
@@ -164,20 +191,26 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
       violate("explicit: learned id != the winner's uid");
   }
 
-  // --- liveness / budget ---
-  if (!rep.run.completed)
-    violate("liveness: no quiescence within " +
-            std::to_string(opt.max_rounds) + " rounds (envelope " +
-            std::to_string(round_env) + ")");
-  else if (rep.run.rounds > round_env)
-    violate("liveness: " + std::to_string(rep.run.rounds) +
-            " rounds > envelope " + std::to_string(round_env));
-  if (rep.run.messages > msg_env)
-    violate("budget: " + std::to_string(rep.run.messages) +
-            " messages > envelope " + std::to_string(msg_env));
+  // --- liveness / budget (only where termination is actually promised) ---
+  if (enforce_liveness) {
+    if (!rep.run.completed)
+      violate("liveness: no quiescence within " +
+              std::to_string(opt.max_rounds) + " rounds (envelope " +
+              std::to_string(round_env) + "); " +
+              describe_nontermination(rep.run));
+    else if (rep.run.rounds > round_env)
+      violate("liveness: " + std::to_string(rep.run.rounds) +
+              " rounds > envelope " + std::to_string(round_env));
+    if (rep.run.messages > msg_env)
+      violate("budget: " + std::to_string(rep.run.messages) +
+              " messages > envelope " + std::to_string(msg_env));
+  }
 
   // --- congest ---
-  if (rep.run.congest_violations != 0)
+  // Send-side pacing is the protocol's own duty, but adversarial schedules
+  // push protocols onto delivery patterns their pacing was never designed
+  // for; breaches there are a liveness-grade finding, not a safety one.
+  if (rep.run.congest_violations != 0 && adv_classes == faults::kNone)
     violate("congest: " + std::to_string(rep.run.congest_violations) +
             " violations");
 
@@ -206,6 +239,11 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
     if (par.run.last_status_change != rep.run.last_status_change)
       violate(counter_diff("last_status_change", rep.run.last_status_change,
                            par.run.last_status_change, t));
+    if (par.run.last_progress != rep.run.last_progress)
+      violate(counter_diff("last_progress", rep.run.last_progress,
+                           par.run.last_progress, t));
+    if (par.run.crashed != rep.run.crashed)
+      violate(counter_diff("crashed", rep.run.crashed, par.run.crashed, t));
     if (par.statuses != rep.statuses)
       violate("determinism: per-node statuses differ at threads=" +
               std::to_string(t));

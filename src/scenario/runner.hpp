@@ -16,11 +16,21 @@
 //                every counter, every node status and every per-node send
 //                count — the PR-2 guarantee extended to the whole space.
 //
+// Under an adversarial scenario (token `a=` / `f=` segments) the judgment
+// splits along the registry's declarations: safety (at most one leader,
+// leader-id agreement) is enforced under EVERY adversary the protocol
+// declares itself safe against, while liveness, budget, full-coverage and
+// congest checks apply only when termination is actually promised — no
+// adversary at all, or a loss- and forgery-free adversary (delay / reorder)
+// against a protocol declaring live_under_async.  Round and message
+// envelopes stretch under the adversary (x(max_delay + 2) and x2).
+//
 // A scenario that names unknown registry entries or violates a protocol's
 // prerequisites (knowledge grant too weak, adversarial wakeup on a
 // wakeup-intolerant protocol, non-complete family for a complete-only
-// protocol, params out of range) throws std::invalid_argument: that is a
-// configuration error, not a conformance violation.
+// protocol, params out of range, an adversary class outside the protocol's
+// safe_under mask) throws std::invalid_argument: that is a configuration
+// error, not a conformance violation.
 
 #pragma once
 

@@ -69,6 +69,19 @@ const char* to_string(WakeupKind w) {
   return "?";
 }
 
+AdversaryConfig ScenarioAdversary::engine_config(std::size_t n) const {
+  AdversaryConfig adv;
+  adv.seed = seed;
+  adv.max_delay = max_delay;
+  adv.drop = static_cast<double>(drop_pm) / 1000.0;
+  adv.duplicate = static_cast<double>(dup_pm) / 1000.0;
+  adv.reorder = static_cast<double>(reorder_pm) / 1000.0;
+  adv.crashes.reserve(crashes.size());
+  for (const auto& [node, at] : crashes)
+    adv.crashes.emplace_back(static_cast<NodeId>(node % n), at);
+  return adv;
+}
+
 std::string Scenario::encode() const {
   std::string out = kVersion;
   out += ':';
@@ -99,12 +112,36 @@ std::string Scenario::encode() const {
   out += std::to_string(seed);
   out += ":t=";
   out += std::to_string(threads);
+  if (adversary.any_faults()) {
+    out += ":a=";
+    out += std::to_string(adversary.max_delay);
+    out += '.';
+    out += std::to_string(adversary.drop_pm);
+    out += '.';
+    out += std::to_string(adversary.dup_pm);
+    out += '.';
+    out += std::to_string(adversary.reorder_pm);
+    out += '.';
+    out += std::to_string(adversary.seed);
+  }
+  if (!adversary.crashes.empty()) {
+    out += ":f=";
+    bool first = true;
+    for (const auto& [node, at] : adversary.crashes) {
+      if (!first) out += ',';
+      first = false;
+      out += std::to_string(node);
+      out += '@';
+      out += std::to_string(at);
+    }
+  }
   return out;
 }
 
 Scenario Scenario::parse(const std::string& token) {
   const std::vector<std::string> fields = split_fields(token);
-  if (fields.size() != 7) bad(token, "expected 7 ':'-separated fields");
+  if (fields.size() < 7 || fields.size() > 9)
+    bad(token, "expected 7 ':'-separated fields (plus optional a= / f=)");
   if (fields[0] != kVersion)
     bad(token, "unknown version tag \"" + fields[0] + "\"");
 
@@ -184,6 +221,61 @@ Scenario Scenario::parse(const std::string& token) {
     const std::uint64_t t = parse_u64(token, std::string_view(f).substr(2));
     if (t == 0 || t > 64) bad(token, "threads must be in [1, 64]");
     s.threads = static_cast<unsigned>(t);
+  }
+
+  // Optional trailing adversary fields: a= (delivery knobs) strictly before
+  // f= (crash schedule), each at most once.
+  bool seen_a = false, seen_f = false;
+  for (std::size_t i = 7; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    if (f.rfind("a=", 0) == 0) {
+      if (seen_a || seen_f) bad(token, "a= must appear once, before f=");
+      seen_a = true;
+      // a=DELAY.DROP.DUP.REORDER.ASEED — five '.'-separated integers.
+      const std::string v = f.substr(2);
+      std::vector<std::string_view> parts;
+      std::size_t pos = 0;
+      while (true) {
+        const std::size_t dot = v.find('.', pos);
+        parts.push_back(std::string_view(v).substr(
+            pos, (dot == std::string::npos ? v.size() : dot) - pos));
+        if (dot == std::string::npos) break;
+        pos = dot + 1;
+      }
+      if (parts.size() != 5)
+        bad(token, "a= must be delay.drop.dup.reorder.aseed");
+      s.adversary.max_delay = parse_u64(token, parts[0]);
+      s.adversary.drop_pm = parse_u64(token, parts[1]);
+      s.adversary.dup_pm = parse_u64(token, parts[2]);
+      s.adversary.reorder_pm = parse_u64(token, parts[3]);
+      s.adversary.seed = parse_u64(token, parts[4]);
+      if (s.adversary.drop_pm > 1000 || s.adversary.dup_pm > 1000 ||
+          s.adversary.reorder_pm > 1000)
+        bad(token, "adversary probabilities are permille (at most 1000)");
+      if (!s.adversary.any_faults())
+        bad(token, "a= with every knob zero (drop the field instead)");
+    } else if (f.rfind("f=", 0) == 0) {
+      if (seen_f) bad(token, "duplicate f= field");
+      seen_f = true;
+      const std::string v = f.substr(2);
+      if (v.empty()) bad(token, "f= with an empty crash list");
+      std::size_t pos = 0;
+      while (pos <= v.size()) {
+        std::size_t comma = v.find(',', pos);
+        if (comma == std::string::npos) comma = v.size();
+        const std::string item = v.substr(pos, comma - pos);
+        const std::size_t at = item.find('@');
+        if (at == std::string::npos || at == 0 || at + 1 >= item.size())
+          bad(token, "crash entry \"" + item + "\" must be node@round");
+        s.adversary.crashes.emplace_back(
+            parse_u64(token, std::string_view(item).substr(0, at)),
+            parse_u64(token, std::string_view(item).substr(at + 1)));
+        pos = comma + 1;
+        if (comma == v.size()) break;
+      }
+    } else {
+      bad(token, "trailing field \"" + f + "\" must be a=... or f=...");
+    }
   }
 
   return s;

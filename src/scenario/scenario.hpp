@@ -21,6 +21,17 @@
 //                         family is randomized, and the wakeup schedule)
 //   t=THREADS             engine worker threads (the determinism axis)
 //
+// Two OPTIONAL trailing fields carry the delivery/fault adversary
+// (net/adversary.hpp); `a=` precedes `f=` when both are present:
+//   a=DELAY.DROP.DUP.REORDER.ASEED
+//                         bounded-async delay (max extra rounds), then drop /
+//                         duplicate / reorder probabilities in PERMILLE
+//                         (integers in [0, 1000] — exact round-trip, no
+//                         float formatting), then the adversary's own seed.
+//                         At least one of the four knobs must be non-zero.
+//   f=NODE@ROUND,...      crash-stop schedule: node (taken mod n, like the
+//                         `one.W` waker) halts at the start of that round.
+//
 // `parse(encode(s)) == s` holds for every Scenario, and equal Scenarios
 // produce bit-for-bit identical runs (the engine is a pure function of
 // (graph, processes, seed); see net/engine.hpp).
@@ -32,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/adversary.hpp"
 #include "net/types.hpp"
 
 namespace ule {
@@ -46,6 +58,33 @@ enum class WakeupKind : std::uint8_t { Simultaneous, Random, Single };
 /// Integer family parameters in registry-declared order.
 using ScenarioParams = std::vector<std::pair<std::string, std::uint64_t>>;
 
+/// The adversary at scenario level: knob probabilities are PERMILLE integers
+/// so the string round-trip is exact (doubles only materialize when the
+/// engine config is built).  Crash nodes are taken mod n at run time, so a
+/// schedule survives family shrinking the way `one.W` wakeups do.
+struct ScenarioAdversary {
+  Round max_delay = 0;            ///< max extra delivery rounds (0 = sync)
+  std::uint64_t drop_pm = 0;      ///< drop probability, permille
+  std::uint64_t dup_pm = 0;       ///< duplication probability, permille
+  std::uint64_t reorder_pm = 0;   ///< inbox-shuffle probability, permille
+  std::uint64_t seed = 1;         ///< the adversary's own coin seed
+  /// Crash-stop schedule: (node % n) halts at the start of the round.
+  std::vector<std::pair<std::uint64_t, Round>> crashes;
+
+  bool operator==(const ScenarioAdversary&) const = default;
+
+  /// Any delivery knob set?  (Gates the `a=` token segment; the seed alone
+  /// is inert.)
+  bool any_faults() const {
+    return max_delay != 0 || drop_pm != 0 || dup_pm != 0 || reorder_pm != 0;
+  }
+  bool active() const { return any_faults() || !crashes.empty(); }
+
+  /// The engine-facing config for an n-node graph (crash nodes reduced
+  /// mod n).  Fault classes (registry.hpp) it exercises: faults::classes().
+  AdversaryConfig engine_config(std::size_t n) const;
+};
+
 struct Scenario {
   std::string family;
   ScenarioParams params;
@@ -56,6 +95,7 @@ struct Scenario {
   std::uint64_t wakeup_node = 0;  ///< Single only: the waker (taken mod n)
   std::uint64_t seed = 1;
   unsigned threads = 1;
+  ScenarioAdversary adversary;    ///< default: off (no token segments)
 
   bool operator==(const Scenario&) const = default;
 

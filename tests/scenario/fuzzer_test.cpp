@@ -59,7 +59,7 @@ TEST(Fuzzer, DrawSequenceIsDeterministic) {
     std::vector<std::string> tokens;
     for (int i = 0; i < 50; ++i)
       tokens.push_back(draw_scenario(rng, default_protocols(),
-                                     default_families(), 48, 0.25)
+                                     default_families(), 48, 0.25, 0.5)
                            .encode());
     return tokens;
   };
@@ -109,13 +109,43 @@ class SlowPoke final : public Process {
   }
 };
 
+/// Safe only under in-order delivery, but does not know it: each node
+/// broadcasts its slot and elects iff the FIRST inbox envelope carries a
+/// higher slot.  With lane-order delivery (inbox sorted by sender slot) node
+/// 0 is the unique leader on paths and rings; one inbox shuffle at a middle
+/// node mints a second.  Registered as reorder-safe to prove the fuzzer's
+/// adversarial draws catch the false declaration.
+class OrderSensitive final : public Process {
+ public:
+  void on_wake(Context& ctx, std::span<const Envelope>) override {
+    FlatMsg m;
+    m.type = 1;
+    m.channel = 200;
+    m.bits = wire::kIdField;
+    m.a = ctx.slot();
+    ctx.broadcast(m);
+  }
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    if (inbox.empty()) {
+      ctx.idle();
+      return;
+    }
+    ctx.set_status(inbox[0].flat.a > ctx.slot() ? Status::Elected
+                                                : Status::NonElected);
+    ctx.halt();
+  }
+};
+
 ProtocolRegistry registry_with(const char* name,
-                               std::function<std::unique_ptr<Process>()> make) {
+                               std::function<std::unique_ptr<Process>()> make,
+                               std::uint8_t safe_under = faults::kAll,
+                               bool wakeup_tolerant = true) {
   ProtocolRegistry reg;  // ONLY the broken protocol: every draw hits it
   reg.add(ProtocolInfo{
       name, Contract::Deterministic, KnowledgeGrant::N,
-      /*wakeup_tolerant=*/true, /*needs_complete=*/false,
+      wakeup_tolerant, /*needs_complete=*/false,
       /*explicit_overlay=*/false,
+      safe_under, /*live_under_async=*/true,
       [make = std::move(make)](const ScenarioShape&, RunOptions&) {
         return [make](NodeId) { return make(); };
       },
@@ -132,6 +162,7 @@ TEST(Fuzzer, CatchesAndShrinksASafetyBug) {
   cfg.master_seed = 7;
   cfg.count = 5;
   cfg.max_n = 40;
+  cfg.adversary_fraction = 0;  // base machinery: a crash could mask a leader
   const FuzzReport rep = run_fuzz(broken, default_families(), cfg);
   ASSERT_EQ(rep.failures.size(), 5u);  // every scenario fails
 
@@ -190,6 +221,41 @@ TEST(Fuzzer, ShrinkStopsAtTheFailureBoundary) {
   EXPECT_TRUE(run_scenario(broken, default_families(), smaller).ok());
 }
 
+TEST(Fuzzer, CatchesAndShrinksAnAdversarialBug) {
+  // Every draw carries a reorder adversary (adversary_fraction = 1 and the
+  // fixture declares only kReorder safe).  The failures it catches must
+  // shrink to tokens that KEEP the a= segment — dropping the adversary makes
+  // the run pass, so the shrinker has to retain the knob that bites — and
+  // those tokens must round-trip and reproduce.
+  const ProtocolRegistry broken = registry_with(
+      "order_sensitive", [] { return std::make_unique<OrderSensitive>(); },
+      faults::kReorder, /*wakeup_tolerant=*/false);
+  FamilyRegistry fams;
+  fams.add(default_families().at("ring"));
+  fams.add(default_families().at("path"));
+
+  FuzzConfig cfg;
+  cfg.master_seed = 0xAD5EED;
+  cfg.count = 60;
+  cfg.max_n = 24;
+  cfg.adversary_fraction = 1.0;
+  const FuzzReport rep = run_fuzz(broken, fams, cfg);
+  EXPECT_EQ(rep.adversarial_runs, rep.scenarios_run);
+  ASSERT_FALSE(rep.failures.empty());  // the shuffle fires often at 60 draws
+
+  for (const FuzzFailure& f : rep.failures) {
+    ASSERT_FALSE(f.minimal_violations.empty());
+    EXPECT_EQ(f.minimal_violations[0].rfind("safety", 0), 0u)
+        << f.minimal_violations[0];
+    EXPECT_GT(f.minimal.adversary.reorder_pm, 0u) << f.minimal.encode();
+    EXPECT_NE(f.minimal.encode().find(":a="), std::string::npos)
+        << f.minimal.encode();
+    const Scenario replay = Scenario::parse(f.minimal.encode());
+    EXPECT_EQ(replay, f.minimal);
+    EXPECT_FALSE(run_scenario(broken, fams, replay).ok());
+  }
+}
+
 TEST(Fuzzer, CatchesALivenessBug) {
   const ProtocolRegistry broken =
       registry_with("slow_poke", [] { return std::make_unique<SlowPoke>(); });
@@ -198,6 +264,7 @@ TEST(Fuzzer, CatchesALivenessBug) {
   cfg.master_seed = 11;
   cfg.count = 3;
   cfg.max_n = 24;
+  cfg.adversary_fraction = 0;  // a drop/crash draw would waive liveness
   const FuzzReport rep = run_fuzz(broken, default_families(), cfg);
   ASSERT_EQ(rep.failures.size(), 3u);
   for (const FuzzFailure& f : rep.failures) {

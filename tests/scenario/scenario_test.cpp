@@ -71,15 +71,18 @@ TEST(ScenarioCodec, ParseInvertsEncodeOnTheFuzzDistribution) {
   // newly added family, e.g. cliquepath, is covered the moment it lands).
   Rng rng(0xABCDEF);
   std::set<std::string> drawn;
+  std::size_t adversarial = 0;
   for (int i = 0; i < 500; ++i) {
     const Scenario s = draw_scenario(rng, default_protocols(),
-                                     default_families(), 64, 0.3);
+                                     default_families(), 64, 0.3, 0.4);
     drawn.insert(s.family);
+    if (s.adversary.active()) ++adversarial;
     const std::string token = s.encode();
     EXPECT_EQ(Scenario::parse(token), s) << token;
   }
   for (const FamilyInfo& fam : default_families().all())
     EXPECT_TRUE(drawn.count(fam.name)) << fam.name << " never drawn";
+  EXPECT_GT(adversarial, 100u);  // the a=/f= segments are really exercised
 }
 
 TEST(ScenarioCodec, ParseRejectsMalformedTokens) {
@@ -99,6 +102,60 @@ TEST(ScenarioCodec, ParseRejectsMalformedTokens) {
   };
   for (const char* token : bad)
     EXPECT_THROW(Scenario::parse(token), std::invalid_argument) << token;
+}
+
+TEST(ScenarioCodec, AdversaryTokensRoundTrip) {
+  Scenario s;
+  s.family = "ring";
+  s.params = {{"n", 9}};
+  s.protocol = "flood_max";
+  s.adversary.reorder_pm = 400;
+  s.adversary.seed = 99;
+  EXPECT_EQ(s.encode(),
+            "ule1:ring{n=9}:flood_max:k=none:w=sim:s=1:t=1:a=0.0.0.400.99");
+  EXPECT_EQ(Scenario::parse(s.encode()), s);
+
+  // All knobs plus a crash schedule: a= strictly before f=.
+  s.adversary.max_delay = 2;
+  s.adversary.drop_pm = 100;
+  s.adversary.dup_pm = 50;
+  s.adversary.crashes = {{3, 4}, {5, 1}};
+  EXPECT_EQ(s.encode(),
+            "ule1:ring{n=9}:flood_max:k=none:w=sim:s=1:t=1"
+            ":a=2.100.50.400.99:f=3@4,5@1");
+  EXPECT_EQ(Scenario::parse(s.encode()), s);
+
+  // Crash-only adversary: f= stands alone, no a= segment (and the inert
+  // adversary seed is not encoded).
+  Scenario c;
+  c.family = "ring";
+  c.params = {{"n", 9}};
+  c.protocol = "flood_max";
+  c.adversary.crashes = {{1, 2}};
+  EXPECT_EQ(c.encode(), "ule1:ring{n=9}:flood_max:k=none:w=sim:s=1:t=1:f=1@2");
+  EXPECT_EQ(Scenario::parse(c.encode()), c);
+}
+
+TEST(ScenarioCodec, ParseRejectsMalformedAdversaryTokens) {
+  const std::string base = "ule1:ring{n=9}:flood_max:k=none:w=sim:s=1:t=1";
+  const char* bad[] = {
+      ":a=0.0.0.0.5",            // every knob zero: the segment says nothing
+      ":a=1.0.0",                // wrong arity
+      ":a=1.0.0.0",              // still missing the adversary seed
+      ":a=1.1001.0.0.5",         // probability above 1000 permille
+      ":a=1.0.0.0.x",            // non-numeric seed
+      ":a=1.0.0.0.5:a=1.0.0.0.5",  // duplicate a=
+      ":f=",                     // empty crash list
+      ":f=3",                    // missing @round
+      ":f=3@",                   // missing the round number
+      ":f=@3",                   // missing the node
+      ":f=1@2:f=3@4",            // duplicate f=
+      ":f=1@2:a=1.0.0.0.5",      // f= before a=
+      ":q=7",                    // unknown optional field
+  };
+  for (const char* suffix : bad)
+    EXPECT_THROW(Scenario::parse(base + suffix), std::invalid_argument)
+        << suffix;
 }
 
 TEST(Registry, ProtocolNamesAreUniqueAndComplete) {

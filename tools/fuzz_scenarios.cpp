@@ -6,6 +6,9 @@
 //   fuzz_scenarios --count N --max-n M  custom sweep
 //   fuzz_scenarios --time-budget SEC    stop drawing after SEC seconds
 //   fuzz_scenarios --seed S             change the master seed
+//   fuzz_scenarios --adversary-fraction F
+//                                       fraction of draws carrying a
+//                                       delivery/fault adversary (default .25)
 //   fuzz_scenarios --replay TOKEN      re-run one scenario from its token
 //   fuzz_scenarios --list              print registered protocols + families
 //   fuzz_scenarios --stats             print per-protocol envelope headroom
@@ -31,8 +34,11 @@ namespace {
 void print_list(const ProtocolRegistry& protos, const FamilyRegistry& fams) {
   std::printf("protocols (%zu):\n", protos.all().size());
   for (const ProtocolInfo& p : protos.all()) {
-    std::printf("  %-20s %-13s min-knowledge=%-4s%s%s%s\n", p.name.c_str(),
-                to_string(p.contract), to_string(p.min_knowledge),
+    std::printf("  %-20s %-13s min-knowledge=%-4s safe-under=%-28s%s%s%s%s\n",
+                p.name.c_str(), to_string(p.contract),
+                to_string(p.min_knowledge),
+                faults::to_string(p.safe_under).c_str(),
+                p.live_under_async ? " live-async" : "",
                 p.wakeup_tolerant ? " wakeup-tolerant" : "",
                 p.needs_complete ? " complete-only" : "",
                 p.explicit_overlay ? " explicit-overlay" : "");
@@ -122,6 +128,13 @@ int main(int argc, char** argv) {
       cfg.master_seed = std::strtoull(need_value("--seed"), nullptr, 10);
     } else if (arg == "--time-budget") {
       cfg.time_budget_sec = std::strtod(need_value("--time-budget"), nullptr);
+    } else if (arg == "--adversary-fraction") {
+      cfg.adversary_fraction =
+          std::strtod(need_value("--adversary-fraction"), nullptr);
+      if (cfg.adversary_fraction < 0 || cfg.adversary_fraction > 1) {
+        std::fprintf(stderr, "--adversary-fraction must be in [0, 1]\n");
+        return 2;
+      }
     } else if (arg == "--no-shrink") {
       cfg.shrink = false;
     } else if (arg == "--stats") {
@@ -143,9 +156,10 @@ int main(int argc, char** argv) {
   const FuzzReport rep = run_fuzz(protos, fams, cfg, &std::cout);
 
   std::printf("\nran %zu scenarios: %zu elected a unique leader, "
-              "%zu Monte-Carlo misses, %zu determinism cross-checks%s\n",
+              "%zu Monte-Carlo misses, %zu determinism cross-checks, "
+              "%zu adversarial%s\n",
               rep.scenarios_run, rep.runs_elected, rep.monte_carlo_misses,
-              rep.determinism_checked,
+              rep.determinism_checked, rep.adversarial_runs,
               rep.time_budget_hit ? " (time budget hit)" : "");
 
   if (stats) {
