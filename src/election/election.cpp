@@ -32,6 +32,7 @@ ElectionReport run_election(const Graph& g, const ProcessFactory& factory,
   cfg.threads = opt.threads;
   if (opt.parallel_cutoff != 0) cfg.parallel_cutoff = opt.parallel_cutoff;
   cfg.adversary = opt.adversary;
+  if (opt.congest_bits != 0) cfg.congest_bits = opt.congest_bits;
 
   SyncEngine eng(g, cfg);
 

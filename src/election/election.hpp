@@ -19,6 +19,7 @@
 #include "net/ids.hpp"
 #include "net/knowledge.hpp"
 #include "net/process.hpp"
+#include "net/reliable.hpp"
 
 namespace ule {
 
@@ -54,6 +55,13 @@ struct RunOptions {
   std::size_t parallel_cutoff = 0;
   /// Seeded delivery/fault adversary (net/adversary.hpp).  Default = off.
   AdversaryConfig adversary;
+  /// Override the engine's CONGEST bit budget (0 = engine default).  The
+  /// reliable registry variants raise it by kReliableHeaderBits — the ARQ
+  /// header is link-layer cost, not algorithm payload.
+  std::uint32_t congest_bits = 0;
+  /// Reliable-transport knobs consumed by the `*_reliable` registry
+  /// variants' prepare() (ignored by plain protocols).  rto == 0 = auto.
+  ReliableConfig reliable;
 };
 
 struct ElectionReport {

@@ -81,7 +81,15 @@ std::uint64_t KingdomProcess::radius(std::uint32_t phase) const {
   // is reached with budget >= 1 and probes all its ports (getting Same/
   // Refused back), so coverage is detected exactly.  The doubling schedule
   // needs no such care: 2^{p-1} eventually strictly exceeds any eccentricity.
-  if (cfg_.known_diameter != 0) return cfg_.known_diameter + 1;
+  //
+  // Under bounded delivery delay the "eccentricity" that matters is the
+  // first-arrival tree depth, not the graph distance: a hop costs up to
+  // 1 + delay_bound rounds, and the first claim to ARRIVE may have taken a
+  // detour of up to D such hops while the shortest path sat delayed.  The
+  // budget must cover that worst-case depth, hence the (1 + delay_bound)
+  // factor; fault-free it reduces to the original D + 1 exactly.
+  if (cfg_.known_diameter != 0)
+    return cfg_.known_diameter * (1 + cfg_.delay_bound) + 1;
   return phase >= 63 ? (std::uint64_t{1} << 62) : (std::uint64_t{1} << (phase - 1));
 }
 

@@ -58,6 +58,15 @@ struct KingdomConfig {
   /// 0 = paper's doubling schedule (radius 2^{p-1} in phase p);
   /// otherwise every phase uses this fixed radius (the known-D variant).
   std::uint64_t known_diameter = 0;
+  /// Upper bound on per-message delivery delay (the adversary's max_delay).
+  /// The known-D radius becomes known_diameter * (1 + delay_bound) + 1:
+  /// under delays the first-arrival BFS tree is no longer a shortest-path
+  /// tree — a claim that detoured through slow edges can reach a node at
+  /// tree depth up to D * (1 + delay_bound), and a fixed radius below that
+  /// leaves the node budget-less with unexplored ports, reporting an open
+  /// frontier forever (the PR-6 livelock).  Fault-free (delay_bound = 0)
+  /// this is exactly the old D + 1, so clean runs are bit-for-bit unchanged.
+  std::uint64_t delay_bound = 0;
 };
 
 /// (phase, id), ordered phase-first: higher phases overrun lower ones, ties

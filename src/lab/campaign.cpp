@@ -133,6 +133,16 @@ ScenarioParams ladder_params(const FamilyInfo& fam, std::uint64_t n) {
 
 std::uint64_t default_nominal_n(bool quick) { return quick ? 96 : 256; }
 
+std::uint64_t default_loss_n(bool quick) { return quick ? 48 : 96; }
+
+std::vector<std::uint64_t> default_loss_ladder(bool quick) {
+  // x = 1000/(1000 - drop_pm) spans [1, 2.5]: a narrow log range, so the
+  // full ladder keeps five rungs for fit stability.  600‰ is the ceiling —
+  // see default_loss_ladder's doc comment for the give-up math.
+  return quick ? std::vector<std::uint64_t>{0, 200, 400, 600}
+               : std::vector<std::uint64_t>{0, 150, 300, 450, 600};
+}
+
 std::vector<std::uint64_t> default_diameter_ladder(const FamilyInfo& fam,
                                                    bool quick,
                                                    std::uint64_t nominal_n) {
@@ -217,10 +227,16 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
     if (!selected(cfg.protocols, p.name)) continue;
     for (const GrowthExpectation& e : p.growth) {
       if (!selected(cfg.families, e.family)) continue;
-      if (e.axis != "n" && e.axis != "diameter")
+      if (e.axis != "n" && e.axis != "diameter" && e.axis != "loss")
         throw std::invalid_argument("growth expectation " + p.name + " x " +
                                     e.family + " declares unknown axis \"" +
                                     e.axis + "\"");
+      if (e.axis == "loss" && !p.reliable_transport)
+        throw std::invalid_argument(
+            "growth expectation " + p.name + " x " + e.family +
+            " declares the loss axis, but the protocol has no reliable "
+            "transport — an unwrapped run under drop has no retransmit "
+            "overhead to fit");
       const FamilyInfo& fam = families.at(e.family);
       auto it = std::find_if(curves.begin(), curves.end(), [&](const Curve& c) {
         return c.proto == &p && c.fam == &fam && c.axis == e.axis;
@@ -245,6 +261,17 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
           });
           for (const std::uint64_t d : c.ladder)
             c.rungs.push_back(dl.rung(nominal, d));
+        } else if (e.axis == "loss") {
+          // Fixed instance, growing drop probability: every rung reuses the
+          // same shape params; the ladder values are drop_pm, not sizes.
+          c.ladder = cfg.loss_ladder.empty() ? default_loss_ladder(cfg.quick)
+                                             : cfg.loss_ladder;
+          std::erase_if(c.ladder,
+                        [](std::uint64_t pm) { return pm >= 700; });
+          const std::uint64_t loss_n =
+              cfg.loss_n != 0 ? cfg.loss_n : default_loss_n(cfg.quick);
+          for (std::size_t i = 0; i < c.ladder.size(); ++i)
+            c.rungs.push_back(DiameterRung{ladder_params(fam, loss_n), 0});
         } else {
           c.ladder = cfg.ladder.empty() ? default_ladder(fam, cfg.quick)
                                         : cfg.ladder;
@@ -289,6 +316,13 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
         s.wakeup = WakeupKind::Simultaneous;
         s.seed = replicate_seed(cfg.master_seed, c.proto->name, c.fam->name,
                                 c.axis, c.ladder[li], r);
+        if (c.axis == "loss" && c.ladder[li] != 0) {
+          // The rung IS the fault knob: a seeded drop-only adversary whose
+          // coin stream is domain-separated from the run seed.  Rung 0 stays
+          // adversary-off so the baseline cell is the fault-free cost.
+          s.adversary.drop_pm = c.ladder[li];
+          s.adversary.seed = mix(s.seed, 0xAD5EEDD207ULL);
+        }
         s.threads = 1;
         items.push_back(Item{ci, li, r, std::move(s)});
       }
@@ -349,6 +383,7 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
       // diameter axis.
       cell.n = c.axis == "n" ? c.ladder[li] : 0;
       cell.diameter = static_cast<std::uint32_t>(c.rungs[li].diameter);
+      if (c.axis == "loss") cell.drop_pm = c.ladder[li];
       cell.replicates = cfg.replicates;
       std::vector<std::uint64_t> rounds, messages, bits;
       std::vector<double> wall;
@@ -392,8 +427,15 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
         const MetricStats& ms = e.metric == "rounds" ? cell.rounds
                                 : e.metric == "bits" ? cell.bits
                                                      : cell.messages;
-        const std::uint64_t ax = c.axis == "diameter" ? cell.diameter : cell.n;
-        x.push_back(static_cast<double>(std::max<std::uint64_t>(ax, 1)));
+        double ax;
+        if (c.axis == "diameter")
+          ax = static_cast<double>(std::max<std::uint32_t>(cell.diameter, 1));
+        else if (c.axis == "loss")
+          // Expected transmissions per delivered frame under i.i.d. drop.
+          ax = 1000.0 / static_cast<double>(1000 - cell.drop_pm);
+        else
+          ax = static_cast<double>(std::max<std::uint64_t>(cell.n, 1));
+        x.push_back(ax);
         y.push_back(static_cast<double>(std::max<std::uint64_t>(ms.median, 1)));
       }
       FitOutcome fo;
@@ -411,7 +453,10 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
                       "%.2f+-%.2f  R2=%.4f  %s\n",
                       cr.protocol.c_str(), cr.family.c_str(),
                       f.expect.metric.c_str(),
-                      cr.axis == "diameter" ? "D" : "n", f.fit.exponent,
+                      cr.axis == "diameter" ? "D"
+                      : cr.axis == "loss"   ? "1/(1-p)"
+                                            : "n",
+                      f.fit.exponent,
                       f.fit.confidence(), f.expect.exponent, f.expect.tol,
                       f.fit.r2, f.pass ? "PASS" : "FAIL");
         *log << buf;

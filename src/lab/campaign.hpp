@@ -9,7 +9,7 @@
 // the conformance fuzzer: the fuzzer asks "does every run obey its
 // envelope?", the lab asks "does cost *grow* at the rate the paper claims?".
 //
-// Two ladder axes, because the paper's bounds live on two axes:
+// Three ladder axes, because the repo's fitted claims live on three axes:
 //
 //   axis "n"         the family's shape is fixed and the node count grows
 //                    (ladder_params); fits run against the ACTUAL instance
@@ -21,6 +21,13 @@
 //                    BFS-measured diameter.  This is where the O(D)-time
 //                    claims live — an n-ladder alone conflates the two axes,
 //                    since D usually grows with n.
+//   axis "loss"      the instance is FIXED (~loss_n nodes) and the seeded
+//                    adversary's drop probability grows along a permille
+//                    ladder; fits run against x = 1000/(1000 - drop_pm) =
+//                    1/(1 - p), the expected transmissions per delivered
+//                    frame.  This is where the reliable-transport layer's
+//                    retransmit overhead claims (cost ≈ base · O(1/(1-p)))
+//                    live — only `*_reliable` protocols declare it.
 //
 // Execution is replicate-parallel on the PR-2 WorkerPool: every replicate is
 // one independent engine run (engine threads = 1), workers claim runs off a
@@ -67,9 +74,17 @@ struct CampaignConfig {
   /// Override the D-ladder for every diameter-axis curve (empty = default).
   /// Rungs outside a family convention's [min_d, max_d] are dropped.
   std::vector<std::uint64_t> d_ladder;
+  /// Override the drop_pm ladder for every loss-axis curve (empty =
+  /// default).  Values must stay below 700: beyond that the give-up bound
+  /// (ReliableConfig::max_retries) stops being astronomically safe.
+  std::vector<std::uint64_t> loss_ladder;
   /// Fixed nominal instance size for diameter-axis curves (0 = default:
   /// 96 quick / 256 full).
   std::uint64_t nominal_n = 0;
+  /// Fixed instance size for loss-axis curves (0 = default: 48 quick /
+  /// 96 full — smaller than nominal_n, since per-run rounds stretch by the
+  /// ARQ latency at the ladder's top rung).
+  std::uint64_t loss_n = 0;
   /// Forwarded to run_scenario (check_determinism is forced off: replicates
   /// run with engine threads = 1; parallelism lives at the replicate level).
   ScenarioRunConfig run;
@@ -97,6 +112,9 @@ struct CellResult {
   std::uint64_t n = 0;
   std::uint64_t m = 0;         ///< edges of the replicate-0 instance
   std::uint32_t diameter = 0;  ///< exact diameter of the replicate-0 instance
+  /// Loss axis only: the rung's drop probability in permille (0 elsewhere,
+  /// and for the loss ladder's own fault-free baseline rung).
+  std::uint64_t drop_pm = 0;
   std::size_t replicates = 0;
   MetricStats rounds, messages, bits;
   /// Wall clock of the full scenario run (graph build + exact diameter +
@@ -118,7 +136,7 @@ struct FitOutcome {
 struct CurveResult {
   std::string protocol;
   std::string family;
-  std::string axis;               ///< "n" | "diameter"
+  std::string axis;               ///< "n" | "diameter" | "loss"
   std::vector<CellResult> cells;  ///< ascending along the axis
   std::vector<FitOutcome> fits;   ///< one per declared GrowthExpectation
 };
@@ -147,6 +165,15 @@ std::vector<std::uint64_t> default_ladder(const FamilyInfo& fam, bool quick);
 
 /// Default fixed nominal size for diameter-axis curves (96 quick, 256 full).
 std::uint64_t default_nominal_n(bool quick);
+
+/// Default fixed instance size for loss-axis curves (48 quick, 96 full).
+std::uint64_t default_loss_n(bool quick);
+
+/// Default drop_pm ladder for loss-axis curves.  Starts at 0 (the fault-free
+/// baseline anchors the fit's intercept) and tops out at 600‰, where a
+/// retransmit burst gives up with probability (1-(1-0.6)²)^(max_retries+1)
+/// ≈ 7e-10 — the ladder measures retransmit cost, never link death.
+std::vector<std::uint64_t> default_loss_ladder(bool quick);
 
 /// Default D-ladder for a family with a diameter-ladder convention, clamped
 /// to the convention's [min_d, max_d] and to nominal_n / 2 (so the per-rung

@@ -197,13 +197,20 @@ std::string row_key(const Row& row) {
     // Both coordinates: on the n-axis the diameter can repeat across rungs
     // (complete graphs), on the diameter axis the ~fixed nominal size can —
     // together they are unique on either ladder.
-    double n = 0, d = 0;
+    double n = 0, d = 0, pm = 0;
     get_num(row, "n", &n);
     get_num(row, "diameter", &d);
-    return "cell " + get_str(row, "protocol") + " x " + get_str(row, "family") +
-           " [" + axis + "] n=" +
-           std::to_string(static_cast<std::uint64_t>(n)) +
-           " D=" + std::to_string(static_cast<std::uint64_t>(d));
+    // Loss-axis rungs share a single shape; drop_pm is the coordinate that
+    // separates them (absent or 0 everywhere else — and on the ladder's own
+    // fault-free rung, which n+D already make unique).
+    get_num(row, "drop_pm", &pm);
+    std::string key = "cell " + get_str(row, "protocol") + " x " +
+                      get_str(row, "family") + " [" + axis + "] n=" +
+                      std::to_string(static_cast<std::uint64_t>(n)) +
+                      " D=" + std::to_string(static_cast<std::uint64_t>(d));
+    if (pm != 0)
+      key += " p=" + std::to_string(static_cast<std::uint64_t>(pm));
+    return key;
   }
   if (kind == "fit") {
     return "fit " + get_str(row, "protocol") + " x " + get_str(row, "family") +

@@ -643,10 +643,13 @@ RunResult SyncEngine::run() {
       case Status::Undecided: ++result_.undecided; break;
     }
   }
-  if (!result_.completed) {
-    // Non-termination sample: the first 32 live undecided slots.  Crash
-    // victims are excluded — they can never decide, so listing them would
-    // bury the nodes whose indecision is the actual diagnosis.
+  if (!result_.completed || result_.undecided != 0) {
+    // Non-termination sample: the first 32 live undecided slots — also
+    // collected when the run QUIESCED undecided (a partitioned or starved
+    // run completes with nothing left in flight), so a failed-election
+    // diagnosis can name the stuck nodes either way.  Crash victims are
+    // excluded — they can never decide, so listing them would bury the
+    // nodes whose indecision is the actual diagnosis.
     for (NodeId s = 0; s < graph_.n(); ++s) {
       if (result_.undecided_nodes.size() >= 32) break;
       if (nodes_[s].status != Status::Undecided) continue;
@@ -660,10 +663,19 @@ RunResult SyncEngine::run() {
 }
 
 std::string describe_nontermination(const RunResult& r) {
-  if (r.completed) return "";
-  std::string out = "hit max_rounds at round " + std::to_string(r.rounds) +
-                    "; last progress (send or status change) at round " +
-                    std::to_string(r.last_progress);
+  if (r.completed && r.undecided == 0) return "";
+  // Two distinct failure shapes: a run that never quiesced (livelock — hit
+  // the round cap with work still pending) and a run that quiesced with
+  // undecided nodes (deadlock/starvation — a partition, a crash, or dropped
+  // traffic left nodes waiting on messages that can no longer arrive).
+  std::string out =
+      r.completed
+          ? "quiesced undecided at round " + std::to_string(r.rounds) +
+                "; last progress (send or status change) at round " +
+                std::to_string(r.last_progress)
+          : "hit max_rounds at round " + std::to_string(r.rounds) +
+                "; last progress (send or status change) at round " +
+                std::to_string(r.last_progress);
   if (r.crashed > 0)
     out += "; " + std::to_string(r.crashed) + " node(s) crashed";
   out += "; " + std::to_string(r.undecided) + " undecided";

@@ -158,14 +158,17 @@ struct RunResult {
   Round last_progress = 0;
   /// Nodes killed by the adversary's crash-stop schedule.
   std::size_t crashed = 0;
-  /// Non-termination sample, filled only when !completed: up to 32 slots that
-  /// were still Undecided when max_rounds cut the run off (crashed nodes
-  /// excluded — they can never decide).  Makes adversary-induced livelock
-  /// debuggable from the result alone; see describe_nontermination().
+  /// Non-termination sample, filled when the run failed to fully decide: up
+  /// to 32 slots still Undecided either when max_rounds cut the run off
+  /// (livelock) or when it quiesced with them stuck (deadlock/starvation —
+  /// a drop=1.0 partition or a crashed relay).  Crashed nodes are excluded —
+  /// they can never decide.  Makes adversary-induced failures debuggable
+  /// from the result alone; see describe_nontermination().
   std::vector<NodeId> undecided_nodes;
 };
 
-/// One-line diagnostic for a run that hit max_rounds (empty if it completed).
+/// One-line diagnostic for a run that hit max_rounds OR quiesced with
+/// undecided nodes (empty if it completed fully decided).
 std::string describe_nontermination(const RunResult& r);
 
 /// One recorded engine event (requires cfg.trace_limit > 0).

@@ -1,0 +1,286 @@
+#include "net/reliable.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace ule {
+
+std::string ReliableFrame::debug_string() const {
+  std::string s = seq == 0 ? "rel-ack" : "rel#" + std::to_string(seq);
+  s += " ack=" + std::to_string(ack);
+  if (inner_flat.type != 0) {
+    s += " [" + flat_debug_string(inner_flat) + "]";
+  } else if (inner_msg) {
+    s += " [" + inner_msg->debug_string() + "]";
+  }
+  return s;
+}
+
+// A Context that passes everything through to the engine's context except
+// sends (captured into the per-port ARQ queues) and the scheduling verbs
+// (captured so the wrapper can arbitrate between the inner algorithm's
+// wishes and its own retransmit deadlines).  Same shape as ExplicitProcess's
+// PassThroughCtx — the wrapper relies only on the public Process/Context
+// interface, so it composes with every algorithm in the registry.
+class ReliableProcess::CaptureCtx final : public Context {
+ public:
+  CaptureCtx(Context& real, ReliableProcess& owner)
+      : real_(real), owner_(owner) {}
+
+  NodeId slot() const override { return real_.slot(); }
+  std::size_t degree() const override { return real_.degree(); }
+  bool anonymous() const override { return real_.anonymous(); }
+  Uid uid() const override { return real_.uid(); }
+  Round round() const override { return real_.round(); }
+  Rng& rng() override { return real_.rng(); }
+  const Knowledge& knowledge() const override { return real_.knowledge(); }
+
+  void send(PortId port, MessagePtr msg) override {
+    owner_.enqueue_data(port, Payload{FlatMsg{}, std::move(msg)});
+  }
+  void send(PortId port, const FlatMsg& msg) override {
+    owner_.enqueue_data(port, Payload{msg, nullptr});
+  }
+
+  void set_status(Status s) override { real_.set_status(s); }
+  Status status() const override { return real_.status(); }
+
+  void idle() override { owner_.inner_wish_ = Wish::Idle; }
+  void sleep_until(Round r) override {
+    owner_.inner_wish_ = Wish::Sleep;
+    owner_.inner_deadline_ = r;
+  }
+  void halt() override { owner_.inner_wish_ = Wish::Halt; }
+
+ private:
+  Context& real_;
+  ReliableProcess& owner_;
+};
+
+ReliableProcess::ReliableProcess(std::unique_ptr<Process> inner,
+                                 ReliableConfig cfg)
+    : inner_(std::move(inner)), cfg_(cfg) {
+  if (cfg_.rto == 0) cfg_.rto = kReliableDefaultRto;
+  if (cfg_.backoff_cap == 0) cfg_.backoff_cap = 8 * cfg_.rto;
+  if (cfg_.backoff_cap < cfg_.rto) cfg_.backoff_cap = cfg_.rto;
+}
+
+Round ReliableProcess::interval(std::uint32_t attempts) const {
+  // min(rto << attempts, cap) without overflowing the shift.
+  const std::uint32_t shift = std::min<std::uint32_t>(attempts, 24);
+  const std::uint64_t raw = std::uint64_t{cfg_.rto} << shift;
+  return std::min<std::uint64_t>(raw, cfg_.backoff_cap);
+}
+
+void ReliableProcess::arm_deadline(PortState& ps, Round now) const {
+  ps.rto_deadline =
+      ps.unacked.empty() ? kRoundForever : now + interval(ps.attempts);
+}
+
+void ReliableProcess::ingest(Context& ctx, std::span<const Envelope> inbox,
+                             std::vector<Envelope>& inner_inbox) {
+  const Round now = ctx.round();
+  for (const Envelope& env : inbox) {
+    const auto* frame = dynamic_cast<const ReliableFrame*>(env.msg.get());
+    if (frame == nullptr) {
+      // Not ARQ traffic (every peer runs the same wrapped factory, so this
+      // only happens for wrapper-off runs mixed in by tests): pass through.
+      inner_inbox.push_back(env);
+      continue;
+    }
+    PortState& ps = ports_[env.port];
+
+    // Cumulative ack: pop everything the peer has now delivered.  Progress
+    // resets the backoff ladder and re-arms the timer from this round.
+    if (frame->ack > ps.acked) {
+      ps.acked = frame->ack;
+      while (!ps.unacked.empty() && ps.unacked.front().seq <= frame->ack)
+        ps.unacked.pop_front();
+      ps.attempts = 0;
+      arm_deadline(ps, now);
+    }
+
+    if (frame->seq == 0) continue;  // pure ack: no data side
+
+    if (frame->seq < ps.expected) {
+      // Duplicate of a delivered frame — the peer is retransmitting, so our
+      // ack was lost: re-ack (standalone if no data rides this round).
+      ++dedup_drops_;
+      ps.ack_due = true;
+    } else if (frame->seq == ps.expected) {
+      // In order: deliver, then drain every parked successor.
+      inner_inbox.push_back(
+          Envelope{env.port, frame->inner_flat, frame->inner_msg});
+      ++ps.expected;
+      for (auto it = ps.parked.find(ps.expected); it != ps.parked.end();
+           it = ps.parked.find(ps.expected)) {
+        inner_inbox.push_back(
+            Envelope{env.port, it->second.flat, it->second.msg});
+        ps.parked.erase(it);
+        ++ps.expected;
+      }
+      ps.ack_due = true;
+    } else {
+      // Out of order: park until the gap fills (dedup via try_emplace), and
+      // re-ack so the sender learns the gap persists.
+      ++dedup_drops_;
+      ps.parked.try_emplace(frame->seq,
+                            Payload{frame->inner_flat, frame->inner_msg});
+      ps.ack_due = true;
+    }
+  }
+}
+
+void ReliableProcess::enqueue_data(PortId port, Payload payload) {
+  PortState& ps = ports_[port];
+  if (ps.dead) return;  // link declared dead: drop silently
+  const std::uint32_t seq = ps.next_seq++;
+  ps.unacked.push_back(Unacked{seq, std::move(payload)});
+  ++ps.fresh;
+}
+
+void ReliableProcess::send_frame(Context& ctx, PortId port, std::uint32_t seq,
+                                 const Payload& payload) {
+  auto frame = std::make_shared<ReliableFrame>();
+  frame->seq = seq;
+  frame->ack = ports_[port].expected - 1;  // cumulative
+  frame->inner_flat = payload.flat;
+  frame->inner_msg = payload.msg;
+  ctx.send(port, MessagePtr(std::move(frame)));
+}
+
+void ReliableProcess::flush(Context& ctx) {
+  const Round now = ctx.round();
+  const std::size_t deg = ports_.size();
+  for (PortId p = 0; p < deg; ++p) {
+    PortState& ps = ports_[p];
+    bool sent_data = false;
+
+    if (!ps.unacked.empty() && now >= ps.rto_deadline) {
+      // Timeout: no ack progress for a full backed-off interval.
+      ++ps.attempts;
+      if (ps.attempts > cfg_.max_retries) {
+        // Link dead (crashed peer or a total partition): drop the queue so
+        // the run can quiesce instead of retransmitting forever.
+        ps.dead = true;
+        ps.unacked.clear();
+        ps.fresh = 0;
+        ps.rto_deadline = kRoundForever;
+      } else {
+        // Go-back-all: retransmit every unacked frame (the receiver dedups
+        // and re-acks, so over-sending costs messages, never correctness).
+        for (const Unacked& u : ps.unacked) send_frame(ctx, p, u.seq, u.payload);
+        retransmissions_ += ps.unacked.size();
+        ps.fresh = 0;  // fresh frames went out with the batch
+        sent_data = true;
+        arm_deadline(ps, now);
+      }
+    }
+
+    if (ps.fresh > 0) {
+      // First transmission of the frames the inner enqueued this step.
+      const std::size_t start = ps.unacked.size() - ps.fresh;
+      for (std::size_t i = start; i < ps.unacked.size(); ++i)
+        send_frame(ctx, p, ps.unacked[i].seq, ps.unacked[i].payload);
+      ps.fresh = 0;
+      sent_data = true;
+      arm_deadline(ps, now);
+    }
+
+    if (sent_data) {
+      ps.ack_due = false;  // the cumulative ack rode on the data frames
+    } else if (ps.ack_due) {
+      // Ack news but no traffic to piggyback on: one standalone ack frame.
+      send_frame(ctx, p, 0, Payload{});
+      ps.ack_due = false;
+    }
+  }
+}
+
+void ReliableProcess::run_step(Context& ctx, std::span<const Envelope> inbox,
+                               bool wake) {
+  if (!cfg_.enabled) {
+    // Transparent pass-through: the inner process runs against the real
+    // context — bit-for-bit identical to an unwrapped run (pinned by the
+    // reliable_off_overhead bench row).
+    if (wake) {
+      inner_->on_wake(ctx, inbox);
+    } else {
+      inner_->on_round(ctx, inbox);
+    }
+    return;
+  }
+
+  if (ports_.empty() && ctx.degree() > 0) ports_.resize(ctx.degree());
+
+  std::vector<Envelope> inner_inbox;
+  inner_inbox.reserve(inbox.size());
+  ingest(ctx, inbox, inner_inbox);
+
+  // Deliver the round to the inner algorithm only when the engine itself
+  // would have: it never slept, it has (reassembled) messages, or its
+  // deadline fired.  A pure retransmit wake must NOT step a sleeping inner —
+  // protocols that sleep on a round deadline would see a spurious early
+  // round.
+  const bool due =
+      wake || inner_wish_ == Wish::Running || !inner_inbox.empty() ||
+      (inner_wish_ == Wish::Sleep && ctx.round() >= inner_deadline_);
+  if (due && inner_wish_ != Wish::Halt) {
+    inner_wish_ = Wish::Running;
+    CaptureCtx cc(ctx, *this);
+    if (wake) {
+      inner_->on_wake(cc, inner_inbox);
+    } else {
+      inner_->on_round(cc, inner_inbox);
+    }
+  }
+
+  flush(ctx);
+
+  // Arbitrate scheduling.  The wrapper never halts: even after the inner
+  // algorithm is done, peers may retransmit at us and the re-acks that stop
+  // them only flow while we can still be woken by an arrival.  Idle costs
+  // nothing (no heap entry), so quiescence is reached exactly when every
+  // queue has drained or died.
+  Round my_wake = kRoundForever;
+  for (const PortState& ps : ports_)
+    my_wake = std::min(my_wake, ps.rto_deadline);
+
+  Round inner_wake = kRoundForever;
+  switch (inner_wish_) {
+    case Wish::Running:
+      return;  // inner stays runnable; deadlines are checked every round
+    case Wish::Sleep:
+      inner_wake = inner_deadline_;
+      break;
+    case Wish::Idle:
+    case Wish::Halt:
+      break;  // forever
+  }
+  const Round wake_at = std::min(inner_wake, my_wake);
+  if (wake_at == kRoundForever) {
+    ctx.idle();
+  } else {
+    ctx.sleep_until(wake_at);
+  }
+}
+
+void ReliableProcess::on_wake(Context& ctx, std::span<const Envelope> inbox) {
+  run_step(ctx, inbox, /*wake=*/true);
+}
+
+void ReliableProcess::on_round(Context& ctx, std::span<const Envelope> inbox) {
+  run_step(ctx, inbox, /*wake=*/false);
+}
+
+std::function<std::unique_ptr<Process>(NodeId)> make_reliable(
+    std::function<std::unique_ptr<Process>(NodeId)> inner,
+    ReliableConfig cfg) {
+  return [inner = std::move(inner),
+          cfg](NodeId slot) -> std::unique_ptr<Process> {
+    return std::make_unique<ReliableProcess>(inner(slot), cfg);
+  };
+}
+
+}  // namespace ule

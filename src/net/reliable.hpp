@@ -1,0 +1,187 @@
+// Reliable per-edge transport: the ack/retransmit/dedup wrapper that upgrades
+// fault-fragile protocols to survive the full delivery adversary.
+//
+// PR 6's fuzz calibration showed most protocols lean on the paper's lockstep
+// model: wave pools need exactly-once FIFO delivery, kingdom dies to
+// duplication, and delays break any per-edge ordering assumption
+// (docs/ADVERSARY.md).  ReliableProcess buys those guarantees back the way a
+// real network stack does — as a link layer with a measurable message cost:
+//
+//   * per-(edge, direction) sequence numbers on every data frame;
+//   * receiver-side dedup (a seq below the delivery cursor is re-acked and
+//     dropped) and a FIFO resequencing buffer (out-of-order seqs park until
+//     the gap fills), so the inner protocol sees exactly-once, per-port FIFO
+//     delivery no matter what the adversary did in flight;
+//   * cumulative acks piggybacked on every outgoing data frame, with a
+//     standalone ack frame only when an edge has ack news but no traffic —
+//     an idle edge costs exactly zero messages;
+//   * round-based retransmit timeouts with bounded exponential backoff.  The
+//     deadlines ride the engine's existing wake min-heap (Context::
+//     sleep_until), so a node with no unacked frames schedules nothing and
+//     the quiescent-round cost is untouched.  After `max_retries`
+//     retransmissions without ack progress the link is declared dead and its
+//     queue dropped — this is what lets runs with crashed peers (or
+//     drop = 1.0 partitions) reach quiescence instead of retransmitting
+//     forever.
+//
+// Every decision is a pure function of (round, seq, config): the wrapper
+// draws no randomness and reads no thread-dependent state, so wrapped runs
+// stay bit-for-bit deterministic at every thread count, exactly like the
+// adversary itself.
+//
+// Wire format (legacy Message path — the frame carries an entire inner
+// FlatMsg or MessagePtr plus the ARQ header, which no 32-byte FlatMsg can):
+//
+//   ReliableFrame { seq, ack, inner payload }
+//     seq  32-bit per-(edge, direction) sequence number; 0 = pure ack frame
+//     ack  32-bit cumulative ack: every seq <= ack has been delivered
+//     size_bits = kTypeTag + 2*kCounter (= 72) + inner payload bits
+//
+// The header rides on top of whatever the inner protocol pays, so reliable
+// registry variants raise their CONGEST budget by kReliableHeaderBits
+// (a link-layer header keeps O(log n) messages O(log n)).
+//
+// ReliableConfig{enabled = false} is a transparent pass-through: the inner
+// process runs against the real Context with no interception at all, and the
+// `reliable_off_overhead` bench row pins counter identity with an unwrapped
+// run (the zero-overhead contract, same as adversary_off_overhead).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/process.hpp"
+
+namespace ule {
+
+/// ARQ header cost on top of the inner payload: type tag + seq + ack.
+inline constexpr std::uint32_t kReliableHeaderBits =
+    wire::kTypeTag + 2 * wire::kCounter;
+
+struct ReliableConfig {
+  /// false = transparent pass-through (zero interception, zero overhead).
+  bool enabled = true;
+  /// Rounds without ack progress before the first retransmission.  0 = auto
+  /// (kReliableDefaultRto).  Callers that know the adversary's max_delay
+  /// should set 4 + 2*max_delay: the fault-free ack round trip is 2 rounds,
+  /// and each leg stretches by up to max_delay.
+  std::uint32_t rto = 0;
+  /// Upper bound on the backed-off retransmit interval.  0 = auto (8 * rto).
+  std::uint32_t backoff_cap = 0;
+  /// Retransmissions without ack progress before the link is declared dead
+  /// and its queue dropped (bounds the message cost of unreachable peers).
+  /// Each attempt fails with probability 1 - (1-p)^2 (data leg AND some ack
+  /// leg must survive), so the default must survive the lab's loss ladder
+  /// top rung: at p = 0.6 an attempt fails w.p. 0.84, and 0.84^121 ≈ 7e-10
+  /// makes spurious link death astronomically unlikely across a whole
+  /// campaign — while a true partition still quiesces after
+  /// ~cap·max_retries rounds.  (30 retries looked safe but gave 0.84^31 ≈
+  /// 0.5% death per burst at p = 0.6 — observed as a quiesced-undecided
+  /// kingdom_reliable run in the first loss campaign.)
+  std::uint32_t max_retries = 120;
+};
+
+inline constexpr std::uint32_t kReliableDefaultRto = 4;
+
+/// The ARQ frame.  `seq == 0` is a pure (standalone) ack.
+class ReliableFrame final : public Message {
+ public:
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  FlatMsg inner_flat;   ///< inner flat payload (type == 0 when absent)
+  MessagePtr inner_msg; ///< inner legacy payload (null when absent)
+
+  std::uint32_t payload_bits() const {
+    if (inner_flat.type != 0) return inner_flat.bits;
+    if (inner_msg) return inner_msg->size_bits();
+    return 0;
+  }
+  std::uint32_t size_bits() const override {
+    return kReliableHeaderBits + payload_bits();
+  }
+  std::string debug_string() const override;
+};
+
+/// Wraps any Process with the reliable link layer.  One instance per node;
+/// per-port sender/receiver state is sized lazily from the node's degree.
+class ReliableProcess final : public Process {
+ public:
+  ReliableProcess(std::unique_ptr<Process> inner, ReliableConfig cfg);
+
+  void on_wake(Context& ctx, std::span<const Envelope> inbox) override;
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override;
+
+  const Process* inner() const { return inner_.get(); }
+  const ReliableConfig& config() const { return cfg_; }
+
+  /// Retransmissions performed so far (diagnostics/tests).
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Frames dropped as duplicates plus frames parked out of order (tests).
+  std::uint64_t dedup_drops() const { return dedup_drops_; }
+
+ private:
+  class CaptureCtx;
+  /// The inner algorithm's last scheduling verb (persists across rounds; an
+  /// idle inner process stays idle until a message arrives).
+  enum class Wish : std::uint8_t { Running, Idle, Sleep, Halt };
+
+  struct Payload {
+    FlatMsg flat;
+    MessagePtr msg;
+  };
+  struct Unacked {
+    std::uint32_t seq = 0;
+    Payload payload;
+  };
+  struct PortState {
+    // --- sender side -----------------------------------------------------
+    std::uint32_t next_seq = 1;  ///< seq assigned to the next fresh frame
+    std::uint32_t acked = 0;     ///< highest cumulative ack received
+    std::deque<Unacked> unacked; ///< in seq order; front is the oldest
+    std::uint32_t attempts = 0;  ///< retransmissions since last ack progress
+    Round rto_deadline = kRoundForever;
+    bool dead = false;           ///< gave up: all further sends are dropped
+    std::uint32_t fresh = 0;     ///< frames enqueued by the inner this step
+    // --- receiver side ---------------------------------------------------
+    std::uint32_t expected = 1;  ///< next in-order seq to deliver
+    std::map<std::uint32_t, Payload> parked;  ///< out-of-order buffer
+    bool ack_due = false;        ///< ack news with no data to ride on yet
+  };
+
+  void run_step(Context& ctx, std::span<const Envelope> inbox, bool wake);
+  void ingest(Context& ctx, std::span<const Envelope> inbox,
+              std::vector<Envelope>& inner_inbox);
+  void enqueue_data(PortId port, Payload payload);
+  void flush(Context& ctx);
+  void send_frame(Context& ctx, PortId port, std::uint32_t seq,
+                  const Payload& payload);
+  /// Backed-off retransmit interval after `attempts` fruitless rounds:
+  /// min(rto << attempts, backoff_cap) — a pure function of (attempts, cfg).
+  Round interval(std::uint32_t attempts) const;
+  void arm_deadline(PortState& ps, Round now) const;
+
+  std::unique_ptr<Process> inner_;
+  ReliableConfig cfg_;
+  std::vector<PortState> ports_;
+  Wish inner_wish_ = Wish::Running;
+  Round inner_deadline_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t dedup_drops_ = 0;
+};
+
+/// Wrap a process factory with the reliable link layer.  `cfg.rto == 0`
+/// resolves to kReliableDefaultRto; pass an explicit value (e.g.
+/// 4 + 2*max_delay) when the adversary's delay bound is known.  (The
+/// spelled-out std::function type is election's ProcessFactory — net/ cannot
+/// include election/ headers.)
+std::function<std::unique_ptr<Process>(NodeId)> make_reliable(
+    std::function<std::unique_ptr<Process>(NodeId)> inner,
+    ReliableConfig cfg = {});
+
+}  // namespace ule

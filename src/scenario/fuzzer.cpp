@@ -72,10 +72,20 @@ bool still_fails(const ProtocolRegistry& protocols,
 
 Scenario draw_scenario(Rng& rng, const ProtocolRegistry& protocols,
                        const FamilyRegistry& families, std::size_t max_n,
-                       double threads_fraction, double adversary_fraction) {
-  const auto& protos = protocols.all();
-  if (protos.empty()) throw std::invalid_argument("empty protocol registry");
-  const ProtocolInfo& proto = protos[rng.below(protos.size())];
+                       double threads_fraction, double adversary_fraction,
+                       const std::string& protocol_filter) {
+  const auto& all = protocols.all();
+  std::vector<const ProtocolInfo*> protos;
+  for (const ProtocolInfo& p : all)
+    if (protocol_filter.empty() ||
+        p.name.find(protocol_filter) != std::string::npos)
+      protos.push_back(&p);
+  if (protos.empty())
+    throw std::invalid_argument(
+        protocol_filter.empty()
+            ? std::string("empty protocol registry")
+            : "no protocol matches filter \"" + protocol_filter + "\"");
+  const ProtocolInfo& proto = *protos[rng.below(protos.size())];
 
   // Compatible family: complete-only protocols draw from complete families.
   const auto& fams = families.all();
@@ -111,6 +121,14 @@ Scenario draw_scenario(Rng& rng, const ProtocolRegistry& protocols,
   if (proto.safe_under != faults::kNone &&
       rng.uniform01() < adversary_fraction)
     s.adversary = draw_adversary(rng, proto.safe_under, max_n);
+  // Reliable variants: sometimes override the transport knobs.  rto >= 3
+  // keeps retransmissions honest (the fault-free ack round trip is 2
+  // rounds, so smaller values would retransmit frames whose acks are still
+  // legally in flight); the cap is a small multiple of the rto.
+  if (proto.reliable_transport && rng.below(2) == 0) {
+    s.reliable.rto = rng.in_range(3, 8);
+    s.reliable.cap = s.reliable.rto * rng.in_range(1, 4);
+  }
   return s;
 }
 
@@ -201,6 +219,14 @@ Scenario shrink_scenario(const ProtocolRegistry& protocols,
             with_adv([](ScenarioAdversary& a) { a.reorder_pm /= 2; }));
     }
 
+    // 3b. Drop the reliable-transport override (the auto knobs are the
+    // default — a failure that survives this was never about the timeout).
+    if (cur.reliable.any()) {
+      Scenario c = cur;
+      c.reliable = ScenarioReliable{};
+      candidates.push_back(std::move(c));
+    }
+
     // 4. Drop the adversarial wakeup schedule — or, when the failure needs
     // it, at least halve the spread.
     if (cur.wakeup != WakeupKind::Simultaneous) {
@@ -278,7 +304,8 @@ FuzzReport run_fuzz(const ProtocolRegistry& protocols,
 
     const Scenario s =
         draw_scenario(rng, protocols, families, cfg.max_n,
-                      cfg.threads_fraction, cfg.adversary_fraction);
+                      cfg.threads_fraction, cfg.adversary_fraction,
+                      cfg.protocol_filter);
     const ScenarioOutcome out = run_scenario(protocols, families, s, cfg.run);
     ++report.scenarios_run;
     if (out.report.verdict.unique_leader) ++report.runs_elected;

@@ -49,6 +49,9 @@ struct FuzzConfig {
   /// Stop drawing after this many seconds (0 = no budget).  Used by the
   /// nightly time-boxed job; the count still caps the total.
   double time_budget_sec = 0;
+  /// Only draw protocols whose name contains this substring ("" = all).
+  /// Lets CI aim a dedicated slice at e.g. the `*_reliable` fleet.
+  std::string protocol_filter;
   bool shrink = true;
   ScenarioRunConfig run;
 };
@@ -88,7 +91,8 @@ struct FuzzReport {
 /// the protocol's declared-safe fault classes).
 Scenario draw_scenario(Rng& rng, const ProtocolRegistry& protocols,
                        const FamilyRegistry& families, std::size_t max_n,
-                       double threads_fraction, double adversary_fraction = 0);
+                       double threads_fraction, double adversary_fraction = 0,
+                       const std::string& protocol_filter = "");
 
 /// Greedily shrink a failing scenario (see file comment).  Returns the
 /// minimal still-failing scenario; `steps`, when non-null, receives the

@@ -110,7 +110,12 @@ struct GrowthExpectation {
   double exponent = 1.0;
   double tol = 0.3;
   std::string note;  ///< the paper bound this encodes (shown in reports)
-  std::string axis = "n";  ///< "n" | "diameter": the ladder the fit runs on
+  /// "n" | "diameter" | "loss": the ladder the fit runs on.  "loss" holds
+  /// the shape fixed and sweeps the adversary's drop probability, fitting
+  /// against x = 1/(1 - p) — the classical expected-transmissions factor of
+  /// a retransmitting link — so the reliable wrapper's overhead
+  /// (messages ≈ base · O(1/(1-p))) is a fitted, gated artifact.
+  std::string axis = "n";
 };
 
 struct ProtocolInfo {
@@ -150,6 +155,13 @@ struct ProtocolInfo {
   std::function<std::uint64_t(const ScenarioShape&)> message_envelope;
   /// Declared growth curves (may be empty); consumed by the Complexity Lab.
   std::vector<GrowthExpectation> growth;
+  /// The protocol runs behind the reliable link layer (net/reliable.hpp):
+  /// prepare() wraps the base factory with make_reliable, the scenario's
+  /// `r=` tail (ScenarioReliable) is honored, and liveness additionally
+  /// holds under LOSSY adversaries (drop / duplication below total
+  /// partition), not just the loss-free asynchrony live_under_async covers —
+  /// the runner enforces termination for drop_pm < 1000 when this is set.
+  bool reliable_transport = false;
 };
 
 class ProtocolRegistry {

@@ -8,6 +8,7 @@
 
 #include "election/explicit_elect.hpp"
 #include "graphgen/graph_algos.hpp"
+#include "net/reliable.hpp"
 #include "net/wakeup.hpp"
 
 namespace ule {
@@ -96,15 +97,30 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
         "protocol \"" + proto.name + "\" declares no safety under " +
         faults::to_string(adv_classes & ~proto.safe_under) +
         " faults (safe_under = " + faults::to_string(proto.safe_under) + ")");
+  if (s.reliable.any() && !proto.reliable_transport)
+    throw std::invalid_argument("protocol \"" + proto.name +
+                                "\" does not run the reliable transport "
+                                "(r= is only valid for *_reliable variants)");
   // Liveness is only promised without loss OR forgery: drops and crashes can
   // livelock any reactive protocol, and duplicated messages stall echo
   // accounting even where they cannot forge a second leader (kingdom
   // quiesces undecided under duplication).  Delay and reorder alone must
-  // still terminate when the protocol declares live_under_async.
+  // still terminate when the protocol declares live_under_async.  A reliable
+  // transport (the ARQ wrapper) additionally buys termination under drops
+  // and duplication — every frame is retransmitted until acked — as long as
+  // the loss stays in the calibrated domain (≤ 600‰, the lab loss ladder's
+  // top rung, where give-up is astronomically unlikely; beyond that a
+  // deadline-stretched run may legitimately see a link give up, and at
+  // drop = 1.0 no wrapper can push a bit through an edge that delivers
+  // nothing) and no node crashed.
   const bool enforce_liveness =
       adv_classes == faults::kNone ||
       (proto.live_under_async &&
-       (adv_classes & ~(faults::kDelay | faults::kReorder)) == 0);
+       (adv_classes & ~(faults::kDelay | faults::kReorder)) == 0) ||
+      (proto.reliable_transport && proto.live_under_async &&
+       (adv_classes & ~(faults::kDelay | faults::kDrop | faults::kDuplicate |
+                        faults::kReorder)) == 0 &&
+       s.adversary.drop_pm <= 600);
 
   const Graph g = build_scenario_graph(families, s);
 
@@ -122,13 +138,27 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
 
   // Under an adversary the envelopes stretch: every hop can cost up to
   // 1 + max_delay rounds, and reordering / duplication can reroute adoption
-  // chains onto costlier paths (the 2x message headroom).
+  // chains onto costlier paths (the 2x message headroom).  A reliable
+  // transport under loss additionally pays the classical 1/(1 - p)
+  // expected-transmissions factor on every frame (messages: 2/(1 - p)) —
+  // and a steeper latency factor in rounds: a lost frame waits out a full
+  // backed-off retransmit interval (~rto rounds, not 1) per loss, so hops
+  // cost ~rto/(1 - p) rounds in the tail (rounds: 4/(1 - p),
+  // fuzz-calibrated).
+  std::uint64_t lossy_den = 1, lossy_round_num = 1, lossy_msg_num = 1;
+  if (proto.reliable_transport && s.adversary.drop_pm != 0 &&
+      s.adversary.drop_pm < 1000) {
+    lossy_den = 1000 - s.adversary.drop_pm;
+    lossy_round_num = 4000;
+    lossy_msg_num = 2000;
+  }
   const Round round_env =
       proto.round_envelope(out.shape) *
-      (adv_classes == faults::kNone ? 1 : s.adversary.max_delay + 2);
-  const std::uint64_t msg_env =
-      proto.message_envelope(out.shape) *
-      (adv_classes == faults::kNone ? 1 : 2);
+      (adv_classes == faults::kNone ? 1 : s.adversary.max_delay + 2) *
+      lossy_round_num / lossy_den;
+  const std::uint64_t msg_env = proto.message_envelope(out.shape) *
+                                (adv_classes == faults::kNone ? 1 : 2) *
+                                lossy_msg_num / lossy_den;
 
   RunOptions opt;
   opt.seed = s.seed;
@@ -136,6 +166,8 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
   opt.congest = CongestMode::Count;
   opt.max_rounds = round_env * cfg.envelope_slack;
   opt.adversary = s.adversary.engine_config(g.n());
+  opt.reliable.rto = static_cast<std::uint32_t>(s.reliable.rto);
+  opt.reliable.backoff_cap = static_cast<std::uint32_t>(s.reliable.cap);
   const std::vector<Round> wake = scenario_wakeup(s, g.n());
   if (!wake.empty()) opt.wakeup = wake;
   opt.threads = 1;
@@ -151,7 +183,12 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
     if (v.unique_leader && !eng.anonymous())
       winner_uid = eng.uid_of(v.leader_slot);
     for (NodeId slot = 0; slot < eng.graph().n(); ++slot) {
-      const auto* p = dynamic_cast<const ExplicitProcess*>(eng.process(slot));
+      const Process* raw = eng.process(slot);
+      // The reliable wrapper is transparent to the overlay check: reach
+      // through it to the wrapped ExplicitProcess.
+      if (const auto* rel = dynamic_cast<const ReliableProcess*>(raw))
+        raw = rel->inner();
+      const auto* p = dynamic_cast<const ExplicitProcess*>(raw);
       if (p != nullptr && p->known_leader().has_value()) {
         ++know_count;
         learned.insert(*p->known_leader());
@@ -167,10 +204,15 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
     violate("safety: " + std::to_string(rep.verdict.elected) + " leaders");
   const bool must_elect =
       proto.contract != Contract::MonteCarlo && enforce_liveness;
-  if (must_elect && !rep.verdict.unique_leader)
+  if (must_elect && !rep.verdict.unique_leader) {
+    // A run that quiesced undecided is a livelock diagnosis too: surface
+    // last_progress / undecided_nodes instead of just the counts.
+    const std::string diag = describe_nontermination(rep.run);
     violate("safety: " + std::string(to_string(proto.contract)) +
             " contract, but elected=" + std::to_string(rep.verdict.elected) +
-            " undecided=" + std::to_string(rep.verdict.undecided));
+            " undecided=" + std::to_string(rep.verdict.undecided) +
+            (diag.empty() ? "" : "; " + diag));
+  }
   if (rep.verdict.elected == 1 && rep.verdict.undecided != 0 &&
       rep.run.completed && adv_classes == faults::kNone)
     violate("safety: a leader exists but " +

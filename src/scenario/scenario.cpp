@@ -135,13 +135,19 @@ std::string Scenario::encode() const {
       out += std::to_string(at);
     }
   }
+  if (reliable.any()) {
+    out += ":r=";
+    out += std::to_string(reliable.rto);
+    out += '.';
+    out += std::to_string(reliable.cap);
+  }
   return out;
 }
 
 Scenario Scenario::parse(const std::string& token) {
   const std::vector<std::string> fields = split_fields(token);
-  if (fields.size() < 7 || fields.size() > 9)
-    bad(token, "expected 7 ':'-separated fields (plus optional a= / f=)");
+  if (fields.size() < 7 || fields.size() > 10)
+    bad(token, "expected 7 ':'-separated fields (plus optional a= / f= / r=)");
   if (fields[0] != kVersion)
     bad(token, "unknown version tag \"" + fields[0] + "\"");
 
@@ -223,13 +229,14 @@ Scenario Scenario::parse(const std::string& token) {
     s.threads = static_cast<unsigned>(t);
   }
 
-  // Optional trailing adversary fields: a= (delivery knobs) strictly before
-  // f= (crash schedule), each at most once.
-  bool seen_a = false, seen_f = false;
+  // Optional trailing fields in the order a= (delivery knobs) ≺ f= (crash
+  // schedule) ≺ r= (reliable-transport knobs), each at most once.
+  bool seen_a = false, seen_f = false, seen_r = false;
   for (std::size_t i = 7; i < fields.size(); ++i) {
     const std::string& f = fields[i];
     if (f.rfind("a=", 0) == 0) {
-      if (seen_a || seen_f) bad(token, "a= must appear once, before f=");
+      if (seen_a || seen_f || seen_r)
+        bad(token, "a= must appear once, before f= and r=");
       seen_a = true;
       // a=DELAY.DROP.DUP.REORDER.ASEED — five '.'-separated integers.
       const std::string v = f.substr(2);
@@ -255,7 +262,7 @@ Scenario Scenario::parse(const std::string& token) {
       if (!s.adversary.any_faults())
         bad(token, "a= with every knob zero (drop the field instead)");
     } else if (f.rfind("f=", 0) == 0) {
-      if (seen_f) bad(token, "duplicate f= field");
+      if (seen_f || seen_r) bad(token, "f= must appear once, before r=");
       seen_f = true;
       const std::string v = f.substr(2);
       if (v.empty()) bad(token, "f= with an empty crash list");
@@ -273,8 +280,20 @@ Scenario Scenario::parse(const std::string& token) {
         pos = comma + 1;
         if (comma == v.size()) break;
       }
+    } else if (f.rfind("r=", 0) == 0) {
+      if (seen_r) bad(token, "duplicate r= field");
+      seen_r = true;
+      // r=RTO.CAP — two '.'-separated integers, not both zero.
+      const std::string v = f.substr(2);
+      const std::size_t dot = v.find('.');
+      if (dot == std::string::npos || v.find('.', dot + 1) != std::string::npos)
+        bad(token, "r= must be rto.cap");
+      s.reliable.rto = parse_u64(token, std::string_view(v).substr(0, dot));
+      s.reliable.cap = parse_u64(token, std::string_view(v).substr(dot + 1));
+      if (!s.reliable.any())
+        bad(token, "r= with both knobs zero (drop the field instead)");
     } else {
-      bad(token, "trailing field \"" + f + "\" must be a=... or f=...");
+      bad(token, "trailing field \"" + f + "\" must be a=..., f=... or r=...");
     }
   }
 

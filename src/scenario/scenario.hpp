@@ -21,8 +21,9 @@
 //                         family is randomized, and the wakeup schedule)
 //   t=THREADS             engine worker threads (the determinism axis)
 //
-// Two OPTIONAL trailing fields carry the delivery/fault adversary
-// (net/adversary.hpp); `a=` precedes `f=` when both are present:
+// Three OPTIONAL trailing fields carry the delivery/fault adversary
+// (net/adversary.hpp) and the reliable-transport knobs; they appear in the
+// order `a=` ≺ `f=` ≺ `r=`, each at most once:
 //   a=DELAY.DROP.DUP.REORDER.ASEED
 //                         bounded-async delay (max extra rounds), then drop /
 //                         duplicate / reorder probabilities in PERMILLE
@@ -31,6 +32,12 @@
 //                         At least one of the four knobs must be non-zero.
 //   f=NODE@ROUND,...      crash-stop schedule: node (taken mod n, like the
 //                         `one.W` waker) halts at the start of that round.
+//   r=RTO.CAP             reliable-transport override (net/reliable.hpp),
+//                         honored only by `*_reliable` protocols (the runner
+//                         rejects it elsewhere): retransmit timeout in
+//                         rounds and backoff cap.  0 = auto for either knob;
+//                         at least one must be non-zero (auto/auto is the
+//                         default and drops the field).
 //
 // `parse(encode(s)) == s` holds for every Scenario, and equal Scenarios
 // produce bit-for-bit identical runs (the engine is a pure function of
@@ -85,6 +92,20 @@ struct ScenarioAdversary {
   AdversaryConfig engine_config(std::size_t n) const;
 };
 
+/// Reliable-transport knobs at scenario level (the `r=` token tail).  Only
+/// meaningful for `*_reliable` protocols; the runner rejects the field on a
+/// protocol without reliable_transport.  Zero = auto (ReliableConfig's
+/// resolution rules), so the default-constructed value encodes to nothing.
+struct ScenarioReliable {
+  std::uint64_t rto = 0;  ///< retransmit timeout in rounds (0 = auto)
+  std::uint64_t cap = 0;  ///< backoff cap in rounds (0 = auto)
+
+  bool operator==(const ScenarioReliable&) const = default;
+
+  /// Any override set?  (Gates the `r=` token segment.)
+  bool any() const { return rto != 0 || cap != 0; }
+};
+
 struct Scenario {
   std::string family;
   ScenarioParams params;
@@ -96,6 +117,7 @@ struct Scenario {
   std::uint64_t seed = 1;
   unsigned threads = 1;
   ScenarioAdversary adversary;    ///< default: off (no token segments)
+  ScenarioReliable reliable;      ///< default: auto (no token segment)
 
   bool operator==(const Scenario&) const = default;
 

@@ -232,14 +232,21 @@ TEST(Adversary, NonTerminationDiagnosticsNameTheStragglers) {
   EXPECT_NE(d.find("undecided"), std::string::npos) << d;
 }
 
-TEST(Adversary, CompletedRunHasNoNonTerminationStory) {
+TEST(Adversary, CompletedUndecidedRunTellsQuiescentStory) {
+  // Chatter never decides: the run QUIESCES with every node undecided.  That
+  // is the deadlock/starvation shape (as opposed to hitting max_rounds), and
+  // since PR 7 it gets its own diagnosis — a drop=1.0 partition or a crashed
+  // relay leaves exactly this signature.
   const Graph g = path2();
   SyncEngine eng(g);
   eng.init_processes([](NodeId) { return std::make_unique<Chatter>(2); });
   const RunResult res = eng.run();
   ASSERT_TRUE(res.completed);
-  EXPECT_TRUE(res.undecided_nodes.empty());
-  EXPECT_TRUE(describe_nontermination(res).empty());
+  EXPECT_EQ(res.undecided_nodes.size(), 2u);
+  const std::string d = describe_nontermination(res);
+  EXPECT_NE(d.find("quiesced undecided"), std::string::npos) << d;
+  EXPECT_NE(d.find("last progress"), std::string::npos) << d;
+  EXPECT_EQ(d.find("max_rounds"), std::string::npos) << d;
 }
 
 }  // namespace

@@ -1,0 +1,228 @@
+// Engine-level semantics of the reliable link layer (net/reliable.hpp): the
+// disabled wrapper is a bit-for-bit pass-through, the enabled wrapper gives
+// the inner protocol exactly-once per-port FIFO delivery under drop +
+// duplication + reorder, retransmit/dedup work is observable through the
+// wrapper's counters, give-up restores quiescence under total loss, and the
+// whole machine is deterministic (no RNG, no thread-dependent state).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/engine.hpp"
+#include "net/reliable.hpp"
+
+namespace ule {
+namespace {
+
+/// Sends `to_send` flat messages on port 0 (one per step, payload = send
+/// index), then idles; records every arrival payload in order.
+class Courier final : public Process {
+ public:
+  explicit Courier(int to_send) : left_(to_send) {}
+
+  void on_wake(Context& ctx, std::span<const Envelope> inbox) override {
+    step(ctx, inbox);
+  }
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    step(ctx, inbox);
+  }
+
+  std::vector<std::uint64_t> got;
+
+ private:
+  void step(Context& ctx, std::span<const Envelope> inbox) {
+    for (const Envelope& e : inbox) got.push_back(e.flat.a);
+    if (left_ > 0) {
+      FlatMsg m;
+      m.type = 7;
+      m.bits = 64;
+      m.a = static_cast<std::uint64_t>(sent_++);
+      ctx.send(0, m);
+      --left_;
+    } else {
+      ctx.idle();
+    }
+  }
+  int left_;
+  int sent_ = 0;
+};
+
+Graph path2() { return Graph::from_edges(2, {{0, 1}}); }
+
+/// Graph + engine, in that member order: SyncEngine holds the graph by
+/// reference, so the graph must outlive it.
+struct CourierRun {
+  Graph g = path2();
+  std::unique_ptr<SyncEngine> eng;
+};
+
+/// path2 with node 0 sending `k` frames through the wrapper and node 1 just
+/// listening.  Returns the run after the engine quiesced.
+CourierRun run_courier(const EngineConfig& cfg, int k, ReliableConfig rcfg) {
+  CourierRun run;
+  run.eng = std::make_unique<SyncEngine>(run.g, cfg);
+  run.eng->init_processes([k, rcfg](NodeId slot) -> std::unique_ptr<Process> {
+    return std::make_unique<ReliableProcess>(
+        std::make_unique<Courier>(slot == 0 ? k : 0), rcfg);
+  });
+  run.eng->run();
+  return run;
+}
+
+const Courier* inner_courier(const SyncEngine& eng, NodeId slot) {
+  const auto* rel = dynamic_cast<const ReliableProcess*>(eng.process(slot));
+  EXPECT_NE(rel, nullptr);
+  return dynamic_cast<const Courier*>(rel->inner());
+}
+
+TEST(Reliable, DisabledWrapperIsBitForBitPassThrough) {
+  // enabled = false must run the inner against the real Context: same
+  // counters on every axis as the unwrapped run (the zero-overhead contract
+  // the reliable_off_overhead bench row pins at scale).
+  EngineConfig cfg;
+  cfg.seed = 5;
+  const auto plain = [&] {
+    const Graph g = path2();
+    SyncEngine eng(g, cfg);
+    eng.init_processes([](NodeId slot) {
+      return std::make_unique<Courier>(slot == 0 ? 4 : 0);
+    });
+    return eng.run();
+  }();
+  ReliableConfig off;
+  off.enabled = false;
+  const CourierRun run = run_courier(cfg, 4, off);
+  const RunResult& wrapped = run.eng->result();
+  EXPECT_TRUE(plain.completed);
+  EXPECT_EQ(plain.rounds, wrapped.rounds);
+  EXPECT_EQ(plain.executed_rounds, wrapped.executed_rounds);
+  EXPECT_EQ(plain.node_steps, wrapped.node_steps);
+  EXPECT_EQ(plain.messages, wrapped.messages);
+  EXPECT_EQ(plain.bits, wrapped.bits);
+  EXPECT_EQ(plain.last_progress, wrapped.last_progress);
+  ASSERT_NE(inner_courier(*run.eng, 1), nullptr);
+  EXPECT_EQ(inner_courier(*run.eng, 1)->got.size(), 4u);
+}
+
+TEST(Reliable, FaultFreeDeliveryIsExactlyOnceFifoWithHeaderBilling) {
+  EngineConfig cfg;
+  cfg.seed = 9;
+  ReliableConfig rcfg;
+  rcfg.rto = 4;
+  const CourierRun run = run_courier(cfg, 5, rcfg);
+  const RunResult& res = run.eng->result();
+  EXPECT_TRUE(res.completed);
+  const Courier* rx = inner_courier(*run.eng, 1);
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->got, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  // Every data frame pays the ARQ header on top of the 64-bit payload; the
+  // total also covers whatever standalone acks the idle tail needed.
+  EXPECT_GE(res.bits, 5 * (64u + kReliableHeaderBits));
+  const auto* tx = dynamic_cast<const ReliableProcess*>(run.eng->process(0));
+  ASSERT_NE(tx, nullptr);
+  EXPECT_EQ(tx->retransmissions(), 0u);  // nothing lost, nothing re-sent
+}
+
+TEST(Reliable, ExactlyOnceFifoUnderDropDupReorder) {
+  // The core guarantee: whatever the adversary does in flight — eat frames,
+  // double them, shuffle inboxes — the inner protocol sees each payload
+  // exactly once, in send order.
+  EngineConfig cfg;
+  cfg.seed = 21;
+  cfg.adversary.seed = 0xBAD;
+  cfg.adversary.drop = 0.4;
+  cfg.adversary.duplicate = 0.4;
+  cfg.adversary.reorder = 0.9;
+  ReliableConfig rcfg;
+  rcfg.rto = 3;
+  rcfg.backoff_cap = 12;
+  const CourierRun run = run_courier(cfg, 8, rcfg);
+  const RunResult& res = run.eng->result();
+  EXPECT_TRUE(res.completed);
+  const Courier* rx = inner_courier(*run.eng, 1);
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->got,
+            (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  // The adversary really bit: recovery work is visible in the counters.
+  const auto* tx = dynamic_cast<const ReliableProcess*>(run.eng->process(0));
+  const auto* rxw = dynamic_cast<const ReliableProcess*>(run.eng->process(1));
+  ASSERT_NE(tx, nullptr);
+  ASSERT_NE(rxw, nullptr);
+  EXPECT_GT(tx->retransmissions(), 0u);
+  EXPECT_GT(rxw->dedup_drops(), 0u);
+}
+
+TEST(Reliable, RunsAreDeterministicAcrossIdenticalReruns) {
+  // Zero RNG in the wrapper: same (graph, seeds, config) → same counters,
+  // retransmission for retransmission.
+  EngineConfig cfg;
+  cfg.seed = 33;
+  cfg.adversary.seed = 0xF00D;
+  cfg.adversary.drop = 0.3;
+  cfg.adversary.duplicate = 0.3;
+  cfg.adversary.reorder = 0.5;
+  ReliableConfig rcfg;
+  rcfg.rto = 3;
+  const CourierRun a = run_courier(cfg, 6, rcfg);
+  const CourierRun b = run_courier(cfg, 6, rcfg);
+  EXPECT_EQ(a.eng->result().rounds, b.eng->result().rounds);
+  EXPECT_EQ(a.eng->result().messages, b.eng->result().messages);
+  EXPECT_EQ(a.eng->result().bits, b.eng->result().bits);
+  EXPECT_EQ(a.eng->result().node_steps, b.eng->result().node_steps);
+  const auto* ta = dynamic_cast<const ReliableProcess*>(a.eng->process(0));
+  const auto* tb = dynamic_cast<const ReliableProcess*>(b.eng->process(0));
+  EXPECT_EQ(ta->retransmissions(), tb->retransmissions());
+}
+
+TEST(Reliable, GiveUpRestoresQuiescenceUnderTotalLoss) {
+  // drop = 1.0 is a partition: no ARQ can push a bit through.  The wrapper
+  // must retransmit through its bounded backoff ladder, declare the link
+  // dead, and let the run quiesce — not spin to max_rounds.
+  EngineConfig cfg;
+  cfg.seed = 3;
+  cfg.adversary.seed = 0xDEAD;
+  cfg.adversary.drop = 1.0;
+  ReliableConfig rcfg;
+  rcfg.rto = 2;
+  rcfg.backoff_cap = 4;
+  rcfg.max_retries = 5;  // small ladder keeps the test fast
+  const CourierRun run = run_courier(cfg, 3, rcfg);
+  const RunResult& res = run.eng->result();
+  EXPECT_TRUE(res.completed);  // quiesced, not cut off
+  const Courier* rx = inner_courier(*run.eng, 1);
+  ASSERT_NE(rx, nullptr);
+  EXPECT_TRUE(rx->got.empty());
+  const auto* tx = dynamic_cast<const ReliableProcess*>(run.eng->process(0));
+  ASSERT_NE(tx, nullptr);
+  // Exactly the ladder, go-back-all: each of the max_retries timeouts
+  // resends the whole 3-frame queue, then silence.
+  EXPECT_EQ(tx->retransmissions(), 15u);
+  // The run outlived the full backoff ladder (2 + 4 + 4 + 4 + 4 rounds).
+  EXPECT_GE(res.rounds, 18u);
+}
+
+TEST(Reliable, BackoffCapBoundsTheRetransmitInterval) {
+  // Same partition, uncapped-ish vs tightly capped: the capped ladder must
+  // finish its retries strictly sooner (interval = min(rto << k, cap)).
+  EngineConfig cfg;
+  cfg.seed = 3;
+  cfg.adversary.seed = 0xDEAD;
+  cfg.adversary.drop = 1.0;
+  ReliableConfig wide;
+  wide.rto = 2;
+  wide.backoff_cap = 64;
+  wide.max_retries = 6;
+  ReliableConfig tight = wide;
+  tight.backoff_cap = 2;
+  const CourierRun slow = run_courier(cfg, 1, wide);
+  const CourierRun fast = run_courier(cfg, 1, tight);
+  EXPECT_TRUE(slow.eng->result().completed);
+  EXPECT_TRUE(fast.eng->result().completed);
+  EXPECT_LT(fast.eng->result().rounds, slow.eng->result().rounds);
+}
+
+}  // namespace
+}  // namespace ule

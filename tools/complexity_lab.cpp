@@ -13,7 +13,10 @@
 //   complexity_lab --family F            restrict to family F (repeatable)
 //   complexity_lab --ladder 32,64,128    override every n-axis curve's ladder
 //   complexity_lab --d-ladder 4,8,16     override every diameter-axis ladder
+//   complexity_lab --loss-ladder 0,300,600
+//                                        override every loss-axis drop_pm ladder
 //   complexity_lab --nominal-n N         fixed total size for diameter-axis
+//   complexity_lab --loss-n N            fixed instance size for loss-axis
 //                                        curves (default 96 quick / 256 full)
 //   complexity_lab --out FILE            JSON path (default BENCH_lab.json)
 //   complexity_lab --md FILE             report path (docs/COMPLEXITY.md)
@@ -133,8 +136,12 @@ int main(int argc, char** argv) {
       cfg.ladder = parse_ladder(need_value("--ladder"));
     } else if (arg == "--d-ladder") {
       cfg.d_ladder = parse_ladder(need_value("--d-ladder"));
+    } else if (arg == "--loss-ladder") {
+      cfg.loss_ladder = parse_ladder(need_value("--loss-ladder"));
     } else if (arg == "--nominal-n") {
       cfg.nominal_n = std::strtoull(need_value("--nominal-n"), nullptr, 10);
+    } else if (arg == "--loss-n") {
+      cfg.loss_n = std::strtoull(need_value("--loss-n"), nullptr, 10);
     } else if (arg == "--trend") {
       trend = true;
       trend_baseline = need_value("--trend");

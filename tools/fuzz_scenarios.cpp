@@ -9,6 +9,10 @@
 //   fuzz_scenarios --adversary-fraction F
 //                                       fraction of draws carrying a
 //                                       delivery/fault adversary (default .25)
+//   fuzz_scenarios --protocol-filter S  only draw protocols whose name
+//                                       contains S (e.g. "reliable")
+//   fuzz_scenarios --threads-fraction F fraction of draws rerun at
+//                                       threads > 1 (default .25)
 //   fuzz_scenarios --replay TOKEN      re-run one scenario from its token
 //   fuzz_scenarios --list              print registered protocols + families
 //   fuzz_scenarios --stats             print per-protocol envelope headroom
@@ -34,11 +38,12 @@ namespace {
 void print_list(const ProtocolRegistry& protos, const FamilyRegistry& fams) {
   std::printf("protocols (%zu):\n", protos.all().size());
   for (const ProtocolInfo& p : protos.all()) {
-    std::printf("  %-20s %-13s min-knowledge=%-4s safe-under=%-28s%s%s%s%s\n",
+    std::printf("  %-20s %-13s min-knowledge=%-4s safe-under=%-28s%s%s%s%s%s\n",
                 p.name.c_str(), to_string(p.contract),
                 to_string(p.min_knowledge),
                 faults::to_string(p.safe_under).c_str(),
                 p.live_under_async ? " live-async" : "",
+                p.reliable_transport ? " reliable-transport" : "",
                 p.wakeup_tolerant ? " wakeup-tolerant" : "",
                 p.needs_complete ? " complete-only" : "",
                 p.explicit_overlay ? " explicit-overlay" : "");
@@ -80,6 +85,10 @@ int replay(const ProtocolRegistry& protos, const FamilyRegistry& fams,
                 out.report.verdict.elected, out.report.verdict.non_elected,
                 out.report.verdict.undecided,
                 out.report.verdict.unique_leader ? "  (unique leader)" : "");
+    // Livelock/starvation story: which nodes are stuck and when progress
+    // stopped (non-empty when the run hit max_rounds or quiesced undecided).
+    const std::string diag = describe_nontermination(r);
+    if (!diag.empty()) std::printf("diagnosis %s\n", diag.c_str());
     if (out.ok()) {
       std::printf("CONFORMS\n");
       return 0;
@@ -133,6 +142,15 @@ int main(int argc, char** argv) {
           std::strtod(need_value("--adversary-fraction"), nullptr);
       if (cfg.adversary_fraction < 0 || cfg.adversary_fraction > 1) {
         std::fprintf(stderr, "--adversary-fraction must be in [0, 1]\n");
+        return 2;
+      }
+    } else if (arg == "--protocol-filter") {
+      cfg.protocol_filter = need_value("--protocol-filter");
+    } else if (arg == "--threads-fraction") {
+      cfg.threads_fraction =
+          std::strtod(need_value("--threads-fraction"), nullptr);
+      if (cfg.threads_fraction < 0 || cfg.threads_fraction > 1) {
+        std::fprintf(stderr, "--threads-fraction must be in [0, 1]\n");
         return 2;
       }
     } else if (arg == "--no-shrink") {
