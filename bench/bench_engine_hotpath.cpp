@@ -10,7 +10,7 @@
 //   { "bench": "engine_hotpath",
 //     "rows": [ { "workload": ring_dfs | clique_sublinear | dumbbell_least_el
 //                            | clique_flood_max | adversary_off_overhead
-//                            | reliable_off_overhead
+//                            | reliable_off_overhead | metrics_off_overhead
 //                            | ring_quiescent | ring_quiescent_perround,
 //                 "family": ring | clique | dumbbell, "n": ..., "m": ...,
 //                 "seed": ..., "threads": ..., "wall_ms": ...,
@@ -30,6 +30,12 @@
 //   $ ./bench_engine_hotpath --max-n 100000  # cap every sweep
 //   $ ./bench_engine_hotpath --threads 4     # worker pool for all workloads
 //   $ ./bench_engine_hotpath --out FILE      # default BENCH_engine.json
+//   $ ./bench_engine_hotpath --metrics-out FILE
+//                                            # also write one engine_metrics
+//                                            # snapshot (net/metrics.hpp) from
+//                                            # an adversarial reliable
+//                                            # flood-max run — the nightly
+//                                            # telemetry trajectory source
 //
 // Workloads:
 //   ring_dfs         Theorem 4.1's DFS-agent election on a cycle.  Almost
@@ -53,6 +59,12 @@
 //                    pass-through).  Same contract as adversary_off_overhead:
 //                    counter identity is a hard failure, the wall ratio is
 //                    recorded, not gated.
+//   metrics_off_overhead  Flood-max on K_n twice: plain vs the SAME run with
+//                    engine telemetry enabled.  Metrics are pure observation,
+//                    so every RunResult counter must be identical (hard
+//                    failure — a metrics build that perturbs a run is a
+//                    correctness bug, not a perf note); the wall ratio of the
+//                    metrics-ON run is recorded, not gated.
 //   ring_quiescent   One spinning node on an otherwise unwoken ring, 1000
 //                    rounds, zero messages: pure per-round scheduler cost.
 //                    Wall time must be independent of n (the seed engine's
@@ -68,6 +80,7 @@
 
 #include "bench_util.hpp"
 #include "election/dfs_election.hpp"
+#include "net/metrics.hpp"
 #include "election/flood_max.hpp"
 #include "election/least_el.hpp"
 #include "election/sublinear_complete.hpp"
@@ -183,11 +196,13 @@ int main(int argc, char** argv) {
   unsigned threads = 1;
   std::size_t parallel_cutoff = 0;  // 0 = engine default
   std::string out = "BENCH_engine.json";
+  std::string metrics_out;
   std::string only;
   const auto usage = [&argv] {
     std::fprintf(stderr,
                  "usage: %s [--quick] [--max-n N] [--threads T (1..1024)] "
-                 "[--parallel-cutoff K] [--only WORKLOAD] [--out FILE]\n",
+                 "[--parallel-cutoff K] [--only WORKLOAD] [--out FILE] "
+                 "[--metrics-out FILE]\n",
                  argv[0]);
     return 2;
   };
@@ -205,6 +220,8 @@ int main(int argc, char** argv) {
       parallel_cutoff = static_cast<std::size_t>(k);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out = argv[++i];
+    else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc)
+      metrics_out = argv[++i];
     else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
       only = argv[++i];
     else
@@ -430,6 +447,60 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- metrics_off_overhead: telemetry is pure observation, pinned ---
+  // Enabling the metrics registry must not change a single RunResult counter:
+  // gauges are sampled at a sequential point of the round pipeline and
+  // counters are folded from the same lane totals the engine already bills.
+  // Counters compared hard (exit 1 on divergence), wall ratio of the
+  // metrics-ON run recorded but not gated — the same discipline as the
+  // adversary and reliable off-switch rows above.
+  if (enabled("metrics_off_overhead")) {
+    for (std::size_t n :
+         capped(quick ? std::initializer_list<std::size_t>{48}
+                      : std::initializer_list<std::size_t>{512})) {
+      const Graph g = make_complete(n);
+      RunOptions opt;
+      opt.seed = seed;
+      opt.congest = CongestMode::Off;
+      opt.threads = threads;
+      opt.parallel_cutoff = parallel_cutoff;
+      const Measured plain = run_election_timed(g, make_flood_max(), opt);
+      opt.metrics.enabled = true;
+      const Measured metered = run_election_timed(g, make_flood_max(), opt);
+      if (metered.run.rounds != plain.run.rounds ||
+          metered.run.executed_rounds != plain.run.executed_rounds ||
+          metered.run.node_steps != plain.run.node_steps ||
+          metered.run.messages != plain.run.messages ||
+          metered.run.bits != plain.run.bits ||
+          metered.run.elected != plain.run.elected ||
+          metered.run.last_progress != plain.run.last_progress ||
+          metered.run.crashed != 0 || !metered.unique_leader ||
+          !metered.run.metrics || plain.run.metrics) {
+        std::fprintf(stderr,
+                     "ZERO-OVERHEAD BREAK: enabling engine metrics perturbs "
+                     "the run on clique_flood_max n=%zu\n",
+                     n);
+        return 1;
+      }
+      const double ratio =
+          plain.wall_ms > 0 ? metered.wall_ms / plain.wall_ms : 1.0;
+      report.add_row()
+          .set("workload", "metrics_off_overhead")
+          .set("family", "clique")
+          .set("n", static_cast<std::uint64_t>(n))
+          .set("seed", seed)
+          .set("threads", static_cast<std::uint64_t>(threads))
+          .set("wall_ms", metered.wall_ms)
+          .set("plain_wall_ms", plain.wall_ms)
+          .set("wall_ratio", ratio)
+          .set("counters_identical", true);
+      std::printf("%-18s %-9s n=%-8zu t=%-2u %10.2f ms  vs plain %.2f ms  "
+                  "ratio %.3f (counters identical)\n",
+                  "mx_off_overhead", "clique", n, threads, metered.wall_ms,
+                  plain.wall_ms, ratio);
+    }
+  }
+
   // --- ring_quiescent ---
   const Round spin = 1'000;
   if (enabled("ring_quiescent"))
@@ -464,6 +535,48 @@ int main(int argc, char** argv) {
       std::printf("%-18s %-9s n=%-8zu %10.1f ns/round\n",
                   "quiescent_perround", "ring", n, per_round_ns);
     }
+
+  // --- --metrics-out: one standalone engine_metrics snapshot ---
+  // A fixed adversarial reliable flood-max run exercising every counter
+  // family (engine.*, adversary.*, arq.*).  The snapshot is a pure function
+  // of the seed, so nightly CI can append it to the committed telemetry
+  // trajectory and any drift is a real behavior change.
+  if (!metrics_out.empty()) {
+    const std::size_t n = quick ? 24 : 96;
+    const Graph g = make_complete(n);
+    RunOptions opt;
+    opt.seed = seed;
+    opt.congest = CongestMode::Off;
+    opt.threads = threads;
+    opt.parallel_cutoff = parallel_cutoff;
+    opt.metrics.enabled = true;
+    opt.adversary.seed = 0xBEEF;
+    opt.adversary.drop = 0.10;
+    opt.adversary.duplicate = 0.05;
+    ReliableConfig rcfg;
+    const Measured mr =
+        run_election_timed(g, make_reliable(make_flood_max(), rcfg), opt);
+    if (!mr.run.metrics || !mr.unique_leader) {
+      std::fprintf(stderr, "metrics snapshot run failed (n=%zu)\n", n);
+      return 1;
+    }
+    const std::string doc = metrics_json(*mr.run.metrics);
+    std::string err;
+    if (!validate_metrics_json(doc, &err)) {
+      std::fprintf(stderr, "metrics snapshot fails its own schema: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    std::FILE* f = std::fopen(metrics_out.c_str(), "wb");
+    if (!f || std::fwrite(doc.data(), 1, doc.size(), f) != doc.size()) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      if (f) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("wrote %s (engine_metrics snapshot, n=%zu)\n",
+                metrics_out.c_str(), n);
+  }
 
   try {
     report.write(out);

@@ -33,6 +33,7 @@ ElectionReport run_election(const Graph& g, const ProcessFactory& factory,
   if (opt.parallel_cutoff != 0) cfg.parallel_cutoff = opt.parallel_cutoff;
   cfg.adversary = opt.adversary;
   if (opt.congest_bits != 0) cfg.congest_bits = opt.congest_bits;
+  cfg.metrics = opt.metrics;
 
   SyncEngine eng(g, cfg);
 

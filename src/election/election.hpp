@@ -62,6 +62,9 @@ struct RunOptions {
   /// Reliable-transport knobs consumed by the `*_reliable` registry
   /// variants' prepare() (ignored by plain protocols).  rto == 0 = auto.
   ReliableConfig reliable;
+  /// Engine telemetry (net/metrics.hpp).  Default = off; when on,
+  /// ElectionReport::run.metrics carries the deterministic snapshot.
+  MetricsConfig metrics;
 };
 
 struct ElectionReport {

@@ -62,6 +62,11 @@ class ExplicitProcess final : public Process {
   void on_wake(Context& ctx, std::span<const Envelope> inbox) override;
   void on_round(Context& ctx, std::span<const Envelope> inbox) override;
 
+  /// The overlay owns no counters of its own; keep the inner observable.
+  void export_metrics(MetricsSink& sink) const override {
+    inner_->export_metrics(sink);
+  }
+
   /// The leader identity this node learned (nullopt until the announcement
   /// reaches it).  Under unique IDs this is the leader's uid; in anonymous
   /// networks it is the winner's announcement token.

@@ -49,6 +49,8 @@ struct RunSlot {
   double wall_ms = 0;
   bool ran = false;  ///< run_scenario returned (counters are real, not zeros)
   std::vector<std::string> violations;
+  bool has_metrics = false;  ///< replicate 0 under CampaignConfig::metrics
+  MetricsSnapshot metrics;
 };
 
 /// 0-based index of the ceil(0.95·k)-th order statistic (k >= 1).
@@ -335,6 +337,10 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
   // index, so the schedule never influences aggregation order.
   ScenarioRunConfig run_cfg = cfg.run;
   run_cfg.check_determinism = false;
+  // Telemetry only on replicate 0 (per-cell metrics, not per-replicate): the
+  // per-item config below switches it on where items[i].rep == 0.
+  ScenarioRunConfig metrics_cfg = run_cfg;
+  metrics_cfg.metrics.enabled = true;
   std::vector<RunSlot> slots(items.size());
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned workers = cfg.threads == 0 ? hw : cfg.threads;
@@ -347,9 +353,11 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
       RunSlot& slot = slots[i];
       slot.seed = items[i].scenario.seed;
       const auto t0 = std::chrono::steady_clock::now();
+      const bool want_metrics = cfg.metrics && items[i].rep == 0;
       try {
         const ScenarioOutcome out =
-            run_scenario(protocols, families, items[i].scenario, run_cfg);
+            run_scenario(protocols, families, items[i].scenario,
+                         want_metrics ? metrics_cfg : run_cfg);
         slot.rounds = out.report.run.rounds;
         slot.messages = out.report.run.messages;
         slot.bits = out.report.run.bits;
@@ -358,6 +366,10 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
         slot.diameter = out.shape.diameter;
         slot.ran = true;
         slot.violations = out.violations;
+        if (want_metrics && out.report.run.metrics) {
+          slot.has_metrics = true;
+          slot.metrics = *out.report.run.metrics;
+        }
       } catch (const std::exception& e) {
         slot.violations.push_back(std::string("exception: ") + e.what());
       }
@@ -397,6 +409,10 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
           cell.n = slot.n;
           cell.m = slot.m;
           cell.diameter = slot.diameter;
+          if (slot.has_metrics) {
+            cell.has_metrics = true;
+            cell.metrics = slot.metrics;
+          }
         }
         // A replicate that died in an exception has no counters; folding its
         // zeros into the order statistics would silently corrupt the medians
@@ -440,25 +456,54 @@ CampaignResult run_campaign(const ProtocolRegistry& protocols,
       }
       FitOutcome fo;
       fo.expect = e;
-      fo.fit = fit_power_law(x, y);
-      fo.pass = exponent_in_band(e.exponent, e.tol, fo.fit);
+      // Pre-check the ladder's dynamic range: the family conventions round
+      // rungs (grid squares, regular parity, hypercube powers of two), so a
+      // short quick ladder can collapse to ONE distinct x value — and
+      // fit_power_law throws std::invalid_argument on zero x-variance, which
+      // would abort the whole campaign over one degenerate curve.  Emit a
+      // skipped-fit row with the reason instead; skipped fits never fail.
+      const auto [x_min, x_max] = std::minmax_element(x.begin(), x.end());
+      if (*x_max <= *x_min) {
+        fo.skipped = true;
+        fo.pass = true;
+        fo.fit.points = x.size();
+        char rbuf[160];
+        std::snprintf(rbuf, sizeof(rbuf),
+                      "zero dynamic range: all %zu rungs collapse to %s=%g "
+                      "after convention rounding",
+                      x.size(),
+                      c.axis == "diameter" ? "D"
+                      : c.axis == "loss"   ? "1/(1-p)"
+                                           : "n",
+                      *x_min);
+        fo.reason = rbuf;
+      } else {
+        fo.fit = fit_power_law(x, y);
+        fo.pass = exponent_in_band(e.exponent, e.tol, fo.fit);
+      }
       cr.fits.push_back(std::move(fo));
     }
 
     if (log != nullptr) {
       for (const FitOutcome& f : cr.fits) {
         char buf[256];
-        std::snprintf(buf, sizeof(buf),
-                      "%-20s x %-14s %-8s ~ %s^%.3f (+-%.3f)  expected "
-                      "%.2f+-%.2f  R2=%.4f  %s\n",
-                      cr.protocol.c_str(), cr.family.c_str(),
-                      f.expect.metric.c_str(),
-                      cr.axis == "diameter" ? "D"
-                      : cr.axis == "loss"   ? "1/(1-p)"
-                                            : "n",
-                      f.fit.exponent,
-                      f.fit.confidence(), f.expect.exponent, f.expect.tol,
-                      f.fit.r2, f.pass ? "PASS" : "FAIL");
+        if (f.skipped) {
+          std::snprintf(buf, sizeof(buf), "%-20s x %-14s %-8s SKIP (%s)\n",
+                        cr.protocol.c_str(), cr.family.c_str(),
+                        f.expect.metric.c_str(), f.reason.c_str());
+        } else {
+          std::snprintf(buf, sizeof(buf),
+                        "%-20s x %-14s %-8s ~ %s^%.3f (+-%.3f)  expected "
+                        "%.2f+-%.2f  R2=%.4f  %s\n",
+                        cr.protocol.c_str(), cr.family.c_str(),
+                        f.expect.metric.c_str(),
+                        cr.axis == "diameter" ? "D"
+                        : cr.axis == "loss"   ? "1/(1-p)"
+                                              : "n",
+                        f.fit.exponent,
+                        f.fit.confidence(), f.expect.exponent, f.expect.tol,
+                        f.fit.r2, f.pass ? "PASS" : "FAIL");
+        }
         *log << buf;
       }
       for (const CellResult& cell : cr.cells)

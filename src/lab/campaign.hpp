@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "lab/fit.hpp"
+#include "net/metrics.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 
@@ -85,6 +86,12 @@ struct CampaignConfig {
   /// 96 full — smaller than nominal_n, since per-run rounds stretch by the
   /// ARQ latency at the ladder's top rung).
   std::uint64_t loss_n = 0;
+  /// Collect an engine metrics snapshot (net/metrics.hpp) from replicate 0
+  /// of every cell and carry it on CellResult — the per-cell telemetry the
+  /// JSON report flattens into its rows.  Off by default: the committed
+  /// quick-campaign baselines are metrics-free, and the trend gate compares
+  /// only fields present in both documents.
+  bool metrics = false;
   /// Forwarded to run_scenario (check_determinism is forced off: replicates
   /// run with engine threads = 1; parallelism lives at the replicate level).
   ScenarioRunConfig run;
@@ -122,12 +129,23 @@ struct CellResult {
   WallStats wall;
   /// Conformance violations across replicates, prefixed with the seed.
   std::vector<std::string> violations;
+  /// Replicate-0 engine telemetry (CampaignConfig::metrics only).  A pure
+  /// function of the replicate seed, like every other counter here.
+  bool has_metrics = false;
+  MetricsSnapshot metrics;
 };
 
 struct FitOutcome {
   GrowthExpectation expect;
   PowerFit fit;
   bool pass = false;
+  /// A fit that could not run because the ladder collapsed to a single
+  /// distinct x value (e.g. grid rounding folding adjacent quick rungs onto
+  /// the same square).  Skipped fits are reported with `reason` instead of
+  /// an exponent and never count as failures — a degenerate ladder is a
+  /// configuration note, not evidence about growth.
+  bool skipped = false;
+  std::string reason;
 };
 
 /// One declared curve: a (protocol, family, axis) ladder plus its fitted

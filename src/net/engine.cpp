@@ -112,6 +112,7 @@ SyncEngine::SyncEngine(const Graph& g, EngineConfig cfg)
   tracing_ = cfg_.trace_limit > 0;
   traffic_on_ = cfg_.record_edge_traffic;
   watching_ = !cfg_.watch_edges.empty();
+  metrics_on_ = cfg_.metrics.enabled;
 
   const AdversaryConfig& adv = cfg_.adversary;
   if (adv.drop < 0.0 || adv.drop > 1.0 || adv.duplicate < 0.0 ||
@@ -277,16 +278,23 @@ void SyncEngine::adv_enqueue(SendLane& lane, NodeId from,
   // are sequential within its own step, and sent_by_node_[from] is only ever
   // touched by the worker stepping `from`).
   Rng coin(adversary_coin(adv.seed, from, he.edge, sent_by_node_[from]));
-  if (adv.drop > 0.0 && coin.bernoulli(adv.drop)) return;  // billed, eaten
+  if (adv.drop > 0.0 && coin.bernoulli(adv.drop)) {
+    ++lane.adv_drops;  // billed, eaten
+    return;
+  }
   const int copies =
       (adv.duplicate > 0.0 && coin.bernoulli(adv.duplicate)) ? 2 : 1;
+  if (copies == 2) ++lane.adv_dups;
   for (int c = 0; c < copies; ++c) {
     // The duplicate shares the payload: FlatMsg by value, legacy MessagePtr
     // by refcount (payloads are immutable by the Process contract).
     lane.out.push_back(OutboundEnvelope{he.to, he.rev, he.edge, flat,
                                         c + 1 == copies ? std::move(msg) : msg});
-    if (delays_on_)
-      lane.adv_arrive.push_back(round_ + 1 + coin.below(adv.max_delay + 1));
+    if (delays_on_) {
+      const Round extra = coin.below(adv.max_delay + 1);
+      lane.adv_arrive.push_back(round_ + 1 + extra);
+      if (extra > 0) ++lane.adv_delays;
+    }
   }
 }
 
@@ -514,6 +522,26 @@ void SyncEngine::execute_round_parallel(const std::vector<NodeId>& runnable) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+namespace {
+
+/// Picks the ARQ dead-link counters out of a process's exported metrics for
+/// the failure-path sweep (the engine cannot name ReliableProcess — net/
+/// layering — but any process reporting these counters is a link owner).
+class DeadLinkProbe final : public MetricsSink {
+ public:
+  std::uint64_t dead = 0;
+  std::uint64_t drops = 0;
+  void counter(std::string_view name, std::uint64_t value) override {
+    if (name == "arq.dead_links") {
+      dead += value;
+    } else if (name == "arq.dead_link_drops") {
+      drops += value;
+    }
+  }
+};
+
+}  // namespace
+
 RunResult SyncEngine::run() {
   if (ran_) throw std::logic_error("SyncEngine::run() called twice");
   ran_ = true;
@@ -632,6 +660,20 @@ RunResult SyncEngine::run() {
     if (cfg_.record_message_timeline)
       message_timeline_.emplace_back(round_, result_.messages);
 
+    // Telemetry gauges, one sample per executed round, taken at a sequential
+    // point after the lane merge: the runnable set, the wake heap (incl.
+    // lazily deleted entries — heap content is identical at every thread
+    // count), this round's CSR inbox occupancy (dirty_ still indexes this
+    // round's deliveries; deliver_round resets it next round), and the lane
+    // outboxes holding this round's post-adversary sends.
+    if (metrics_on_) [[unlikely]] {
+      std::uint64_t inbox = 0;
+      for (const NodeId s : dirty_) inbox += inbox_len_[s];
+      std::uint64_t outbox = 0;
+      for (const SendLane& lane : lanes_) outbox += lane.out.size();
+      metrics_.sample_round(runnable.size(), wake_heap_.size(), inbox, outbox);
+    }
+
     ++round_;
   }
 
@@ -658,6 +700,38 @@ RunResult SyncEngine::run() {
         continue;
       result_.undecided_nodes.push_back(s);
     }
+    // Name the dead edges too: any process owning link state (the ARQ
+    // wrapper) reports arq.dead_links / arq.dead_link_drops through the same
+    // export_metrics hook the metrics sweep uses, so a quiesced-undecided
+    // run can say which nodes gave up on which volume of traffic.
+    DeadLinkProbe probe;
+    for (NodeId s = 0; s < graph_.n(); ++s) {
+      const std::uint64_t dead_before = probe.dead;
+      procs_[s]->export_metrics(probe);
+      if (probe.dead > dead_before && result_.dead_link_nodes.size() < 32)
+        result_.dead_link_nodes.push_back(s);
+    }
+    result_.dead_links = probe.dead;
+    result_.dead_link_drops = probe.drops;
+  }
+  if (metrics_on_) [[unlikely]] {
+    // The counter half of the snapshot: the engine's own totals, the
+    // adversary's fault events, then every process's subsystem counters
+    // swept in slot order.  All pure functions of the run — the snapshot is
+    // bit-for-bit identical at every thread count.
+    metrics_.counter("engine.rounds", result_.rounds);
+    metrics_.counter("engine.executed_rounds", result_.executed_rounds);
+    metrics_.counter("engine.node_steps", result_.node_steps);
+    metrics_.counter("engine.messages", result_.messages);
+    metrics_.counter("engine.bits", result_.bits);
+    metrics_.counter("engine.congest_violations", result_.congest_violations);
+    metrics_.counter("engine.crashed", result_.crashed);
+    metrics_.counter("adversary.drops", result_.adv_drops);
+    metrics_.counter("adversary.duplicates", result_.adv_dups);
+    metrics_.counter("adversary.delays", result_.adv_delays);
+    for (NodeId s = 0; s < graph_.n(); ++s)
+      procs_[s]->export_metrics(metrics_);
+    result_.metrics = metrics_.snapshot();
   }
   return result_;
 }
@@ -684,6 +758,17 @@ std::string describe_nontermination(const RunResult& r) {
     for (const NodeId s : r.undecided_nodes) out += " " + std::to_string(s);
     if (r.undecided_nodes.size() >= 32) out += " ...";
     out += ")";
+  }
+  if (r.dead_links > 0) {
+    out += "; " + std::to_string(r.dead_links) +
+           " dead ARQ link(s) swallowed " + std::to_string(r.dead_link_drops) +
+           " post-death send(s)";
+    if (!r.dead_link_nodes.empty()) {
+      out += " (at nodes";
+      for (const NodeId s : r.dead_link_nodes) out += " " + std::to_string(s);
+      if (r.dead_link_nodes.size() >= 32) out += " ...";
+      out += ")";
+    }
   }
   return out;
 }

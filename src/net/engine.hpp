@@ -71,6 +71,7 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <span>
 #include <string>
@@ -81,6 +82,7 @@
 #include "net/graph.hpp"
 #include "net/knowledge.hpp"
 #include "net/message.hpp"
+#include "net/metrics.hpp"
 #include "net/outbox.hpp"
 #include "net/process.hpp"
 #include "net/rng.hpp"
@@ -137,6 +139,13 @@ struct EngineConfig {
   /// every thread count because every adverse coin is keyed by
   /// (adversary.seed, sender, edge, send index), never by execution order.
   AdversaryConfig adversary;
+  /// Engine telemetry (net/metrics.hpp).  Default = off, with the same
+  /// pinned zero-overhead contract as the inert adversary and the disabled
+  /// reliable wrapper: a disabled-metrics run reproduces every RunResult
+  /// counter of a metrics-free build (metrics_off_overhead bench row).
+  /// When on, RunResult::metrics carries a snapshot that is bit-for-bit
+  /// identical at every thread count.
+  MetricsConfig metrics;
 };
 
 struct RunResult {
@@ -158,6 +167,19 @@ struct RunResult {
   Round last_progress = 0;
   /// Nodes killed by the adversary's crash-stop schedule.
   std::size_t crashed = 0;
+  /// Adversary fault events, always on (folded from the send lanes): sends
+  /// billed then eaten, duplicate copies delivered, envelopes held back by a
+  /// positive drawn delay.  All zero when the adversary is off or inert.
+  std::uint64_t adv_drops = 0;
+  std::uint64_t adv_dups = 0;
+  std::uint64_t adv_delays = 0;
+  /// ARQ links declared dead and the fresh sends they swallowed afterwards,
+  /// summed over all nodes (net/reliable.hpp).  Filled on the same failure
+  /// path as undecided_nodes — a quiesced-undecided run names its dead
+  /// edges — so a fully decided run leaves them zero.
+  std::uint64_t dead_links = 0;
+  std::uint64_t dead_link_drops = 0;
+  std::vector<NodeId> dead_link_nodes;  ///< up to 32 owners of dead ports
   /// Non-termination sample, filled when the run failed to fully decide: up
   /// to 32 slots still Undecided either when max_rounds cut the run off
   /// (livelock) or when it quiesced with them stuck (deadlock/starvation —
@@ -165,6 +187,8 @@ struct RunResult {
   /// they can never decide.  Makes adversary-induced failures debuggable
   /// from the result alone; see describe_nontermination().
   std::vector<NodeId> undecided_nodes;
+  /// Telemetry snapshot, engaged only when EngineConfig::metrics.enabled.
+  std::optional<MetricsSnapshot> metrics;
 };
 
 /// One-line diagnostic for a run that hit max_rounds OR quiesced with
@@ -197,16 +221,23 @@ struct TraceEvent {
 [[gnu::always_inline]] inline std::exception_ptr fold_lane_counters(
     SendLane& lane, RunResult& result, Round round) {
   // Guarded: on a quiescent round every counter is zero and the fold is a
-  // single predictable branch.  Violations and bits imply messages != 0, so
-  // the guard never skips a non-zero block.
+  // single predictable branch.  Violations, bits and adversary fault events
+  // all imply messages != 0 (a dropped send is billed before it is eaten),
+  // so the guard never skips a non-zero block.
   if (lane.messages != 0 || lane.status_changed) {
     result.messages += lane.messages;
     result.bits += lane.bits;
     result.congest_violations += lane.congest_violations;
+    result.adv_drops += lane.adv_drops;
+    result.adv_dups += lane.adv_dups;
+    result.adv_delays += lane.adv_delays;
     if (lane.status_changed) result.last_status_change = round;
     lane.messages = 0;
     lane.bits = 0;
     lane.congest_violations = 0;
+    lane.adv_drops = 0;
+    lane.adv_dups = 0;
+    lane.adv_delays = 0;
     lane.status_changed = false;
   }
   if (lane.error) [[unlikely]] {
@@ -446,6 +477,12 @@ class SyncEngine {
       trace_truncated_ = true;
     }
   }
+
+  /// Telemetry (net/metrics.hpp).  metrics_on_ mirrors cfg.metrics.enabled;
+  /// off (the default) skips every sampling branch, so the registry stays
+  /// untouched on the hot path.
+  bool metrics_on_ = false;
+  MetricsRegistry metrics_;
 
   RunResult result_;
   std::vector<TraceEvent> trace_;

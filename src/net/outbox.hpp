@@ -86,6 +86,13 @@ struct alignas(64) SendLane {
   std::uint64_t messages = 0;
   std::uint64_t bits = 0;
   std::uint64_t congest_violations = 0;
+  /// Adversary fault events in this shard (billed-then-eaten drops,
+  /// delivered duplicate copies, envelopes assigned a positive delay).  Any
+  /// such event implies a billed send, so the fold's messages/status guard
+  /// covers these too.
+  std::uint64_t adv_drops = 0;
+  std::uint64_t adv_dups = 0;
+  std::uint64_t adv_delays = 0;
   bool status_changed = false;  ///< some node's status changed this round
   std::exception_ptr error;     ///< first exception thrown in this shard
 };

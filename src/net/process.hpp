@@ -81,6 +81,8 @@ class Context {
   }
 };
 
+class MetricsSink;  // net/metrics.hpp
+
 class Process {
  public:
   virtual ~Process() = default;
@@ -91,6 +93,13 @@ class Process {
 
   /// Called on every subsequent round the node is runnable.
   virtual void on_round(Context& ctx, std::span<const Envelope> inbox) = 0;
+
+  /// Contribute named counters to an end-of-run metrics sweep (see
+  /// net/metrics.hpp).  The engine calls this sequentially in slot order —
+  /// after the round loop, never concurrently with it — so implementations
+  /// just report their own state.  Wrappers must forward to their inner
+  /// process so nested subsystems stay observable.  Default: no counters.
+  virtual void export_metrics(MetricsSink& sink) const { (void)sink; }
 };
 
 }  // namespace ule

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "net/metrics.hpp"
+
 namespace ule {
 
 std::string ReliableFrame::debug_string() const {
@@ -106,7 +108,7 @@ void ReliableProcess::ingest(Context& ctx, std::span<const Envelope> inbox,
     if (frame->seq < ps.expected) {
       // Duplicate of a delivered frame — the peer is retransmitting, so our
       // ack was lost: re-ack (standalone if no data rides this round).
-      ++dedup_drops_;
+      ++duplicate_drops_;
       ps.ack_due = true;
     } else if (frame->seq == ps.expected) {
       // In order: deliver, then drain every parked successor.
@@ -123,10 +125,14 @@ void ReliableProcess::ingest(Context& ctx, std::span<const Envelope> inbox,
       ps.ack_due = true;
     } else {
       // Out of order: park until the gap fills (dedup via try_emplace), and
-      // re-ack so the sender learns the gap persists.
-      ++dedup_drops_;
-      ps.parked.try_emplace(frame->seq,
-                            Payload{frame->inner_flat, frame->inner_msg});
+      // re-ack so the sender learns the gap persists.  A re-park of an
+      // already-parked seq is a duplicate, not new reordering pressure.
+      if (ps.parked.try_emplace(frame->seq,
+                                Payload{frame->inner_flat, frame->inner_msg})
+              .second)
+        ++parked_frames_;
+      else
+        ++duplicate_drops_;
       ps.ack_due = true;
     }
   }
@@ -134,7 +140,12 @@ void ReliableProcess::ingest(Context& ctx, std::span<const Envelope> inbox,
 
 void ReliableProcess::enqueue_data(PortId port, Payload payload) {
   PortState& ps = ports_[port];
-  if (ps.dead) return;  // link declared dead: drop silently
+  if (ps.dead) {
+    // Link declared dead: the send is swallowed, but never silently — the
+    // count surfaces in describe_nontermination and the metrics sweep.
+    ++dead_link_drops_;
+    return;
+  }
   const std::uint32_t seq = ps.next_seq++;
   ps.unacked.push_back(Unacked{seq, std::move(payload)});
   ++ps.fresh;
@@ -164,6 +175,7 @@ void ReliableProcess::flush(Context& ctx) {
         // Link dead (crashed peer or a total partition): drop the queue so
         // the run can quiesce instead of retransmitting forever.
         ps.dead = true;
+        ++dead_links_;
         ps.unacked.clear();
         ps.fresh = 0;
         ps.rto_deadline = kRoundForever;
@@ -272,6 +284,20 @@ void ReliableProcess::on_wake(Context& ctx, std::span<const Envelope> inbox) {
 
 void ReliableProcess::on_round(Context& ctx, std::span<const Envelope> inbox) {
   run_step(ctx, inbox, /*wake=*/false);
+}
+
+void ReliableProcess::export_metrics(MetricsSink& sink) const {
+  // The disabled wrapper is a transparent pass-through with no ARQ state —
+  // reporting (all-zero) counters would make a wrapped-off snapshot differ
+  // from an unwrapped one, which the zero-overhead contract forbids.
+  if (cfg_.enabled) {
+    sink.counter("arq.retransmissions", retransmissions_);
+    sink.counter("arq.duplicate_drops", duplicate_drops_);
+    sink.counter("arq.parked_frames", parked_frames_);
+    sink.counter("arq.dead_links", dead_links_);
+    sink.counter("arq.dead_link_drops", dead_link_drops_);
+  }
+  inner_->export_metrics(sink);
 }
 
 std::function<std::unique_ptr<Process>(NodeId)> make_reliable(

@@ -117,13 +117,25 @@ class ReliableProcess final : public Process {
   void on_wake(Context& ctx, std::span<const Envelope> inbox) override;
   void on_round(Context& ctx, std::span<const Envelope> inbox) override;
 
+  /// Reports the arq.* counters below and forwards to the inner process.
+  void export_metrics(MetricsSink& sink) const override;
+
   const Process* inner() const { return inner_.get(); }
   const ReliableConfig& config() const { return cfg_; }
 
   /// Retransmissions performed so far (diagnostics/tests).
   std::uint64_t retransmissions() const { return retransmissions_; }
-  /// Frames dropped as duplicates plus frames parked out of order (tests).
-  std::uint64_t dedup_drops() const { return dedup_drops_; }
+  /// Data frames discarded because their seq was already delivered (true
+  /// duplicates: adversary copies and go-back-all resends of acked frames).
+  std::uint64_t duplicate_drops() const { return duplicate_drops_; }
+  /// Data frames buffered out of order for later in-order delivery.  NOT a
+  /// drop — every parked frame is eventually delivered — but counted
+  /// separately so reordering pressure is observable.
+  std::uint64_t parked_frames() const { return parked_frames_; }
+  /// Ports this sender declared dead after exhausting max_retries.
+  std::uint64_t dead_links() const { return dead_links_; }
+  /// Fresh inner sends swallowed because their port was already dead.
+  std::uint64_t dead_link_drops() const { return dead_link_drops_; }
 
  private:
   class CaptureCtx;
@@ -172,7 +184,10 @@ class ReliableProcess final : public Process {
   Wish inner_wish_ = Wish::Running;
   Round inner_deadline_ = 0;
   std::uint64_t retransmissions_ = 0;
-  std::uint64_t dedup_drops_ = 0;
+  std::uint64_t duplicate_drops_ = 0;
+  std::uint64_t parked_frames_ = 0;
+  std::uint64_t dead_links_ = 0;
+  std::uint64_t dead_link_drops_ = 0;
 };
 
 /// Wrap a process factory with the reliable link layer.  `cfg.rto == 0`

@@ -171,6 +171,7 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
   const std::vector<Round> wake = scenario_wakeup(s, g.n());
   if (!wake.empty()) opt.wakeup = wake;
   opt.threads = 1;
+  opt.metrics = cfg.metrics;
   const ProcessFactory factory = proto.prepare(out.shape, opt);
 
   // --- reference run (threads = 1), with overlay inspection when needed ---
@@ -291,6 +292,9 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
               std::to_string(t));
     if (par.sent_by_node != rep.sent_by_node)
       violate("determinism: per-node send counts differ at threads=" +
+              std::to_string(t));
+    if (par.run.metrics != rep.run.metrics)
+      violate("determinism: metrics snapshots differ at threads=" +
               std::to_string(t));
   }
 

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "net/metrics.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
 
@@ -48,6 +49,10 @@ struct ScenarioRunConfig {
   /// Engine round cap = round_envelope * this (breaching the envelope is the
   /// violation; the cap only bounds how long a broken run can spin).
   Round envelope_slack = 4;
+  /// Engine telemetry (net/metrics.hpp).  When enabled the reference run's
+  /// report.run.metrics carries the snapshot, and the determinism cross-check
+  /// additionally diffs the two runs' snapshots byte for byte.
+  MetricsConfig metrics;
 };
 
 struct ScenarioOutcome {

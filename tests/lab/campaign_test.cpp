@@ -212,6 +212,70 @@ TEST(CampaignTest, CellsRecordActualInstanceSize) {
   EXPECT_EQ(res.curves[0].cells[1].n, 100u);  // 10x10
 }
 
+TEST(CampaignTest, DegenerateLadderSkipsTheFitInsteadOfThrowing) {
+  // Grid rounding folds nearby rungs onto the same square: {10, 15} both
+  // become 3x3 (side = max(isqrt(n), 3)), so the fit's x axis has zero
+  // dynamic range and fit_power_law would throw std::invalid_argument.  The
+  // campaign must pre-check the range, emit a skipped fit with a reason, and
+  // keep the campaign green — a degenerate ladder is a configuration note,
+  // not evidence about growth.
+  ProtocolInfo p = default_protocols().at("flood_max");
+  p.growth = {{"grid", "rounds", 0.5, 0.3, "O(D) = O(side) on a square grid"}};
+  ProtocolRegistry reg;
+  reg.add(std::move(p));
+
+  CampaignConfig cfg;
+  cfg.master_seed = 5;
+  cfg.replicates = 1;
+  cfg.threads = 1;
+  cfg.ladder = {10, 15};
+  const CampaignResult res = run_campaign(reg, default_families(), cfg);
+  ASSERT_EQ(res.curves.size(), 1u);
+  ASSERT_EQ(res.curves[0].cells.size(), 2u);
+  EXPECT_EQ(res.curves[0].cells[0].n, 9u);
+  EXPECT_EQ(res.curves[0].cells[1].n, 9u);
+  ASSERT_EQ(res.curves[0].fits.size(), 1u);
+  const FitOutcome& f = res.curves[0].fits[0];
+  EXPECT_TRUE(f.skipped);
+  EXPECT_TRUE(f.pass);  // skipped ≠ failed
+  EXPECT_NE(f.reason.find("zero dynamic range"), std::string::npos)
+      << f.reason;
+  EXPECT_EQ(res.failed_fits(), 0u);
+  EXPECT_TRUE(res.ok());
+  // The skipped fit serializes with its reason instead of an exponent, in
+  // both report formats.
+  const std::string json = bench_json(res, /*include_wall=*/false);
+  EXPECT_NE(json.find("\"skipped\": true"), std::string::npos);
+  EXPECT_EQ(json.find("\"exponent\""), std::string::npos);
+  const std::string md = complexity_markdown(res);
+  EXPECT_NE(md.find("skipped (zero dynamic range"), std::string::npos);
+}
+
+TEST(CampaignTest, MetricsFlagCarriesSnapshotsOnEveryCell) {
+  CampaignConfig cfg = tiny_config();
+  cfg.metrics = true;
+  const CampaignResult res = run_campaign(default_protocols(),
+                                          default_families(), cfg);
+  for (const CurveResult& c : res.curves)
+    for (const CellResult& cell : c.cells) {
+      EXPECT_TRUE(cell.has_metrics) << c.protocol << " n=" << cell.n;
+      // Replicate-0 telemetry agrees with the aggregated counters: one gauge
+      // sample per executed round, and a non-trivial engine.messages count.
+      EXPECT_GT(cell.metrics.active_set.samples, 0u);
+    }
+  // The snapshots flatten into mx_* row fields; the metrics-free rows of the
+  // same campaign stay byte-identical (the trend gate only compares fields
+  // present in both documents, but the cheap invariant to pin here is that
+  // turning metrics on only ADDS fields).
+  const std::string with = bench_json(res, /*include_wall=*/false);
+  EXPECT_NE(with.find("\"mx_engine.messages\""), std::string::npos);
+  cfg.metrics = false;
+  const CampaignResult bare = run_campaign(default_protocols(),
+                                           default_families(), cfg);
+  EXPECT_EQ(bench_json(bare, /*include_wall=*/false).find("\"mx_"),
+            std::string::npos);
+}
+
 TEST(CampaignTest, LadderParamsConventions) {
   const FamilyRegistry& fams = default_families();
   EXPECT_EQ(ladder_params(fams.at("ring"), 64),

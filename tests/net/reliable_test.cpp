@@ -1,9 +1,12 @@
 // Engine-level semantics of the reliable link layer (net/reliable.hpp): the
 // disabled wrapper is a bit-for-bit pass-through, the enabled wrapper gives
 // the inner protocol exactly-once per-port FIFO delivery under drop +
-// duplication + reorder, retransmit/dedup work is observable through the
-// wrapper's counters, give-up restores quiescence under total loss, and the
-// whole machine is deterministic (no RNG, no thread-dependent state).
+// duplication + reorder, retransmit/dedup/park work is observable through
+// the wrapper's split counters (duplicate_drops vs parked_frames — a parked
+// frame is buffered reordering pressure, not a loss), give-up restores
+// quiescence under total loss with the death visible in dead_links /
+// dead_link_drops and the nontermination diagnosis, and the whole machine is
+// deterministic (no RNG, no thread-dependent state).
 
 #include <gtest/gtest.h>
 
@@ -147,12 +150,40 @@ TEST(Reliable, ExactlyOnceFifoUnderDropDupReorder) {
   EXPECT_EQ(rx->got,
             (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
   // The adversary really bit: recovery work is visible in the counters.
+  // Duplicates eaten and frames parked for reordering are separate stories
+  // (a park is NOT a drop — it is delivered later), so they are counted
+  // separately; under this mixed fault mask both kinds of work happen.
   const auto* tx = dynamic_cast<const ReliableProcess*>(run.eng->process(0));
   const auto* rxw = dynamic_cast<const ReliableProcess*>(run.eng->process(1));
   ASSERT_NE(tx, nullptr);
   ASSERT_NE(rxw, nullptr);
   EXPECT_GT(tx->retransmissions(), 0u);
-  EXPECT_GT(rxw->dedup_drops(), 0u);
+  EXPECT_GT(rxw->duplicate_drops(), 0u);
+  EXPECT_GT(rxw->parked_frames(), 0u);
+  // Nothing died: parks and dups are recoverable faults.
+  EXPECT_EQ(tx->dead_links(), 0u);
+  EXPECT_EQ(rxw->dead_links(), 0u);
+}
+
+TEST(Reliable, DuplicationAloneCountsDuplicatesNotParks) {
+  // In-order duplication: every original arrives at the expected seq, every
+  // extra copy arrives behind it with seq < expected.  All recovery work is
+  // duplicate eating; nothing is ever out of order, so nothing parks.
+  EngineConfig cfg;
+  cfg.seed = 11;
+  cfg.adversary.seed = 0xD0D0;
+  cfg.adversary.duplicate = 0.9;
+  ReliableConfig rcfg;
+  rcfg.rto = 4;
+  const CourierRun run = run_courier(cfg, 8, rcfg);
+  EXPECT_TRUE(run.eng->result().completed);
+  const Courier* rx = inner_courier(*run.eng, 1);
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->got, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  const auto* rxw = dynamic_cast<const ReliableProcess*>(run.eng->process(1));
+  ASSERT_NE(rxw, nullptr);
+  EXPECT_GT(rxw->duplicate_drops(), 0u);
+  EXPECT_EQ(rxw->parked_frames(), 0u);
 }
 
 TEST(Reliable, RunsAreDeterministicAcrossIdenticalReruns) {
@@ -202,6 +233,81 @@ TEST(Reliable, GiveUpRestoresQuiescenceUnderTotalLoss) {
   EXPECT_EQ(tx->retransmissions(), 15u);
   // The run outlived the full backoff ladder (2 + 4 + 4 + 4 + 4 rounds).
   EXPECT_GE(res.rounds, 18u);
+  // The give-up is visible: one dead link at the sender, and the engine's
+  // failure sweep surfaced it on the RunResult and in the diagnosis (the
+  // couriers never decide, so the run lands in the undecided path).
+  EXPECT_EQ(tx->dead_links(), 1u);
+  EXPECT_EQ(tx->dead_link_drops(), 0u);  // sender went quiet before death
+  EXPECT_EQ(res.dead_links, 1u);
+  EXPECT_EQ(res.dead_link_nodes, (std::vector<NodeId>{0}));
+  const std::string diag = describe_nontermination(res);
+  EXPECT_NE(diag.find("dead ARQ link"), std::string::npos) << diag;
+}
+
+/// Sends one frame on port 0 at its first step, sleeps past the give-up
+/// ladder, then sends two more into the (by then dead) link and idles.
+class LateSender final : public Process {
+ public:
+  void on_wake(Context& ctx, std::span<const Envelope> inbox) override {
+    on_round(ctx, inbox);
+  }
+  void on_round(Context& ctx, std::span<const Envelope>) override {
+    FlatMsg m;
+    m.type = 7;
+    m.bits = 64;
+    if (!sent_first_) {
+      sent_first_ = true;
+      m.a = 0;
+      ctx.send(0, m);
+      ctx.sleep_until(40);  // the ladder below is fully exhausted by ~22
+      return;
+    }
+    m.a = 1;
+    ctx.send(0, m);
+    m.a = 2;
+    ctx.send(0, m);
+    ctx.idle();
+  }
+
+ private:
+  bool sent_first_ = false;
+};
+
+TEST(Reliable, SendsAfterLinkDeathAreCountedAsDeadLinkDrops) {
+  // A sender that comes back after the link died: every post-death enqueue
+  // is swallowed (there is no link to carry it), and that silent loss must
+  // be visible — on the wrapper counter, on RunResult, and in the
+  // nontermination diagnosis.  This is the observability half of the
+  // give-up contract: quiescence is restored, but never silently.  (A
+  // sender pushing fresh frames every round keeps re-arming the RTO, so the
+  // death only fires once it pauses — hence the sleep.)
+  EngineConfig cfg;
+  cfg.seed = 3;
+  cfg.adversary.seed = 0xDEAD;
+  cfg.adversary.drop = 1.0;
+  ReliableConfig rcfg;
+  rcfg.rto = 2;
+  rcfg.backoff_cap = 4;
+  rcfg.max_retries = 5;
+  Graph g = path2();
+  SyncEngine eng(g, cfg);
+  eng.init_processes([rcfg](NodeId slot) -> std::unique_ptr<Process> {
+    if (slot == 0)
+      return std::make_unique<ReliableProcess>(std::make_unique<LateSender>(),
+                                               rcfg);
+    return std::make_unique<ReliableProcess>(std::make_unique<Courier>(0),
+                                             rcfg);
+  });
+  const RunResult& res = eng.run();
+  EXPECT_TRUE(res.completed);
+  const auto* tx = dynamic_cast<const ReliableProcess*>(eng.process(0));
+  ASSERT_NE(tx, nullptr);
+  EXPECT_EQ(tx->dead_links(), 1u);
+  EXPECT_EQ(tx->dead_link_drops(), 2u);
+  EXPECT_EQ(res.dead_links, 1u);
+  EXPECT_EQ(res.dead_link_drops, 2u);
+  const std::string diag = describe_nontermination(res);
+  EXPECT_NE(diag.find("swallowed"), std::string::npos) << diag;
 }
 
 TEST(Reliable, BackoffCapBoundsTheRetransmitInterval) {

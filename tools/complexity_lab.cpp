@@ -35,10 +35,19 @@
 //   complexity_lab --trend-exp-tol T     exponent drift tolerance (0.05)
 //   complexity_lab --allow-missing       tolerate baseline rows absent from
 //                                        the current document
+//   complexity_lab --metrics             collect an engine telemetry snapshot
+//                                        (net/metrics.hpp) on replicate 0 of
+//                                        every cell; cell rows grow mx_*
+//                                        fields (ignored by the trend gate)
+//   complexity_lab --validate-metrics FILE
+//                                        validate FILE against the
+//                                        engine_metrics snapshot schema and
+//                                        exit (the CI metrics smoke)
 //
 // Exit status: 0 = every fit in band and zero conformance violations (for
-// --trend: no drift), 1 = a fit left its band, a run violated an invariant
-// or the trend gate found drift, 2 = usage errors.
+// --trend: no drift; for --validate-metrics: schema OK), 1 = a fit left its
+// band, a run violated an invariant, the trend gate found drift or the
+// snapshot failed validation, 2 = usage errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +59,7 @@
 #include "lab/campaign.hpp"
 #include "lab/report.hpp"
 #include "lab/trend.hpp"
+#include "net/metrics.hpp"
 #include "scenario/registry.hpp"
 
 using namespace ule;
@@ -105,6 +115,7 @@ int main(int argc, char** argv) {
   std::string out_json = "BENCH_lab.json";
   std::string out_md = "docs/COMPLEXITY.md";
   std::string trend_baseline, trend_current;
+  std::string validate_metrics_path;
   bool write_json = true, write_md = true, check = true;
   bool list_registry = false, markdown = false, trend = false;
   bool replicates_set = false;
@@ -151,6 +162,10 @@ int main(int argc, char** argv) {
           std::strtod(need_value("--trend-exp-tol"), nullptr);
     } else if (arg == "--allow-missing") {
       trend_cfg.allow_missing = true;
+    } else if (arg == "--metrics") {
+      cfg.metrics = true;
+    } else if (arg == "--validate-metrics") {
+      validate_metrics_path = need_value("--validate-metrics");
     } else if (arg == "--out") {
       out_json = need_value("--out");
     } else if (arg == "--md") {
@@ -174,6 +189,24 @@ int main(int argc, char** argv) {
   // --quick lowers the replicate default; an explicit --replicates wins
   // regardless of flag order.
   if (cfg.quick && !replicates_set) cfg.replicates = 3;
+
+  if (!validate_metrics_path.empty()) {
+    try {
+      std::string err;
+      if (validate_metrics_json(lab::read_text_file(validate_metrics_path),
+                                &err)) {
+        std::printf("metrics snapshot OK: %s\n",
+                    validate_metrics_path.c_str());
+        return 0;
+      }
+      std::fprintf(stderr, "metrics schema violation in %s: %s\n",
+                   validate_metrics_path.c_str(), err.c_str());
+      return 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "metrics validation error: %s\n", e.what());
+      return 2;
+    }
+  }
 
   if (trend) {
     try {

@@ -27,6 +27,7 @@
 #include <iostream>
 #include <string>
 
+#include "net/metrics.hpp"
 #include "scenario/fuzzer.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
@@ -70,7 +71,12 @@ int replay(const ProtocolRegistry& protos, const FamilyRegistry& fams,
     return 2;
   }
   try {
-    const ScenarioOutcome out = run_scenario(protos, fams, s);
+    // Replays always carry the engine telemetry snapshot: the whole point of
+    // replaying a token is to look inside the run, and metrics are a pure
+    // function of it (docs/OBSERVABILITY.md).
+    ScenarioRunConfig cfg;
+    cfg.metrics.enabled = true;
+    const ScenarioOutcome out = run_scenario(protos, fams, s, cfg);
     std::printf("scenario  %s\n", out.scenario.encode().c_str());
     std::printf("shape     n=%zu m=%zu D=%u%s\n", out.shape.n, out.shape.m,
                 out.shape.diameter, out.shape.complete ? " complete" : "");
@@ -89,6 +95,7 @@ int replay(const ProtocolRegistry& protos, const FamilyRegistry& fams,
     // stopped (non-empty when the run hit max_rounds or quiesced undecided).
     const std::string diag = describe_nontermination(r);
     if (!diag.empty()) std::printf("diagnosis %s\n", diag.c_str());
+    if (r.metrics) std::fputs(metrics_json(*r.metrics).c_str(), stdout);
     if (out.ok()) {
       std::printf("CONFORMS\n");
       return 0;
@@ -202,6 +209,20 @@ int main(int argc, char** argv) {
     std::printf("  %s\n", f.minimal.encode().c_str());
     for (const std::string& v : f.minimal_violations)
       std::printf("    %s\n", v.c_str());
+    // Re-run the minimal scenario with telemetry on and attach its snapshot:
+    // the counters (adversary faults, ARQ retransmits/parks, dead links) are
+    // usually the fastest route from a replay token to a root cause.
+    try {
+      ScenarioRunConfig mcfg;
+      mcfg.check_determinism = false;
+      mcfg.metrics.enabled = true;
+      const ScenarioOutcome mo = run_scenario(protos, fams, f.minimal, mcfg);
+      if (mo.report.run.metrics)
+        std::fputs(metrics_json(*mo.report.run.metrics).c_str(), stdout);
+    } catch (const std::invalid_argument&) {
+      // A minimal token that no longer parses/configures is itself the bug
+      // report; skip the snapshot rather than dying mid-listing.
+    }
   }
   std::printf("reproduce with `fuzz_scenarios --replay <token>`; "
               "token grammar: docs/REPLAY.md\n");
