@@ -10,6 +10,7 @@
 //   { "bench": "engine_hotpath",
 //     "rows": [ { "workload": ring_dfs | clique_sublinear | dumbbell_least_el
 //                            | clique_flood_max | adversary_off_overhead
+//                            | churn_off_overhead
 //                            | reliable_off_overhead | metrics_off_overhead
 //                            | ring_quiescent | ring_quiescent_perround,
 //                 "family": ring | clique | dumbbell, "n": ..., "m": ...,
@@ -54,6 +55,13 @@
 //                    adversary config (seed set, every knob zero).  All
 //                    counters must be identical (hard failure otherwise);
 //                    the wall-clock ratio is recorded, not gated.
+//   churn_off_overhead  Flood-max on K_n twice: plain vs a crash schedule
+//                    made only of EMPTY churn intervals (recover == crash,
+//                    the documented no-op).  The engine must fold the
+//                    schedule away at build and take the fault-free hot
+//                    path: counter identity (including crashed, recoveries
+//                    and adv_crash_drops staying zero) is a hard failure,
+//                    the wall ratio is recorded, not gated.
 //   reliable_off_overhead  Flood-max on K_n twice: plain vs wrapped in the
 //                    reliable transport with enabled=false (transparent
 //                    pass-through).  Same contract as adversary_off_overhead:
@@ -390,6 +398,61 @@ int main(int argc, char** argv) {
       std::printf("%-18s %-9s n=%-8zu t=%-2u %10.2f ms  vs plain %.2f ms  "
                   "ratio %.3f (counters identical)\n",
                   "adv_off_overhead", "clique", n, threads, inert.wall_ms,
+                  plain.wall_ms, ratio);
+    }
+  }
+
+  // --- churn_off_overhead: the folded-schedule contract, pinned ---
+  // A crash schedule made ENTIRELY of empty intervals (recover == crash, the
+  // documented no-op shape) must fold away at engine build and take the
+  // exact fault-free hot path — no churn-event scan, no crash bitmap, no
+  // factory retention.  Same discipline: counters compared hard (including
+  // the churn surface itself: crashed / recoveries / adv_crash_drops must
+  // all be zero), wall ratio recorded but not gated.
+  if (enabled("churn_off_overhead")) {
+    for (std::size_t n :
+         capped(quick ? std::initializer_list<std::size_t>{48}
+                      : std::initializer_list<std::size_t>{512})) {
+      const Graph g = make_complete(n);
+      RunOptions opt;
+      opt.seed = seed;
+      opt.congest = CongestMode::Off;
+      opt.threads = threads;
+      opt.parallel_cutoff = parallel_cutoff;
+      const Measured plain = run_election_timed(g, make_flood_max(), opt);
+      opt.adversary = AdversaryConfig{};
+      opt.adversary.crashes = {{1, 3, 3}, {5, 7, 7}};  // all no-op intervals
+      const Measured inert = run_election_timed(g, make_flood_max(), opt);
+      if (inert.run.rounds != plain.run.rounds ||
+          inert.run.executed_rounds != plain.run.executed_rounds ||
+          inert.run.node_steps != plain.run.node_steps ||
+          inert.run.messages != plain.run.messages ||
+          inert.run.bits != plain.run.bits ||
+          inert.run.elected != plain.run.elected ||
+          inert.run.last_progress != plain.run.last_progress ||
+          inert.run.crashed != 0 || inert.run.recoveries != 0 ||
+          inert.run.adv_crash_drops != 0 || !inert.unique_leader) {
+        std::fprintf(stderr,
+                     "ZERO-OVERHEAD BREAK: all-no-op churn schedule diverges "
+                     "from the plain run on clique_flood_max n=%zu\n",
+                     n);
+        return 1;
+      }
+      const double ratio =
+          plain.wall_ms > 0 ? inert.wall_ms / plain.wall_ms : 1.0;
+      report.add_row()
+          .set("workload", "churn_off_overhead")
+          .set("family", "clique")
+          .set("n", static_cast<std::uint64_t>(n))
+          .set("seed", seed)
+          .set("threads", static_cast<std::uint64_t>(threads))
+          .set("wall_ms", inert.wall_ms)
+          .set("plain_wall_ms", plain.wall_ms)
+          .set("wall_ratio", ratio)
+          .set("counters_identical", true);
+      std::printf("%-18s %-9s n=%-8zu t=%-2u %10.2f ms  vs plain %.2f ms  "
+                  "ratio %.3f (counters identical)\n",
+                  "churn_off_overhead", "clique", n, threads, inert.wall_ms,
                   plain.wall_ms, ratio);
     }
   }

@@ -21,10 +21,19 @@
 //   reorder     per receiver per round: with this probability an inbox of
 //               two or more messages is shuffled (Fisher-Yates, seeded),
 //               breaking the engine's send-order delivery guarantee.
-//   crashes     crash-stop schedule: (node, round) pairs; from the start of
-//               that round on, the node never steps and never sends again.
-//               Messages already in flight to it are delivered-and-dropped
-//               (and still counted) like any halted node's.
+//   crashes     churn schedule: (node, crash_round, recover_round) intervals.
+//               From the start of crash_round the node never steps and never
+//               sends; messages delivered into the crashed window are purged
+//               from its inbox and billed to RunResult::adv_crash_drops.  A
+//               bounded interval (recover_round < kRoundForever) rebirths the
+//               node at the start of recover_round: it restarts from its
+//               initial state (fresh process instance, same ID and UID, a
+//               fresh RNG stream salted by the recovery round) with its inbox
+//               purged, and re-enters the wake heap at that round.  The
+//               default recover_round = kRoundForever is classic crash-stop.
+//               Intervals are repeatable per node (crash, recover, crash
+//               again); a recover_round == crash_round interval is a no-op
+//               and is dropped at schedule-build time.
 //
 // A default-constructed config is OFF: the engine detects this once and
 // compiles down to the exact fault-free hot path (no per-send or per-round
@@ -42,6 +51,18 @@
 
 namespace ule {
 
+/// One churn interval: node `node` crashes at the start of round `at` and —
+/// if `recover` is bounded — restarts from its initial state at the start of
+/// round `recover`.  The default keeps the PR-6 crash-stop meaning, and the
+/// two-field brace form `{node, at}` still compiles unchanged.
+struct CrashEvent {
+  NodeId node = kNoNode;
+  Round at = 0;
+  Round recover = kRoundForever;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
 struct AdversaryConfig {
   /// Seed of the adversary's own coin stream, domain-separated from every
   /// run/graph/wakeup stream.  Inert while all fault knobs are zero.
@@ -54,8 +75,11 @@ struct AdversaryConfig {
   double duplicate = 0.0;
   /// Per-receiver-per-round inbox shuffle probability in [0, 1].
   double reorder = 0.0;
-  /// Crash-stop schedule: node `first` halts at the start of round `second`.
-  std::vector<std::pair<NodeId, Round>> crashes;
+  /// Churn schedule: each entry crashes a node at `at` and, when `recover`
+  /// is bounded, rebirths it from its initial state at `recover` (see the
+  /// header comment).  Entries may repeat a node for crash/recover/crash
+  /// chains.
+  std::vector<CrashEvent> crashes;
 
   /// Any per-message fault active (drop / duplicate / delay)?
   bool send_faults() const {
@@ -82,5 +106,11 @@ inline std::uint64_t adversary_coin(std::uint64_t seed, std::uint64_t a,
 /// Domain separation for the reorder stream (keyed by receiver + round, not
 /// by sender + send index).
 inline constexpr std::uint64_t kAdversaryReorderDomain = 0x5E4D3C2B1A0F9E8DULL;
+
+/// Domain separation for the RNG streams handed to reborn nodes: a recovery
+/// re-seeds the node from (run seed, recovery round, slot) under this domain,
+/// so a node's second life never replays its first life's coins and rebirth
+/// streams never alias the initial per-node streams.
+inline constexpr std::uint64_t kAdversaryRecoveryDomain = 0x8D1B5C6E9F3A2D47ULL;
 
 }  // namespace ule

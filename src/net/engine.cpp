@@ -124,18 +124,38 @@ SyncEngine::SyncEngine(const Graph& g, EngineConfig cfg)
   crashes_on_ = !adv.crashes.empty();
   if (delays_on_) delay_ring_.resize(adv.max_delay + 1);
   if (crashes_on_) {
-    for (const auto& [slot, at] : adv.crashes) {
-      if (slot >= n)
+    for (const CrashEvent& c : adv.crashes) {
+      if (c.node >= n)
         throw std::invalid_argument("crash schedule names node " +
-                                    std::to_string(slot) + " in an " +
+                                    std::to_string(c.node) + " in an " +
                                     std::to_string(n) + "-node graph");
-      (void)at;
+      if (c.recover < c.at)
+        throw std::invalid_argument(
+            "crash schedule for node " + std::to_string(c.node) +
+            " recovers at round " + std::to_string(c.recover) +
+            " before its crash at round " + std::to_string(c.at));
     }
-    crash_schedule_ = adv.crashes;
-    std::stable_sort(crash_schedule_.begin(), crash_schedule_.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.second < b.second;
+    // Merge the intervals into one event stream.  An empty interval
+    // (recover == at) is a no-op and is dropped here — below, recovery
+    // applies BEFORE crash at equal rounds (so chained intervals [a,r] +
+    // [r,b] form one dead window), which would otherwise turn an empty
+    // interval into a permanent crash.
+    for (const CrashEvent& c : adv.crashes) {
+      if (c.recover == c.at) continue;
+      churn_schedule_.push_back(ChurnEvent{c.at, c.node, false});
+      if (c.recover != kRoundForever) {
+        churn_schedule_.push_back(ChurnEvent{c.recover, c.node, true});
+        has_recoveries_ = true;
+      }
+    }
+    std::stable_sort(churn_schedule_.begin(), churn_schedule_.end(),
+                     [](const ChurnEvent& a, const ChurnEvent& b) {
+                       if (a.at != b.at) return a.at < b.at;
+                       return a.rebirth && !b.rebirth;
                      });
+    // All intervals may have been empty no-ops: then the schedule is inert
+    // and the run must take the exact fault-free hot path.
+    crashes_on_ = !churn_schedule_.empty();
   }
 
   threads_ = cfg_.threads != 0
@@ -441,20 +461,49 @@ void SyncEngine::apply_reorder() {
   }
 }
 
-void SyncEngine::apply_crashes() {
+void SyncEngine::apply_churn() {
   // `<= round_`, not `==`: fast-forward may jump the round counter past a
-  // scheduled kill; the victim slept through the gap, so killing it late is
-  // observationally identical to killing it on time.
-  while (crash_idx_ < crash_schedule_.size() &&
-         crash_schedule_[crash_idx_].second <= round_) {
-    const NodeId s = crash_schedule_[crash_idx_].first;
-    ++crash_idx_;
-    NodeState& n = nodes_[s];
-    if (n.state == RunState::Halted) continue;  // already dead (or done)
-    n.state = RunState::Halted;
-    crashed_slots_.push_back(s);
-    ++result_.crashed;
+  // scheduled event; the schedule is sorted by round (rebirth before crash
+  // at equal rounds), so replaying the backlog in order lands every node in
+  // the same state as stepping round by round would have.
+  while (churn_idx_ < churn_schedule_.size() &&
+         churn_schedule_[churn_idx_].at <= round_) {
+    const ChurnEvent ev = churn_schedule_[churn_idx_];
+    ++churn_idx_;
+    NodeState& n = nodes_[ev.node];
+    if (ev.rebirth) {
+      // Only an adversary-crashed node is reborn: if the crash half of the
+      // interval was skipped (the node had already halted voluntarily), the
+      // recovery half is a no-op too.
+      if (!n.crashed) continue;
+      n.crashed = false;
+      n.state = RunState::Unwoken;
+      n.wake_at = round_;
+      n.status = Status::Undecided;
+      // Fresh RNG stream, distinct from the node's previous life and from
+      // every other node's: the run seed salted by the recovery round under
+      // its own domain, then split per slot like the initial streams.
+      std::uint64_t salt =
+          cfg_.seed ^ (kAdversaryRecoveryDomain *
+                       (static_cast<std::uint64_t>(round_) + 1));
+      n.rng = node_rng(splitmix64(salt), ev.node);
+      procs_[ev.node] = factory_(ev.node);
+      wake_heap_.emplace(round_, ev.node);
+      ++result_.recoveries;
+    } else {
+      if (n.state == RunState::Halted) continue;  // already dead (or done)
+      n.state = RunState::Halted;
+      n.crashed = true;
+      ++result_.crashed;
+    }
   }
+}
+
+Round SyncEngine::next_recovery_round() const {
+  for (std::size_t i = churn_idx_; i < churn_schedule_.size(); ++i) {
+    if (churn_schedule_[i].rebirth) return churn_schedule_[i].at;
+  }
+  return kRoundForever;
 }
 
 Round SyncEngine::earliest_pending_arrival() const {
@@ -531,11 +580,14 @@ class DeadLinkProbe final : public MetricsSink {
  public:
   std::uint64_t dead = 0;
   std::uint64_t drops = 0;
+  std::uint64_t healed = 0;
   void counter(std::string_view name, std::uint64_t value) override {
     if (name == "arq.dead_links") {
       dead += value;
     } else if (name == "arq.dead_link_drops") {
       drops += value;
+    } else if (name == "arq.healed_links") {
+      healed += value;
     }
   }
 };
@@ -548,6 +600,10 @@ RunResult SyncEngine::run() {
   for (NodeId s = 0; s < graph_.n(); ++s) {
     if (!procs_[s]) throw std::logic_error("node without a process");
   }
+  if (has_recoveries_ && !factory_)
+    throw std::logic_error(
+        "churn schedule includes recoveries but processes were installed "
+        "without init_processes (no factory to rebirth a node from)");
 
   Ctx ctx(*this, &lanes_[0]);
   std::vector<NodeId> runnable;
@@ -568,10 +624,11 @@ RunResult SyncEngine::run() {
       break;
     }
 
-    // Crash-stop kills apply at the start of their round, before delivery
-    // and stepping: the victim's sends of earlier rounds stand, and from
-    // here on it neither steps nor sends.
-    if (crashes_on_) [[unlikely]] apply_crashes();
+    // Churn events apply at the start of their round, before delivery and
+    // stepping: a crash victim's sends of earlier rounds stand and from here
+    // on it neither steps nor sends; a recovering node is live again for
+    // this round's deliveries and steps (its dead window is [at, recover)).
+    if (crashes_on_) [[unlikely]] apply_churn();
 
     // Deliver messages sent last round (fills dirty_ and the CSR buckets).
     deliver_round();
@@ -590,7 +647,14 @@ RunResult SyncEngine::run() {
     }
     for (const NodeId s : dirty_) {
       const RunState st = nodes_[s].state;
-      if (st == RunState::Halted) continue;  // delivered, counted, dropped
+      if (st == RunState::Halted) {
+        // Delivered, counted, dropped.  An adversary-crashed receiver's
+        // purged inbox is billed to the one crash-drop counter; a voluntary
+        // halt()'s deliveries stay uncounted, exactly as before churn.
+        if (crashes_on_ && nodes_[s].crashed) [[unlikely]]
+          result_.adv_crash_drops += inbox_len_[s];
+        continue;
+      }
       if (runnable_mark_[s] != runnable_epoch_) {
         runnable_mark_[s] = runnable_epoch_;
         runnable.push_back(s);
@@ -608,6 +672,12 @@ RunResult SyncEngine::run() {
       Round next = wake_heap_.empty() ? kRoundForever : wake_heap_.top().first;
       if (delays_on_ && pending_count_ > 0) [[unlikely]]
         next = std::min(next, earliest_pending_arrival());
+      // A pending rebirth is an event too: a quiesced network must not
+      // complete while the churn schedule still owes a node its recovery.
+      // (Pending crash-only events stay skippable — crashing a quiescent
+      // node changes nothing observable.)
+      if (has_recoveries_) [[unlikely]]
+        next = std::min(next, next_recovery_round());
       if (next == kRoundForever) {
         result_.completed = true;  // global quiescence
         break;
@@ -695,9 +765,7 @@ RunResult SyncEngine::run() {
     for (NodeId s = 0; s < graph_.n(); ++s) {
       if (result_.undecided_nodes.size() >= 32) break;
       if (nodes_[s].status != Status::Undecided) continue;
-      if (std::find(crashed_slots_.begin(), crashed_slots_.end(), s) !=
-          crashed_slots_.end())
-        continue;
+      if (nodes_[s].crashed) continue;
       result_.undecided_nodes.push_back(s);
     }
     // Name the dead edges too: any process owning link state (the ARQ
@@ -713,6 +781,7 @@ RunResult SyncEngine::run() {
     }
     result_.dead_links = probe.dead;
     result_.dead_link_drops = probe.drops;
+    result_.healed_links = probe.healed;
   }
   if (metrics_on_) [[unlikely]] {
     // The counter half of the snapshot: the engine's own totals, the
@@ -729,6 +798,8 @@ RunResult SyncEngine::run() {
     metrics_.counter("adversary.drops", result_.adv_drops);
     metrics_.counter("adversary.duplicates", result_.adv_dups);
     metrics_.counter("adversary.delays", result_.adv_delays);
+    metrics_.counter("adversary.recoveries", result_.recoveries);
+    metrics_.counter("adversary.crash_drops", result_.adv_crash_drops);
     for (NodeId s = 0; s < graph_.n(); ++s)
       procs_[s]->export_metrics(metrics_);
     result_.metrics = metrics_.snapshot();
@@ -750,8 +821,14 @@ std::string describe_nontermination(const RunResult& r) {
           : "hit max_rounds at round " + std::to_string(r.rounds) +
                 "; last progress (send or status change) at round " +
                 std::to_string(r.last_progress);
-  if (r.crashed > 0)
-    out += "; " + std::to_string(r.crashed) + " node(s) crashed";
+  if (r.crashed > 0) {
+    out += "; " + std::to_string(r.crashed) + " crash(es)";
+    if (r.recoveries > 0)
+      out += " (" + std::to_string(r.recoveries) + " recovered)";
+    if (r.adv_crash_drops > 0)
+      out += ", " + std::to_string(r.adv_crash_drops) +
+             " message(s) purged in crashed windows";
+  }
   out += "; " + std::to_string(r.undecided) + " undecided";
   if (!r.undecided_nodes.empty()) {
     out += " (nodes";
@@ -763,6 +840,8 @@ std::string describe_nontermination(const RunResult& r) {
     out += "; " + std::to_string(r.dead_links) +
            " dead ARQ link(s) swallowed " + std::to_string(r.dead_link_drops) +
            " post-death send(s)";
+    if (r.healed_links > 0)
+      out += ", " + std::to_string(r.healed_links) + " later healed";
     if (!r.dead_link_nodes.empty()) {
       out += " (at nodes";
       for (const NodeId s : r.dead_link_nodes) out += " " + std::to_string(s);

@@ -54,7 +54,9 @@
 //
 // ADVERSARY (EngineConfig::adversary, net/adversary.hpp): a seeded oblivious
 // adversary can delay (bounded), drop, duplicate and reorder messages and
-// crash-stop nodes.  Delayed envelopes park in a small ring of future-arrival
+// crash nodes — forever (crash-stop) or for a bounded churn interval, after
+// which the node is reborn from its initial state (fresh process, same ID,
+// inbox purged, wake-heap re-entry).  Delayed envelopes park in a small ring of future-arrival
 // buckets and re-enter the normal CSR delivery machinery in their arrival
 // round; every adverse coin is a pure function of (adversary seed, sender,
 // edge, send index), so adversarial runs are bit-for-bit identical at every
@@ -70,6 +72,7 @@
 
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -165,8 +168,17 @@ struct RunResult {
   /// spin to max_rounds without progressing — and `rounds - last_progress`
   /// is then the length of the silent tail.
   Round last_progress = 0;
-  /// Nodes killed by the adversary's crash-stop schedule.
+  /// Crash events applied by the adversary's churn schedule (a node that
+  /// crashes, recovers and crashes again counts twice).
   std::size_t crashed = 0;
+  /// Recovery events applied: bounded churn intervals whose node was reborn
+  /// from its initial state (fresh process, same ID, inbox purged).
+  std::size_t recoveries = 0;
+  /// Messages purged from a node's inbox because they were delivered inside
+  /// its crashed window.  Billed here — the single crash-drop counter — and
+  /// never to adv_drops (the in-transit coin) or left uncounted (the
+  /// voluntary-halt delivery path).
+  std::uint64_t adv_crash_drops = 0;
   /// Adversary fault events, always on (folded from the send lanes): sends
   /// billed then eaten, duplicate copies delivered, envelopes held back by a
   /// positive drawn delay.  All zero when the adversary is off or inert.
@@ -179,6 +191,9 @@ struct RunResult {
   /// edges — so a fully decided run leaves them zero.
   std::uint64_t dead_links = 0;
   std::uint64_t dead_link_drops = 0;
+  /// Dead ARQ ports later re-armed from a fresh epoch by a fresh send
+  /// (arq.healed_links), swept on the same failure path.
+  std::uint64_t healed_links = 0;
   std::vector<NodeId> dead_link_nodes;  ///< up to 32 owners of dead ports
   /// Non-termination sample, filled when the run failed to fully decide: up
   /// to 32 slots still Undecided either when max_rounds cut the run off
@@ -293,6 +308,9 @@ class SyncEngine {
   template <typename Factory>
   void init_processes(Factory&& make) {
     for (NodeId s = 0; s < graph_.n(); ++s) set_process(s, make(s));
+    // Retained only when the churn schedule can rebirth a node: recovery
+    // reinstalls a fresh process from the same factory (same slot, same ID).
+    if (has_recoveries_) factory_ = std::forward<Factory>(make);
   }
 
   RunResult run();
@@ -328,6 +346,9 @@ class SyncEngine {
     RunState state = RunState::Unwoken;
     Round wake_at = 0;  ///< Unwoken: scheduled wakeup; Sleeping: deadline.
     Status status = Status::Undecided;
+    /// True while the adversary holds this node crashed (distinguishes an
+    /// adversary kill from a voluntary halt(); cleared on recovery).
+    bool crashed = false;
     Rng rng;
   };
 
@@ -397,8 +418,15 @@ class SyncEngine {
   /// Seeded per-receiver inbox shuffles (reorder_on_ only), applied after
   /// delivery, before any node steps.
   void apply_reorder();
-  /// Kill every scheduled crash victim whose round has come (crashes_on_).
-  void apply_crashes();
+  /// Apply every churn event whose round has come (crashes_on_): kill crash
+  /// victims; rebirth recovering nodes from their initial state (fresh
+  /// process via the retained factory, fresh RNG stream salted by the
+  /// recovery round, wake-heap re-entry at the current round).
+  void apply_churn();
+  /// Earliest recovery round still pending in the churn schedule
+  /// (kRoundForever if none): joins the fast-forward floor and blocks
+  /// quiescent completion while a rebirth is still due.
+  Round next_recovery_round() const;
   /// Earliest arrival round of any in-flight delayed envelope (requires
   /// pending_count_ > 0): the fast-forward floor while the wake heap is
   /// empty or later.
@@ -466,9 +494,20 @@ class SyncEngine {
   std::vector<std::vector<OutboundEnvelope>> delay_ring_;
   std::size_t pending_count_ = 0;      // envelopes waiting in the ring
   std::vector<OutboundEnvelope> adv_due_;  // staging: this round's arrivals
-  std::vector<std::pair<NodeId, Round>> crash_schedule_;  // sorted by round
-  std::size_t crash_idx_ = 0;          // next unapplied schedule entry
-  std::vector<NodeId> crashed_slots_;  // victims, in kill order
+  /// One churn schedule entry: a crash or a rebirth of `node` at the start
+  /// of round `at`.  The merged schedule is sorted by (at, rebirth-first) —
+  /// at equal rounds recovery applies before crash, so chained intervals
+  /// [a,r] + [r,b] behave as one dead window [a,b).
+  struct ChurnEvent {
+    Round at = 0;
+    NodeId node = kNoNode;
+    bool rebirth = false;
+  };
+  std::vector<ChurnEvent> churn_schedule_;  // sorted by (at, rebirth-first)
+  std::size_t churn_idx_ = 0;          // next unapplied schedule entry
+  bool has_recoveries_ = false;        // any rebirth event in the schedule
+  /// Rebirth factory, retained by init_processes iff has_recoveries_.
+  std::function<std::unique_ptr<Process>(NodeId)> factory_;
 
   void record(TraceEvent ev) {
     if (trace_.size() < cfg_.trace_limit) {

@@ -10,7 +10,9 @@ namespace ule {
 
 std::string ReliableFrame::debug_string() const {
   std::string s = seq == 0 ? "rel-ack" : "rel#" + std::to_string(seq);
+  if (epoch != 0) s += "e" + std::to_string(epoch);
   s += " ack=" + std::to_string(ack);
+  if (ack_epoch != 0) s += "e" + std::to_string(ack_epoch);
   if (inner_flat.type != 0) {
     s += " [" + flat_debug_string(inner_flat) + "]";
   } else if (inner_msg) {
@@ -39,10 +41,10 @@ class ReliableProcess::CaptureCtx final : public Context {
   const Knowledge& knowledge() const override { return real_.knowledge(); }
 
   void send(PortId port, MessagePtr msg) override {
-    owner_.enqueue_data(port, Payload{FlatMsg{}, std::move(msg)});
+    owner_.enqueue_data(port, Payload{FlatMsg{}, std::move(msg)}, real_.round());
   }
   void send(PortId port, const FlatMsg& msg) override {
-    owner_.enqueue_data(port, Payload{msg, nullptr});
+    owner_.enqueue_data(port, Payload{msg, nullptr}, real_.round());
   }
 
   void set_status(Status s) override { real_.set_status(s); }
@@ -95,7 +97,10 @@ void ReliableProcess::ingest(Context& ctx, std::span<const Envelope> inbox,
 
     // Cumulative ack: pop everything the peer has now delivered.  Progress
     // resets the backoff ladder and re-arms the timer from this round.
-    if (frame->ack > ps.acked) {
+    // Epoch-qualified: an ack for a dead life of our stream (the peer acking
+    // frames from before a heal) must never pop the successor stream's
+    // frames, so only an ack naming our current epoch counts.
+    if (frame->ack_epoch == ps.epoch && frame->ack > ps.acked) {
       ps.acked = frame->ack;
       while (!ps.unacked.empty() && ps.unacked.front().seq <= frame->ack)
         ps.unacked.pop_front();
@@ -104,6 +109,21 @@ void ReliableProcess::ingest(Context& ctx, std::span<const Envelope> inbox,
     }
 
     if (frame->seq == 0) continue;  // pure ack: no data side
+
+    // Epoch gate before any resequencing.  Older epoch = a stale retransmit
+    // from a dead life of the peer's stream: discard and count — parking it
+    // would let a dead life's seqs corrupt the successor stream's cursor.
+    // Newer epoch = the peer healed (or is a reborn node's fresh wrapper):
+    // adopt it by resetting the delivery cursor and the parked buffer.
+    if (frame->epoch < ps.rx_epoch) {
+      ++stale_epoch_drops_;
+      continue;
+    }
+    if (frame->epoch > ps.rx_epoch) {
+      ps.rx_epoch = frame->epoch;
+      ps.expected = 1;
+      ps.parked.clear();
+    }
 
     if (frame->seq < ps.expected) {
       // Duplicate of a delivered frame — the peer is retransmitting, so our
@@ -138,14 +158,24 @@ void ReliableProcess::ingest(Context& ctx, std::span<const Envelope> inbox,
   }
 }
 
-void ReliableProcess::enqueue_data(PortId port, Payload payload) {
+void ReliableProcess::enqueue_data(PortId port, Payload payload, Round now) {
   PortState& ps = ports_[port];
   if (ps.dead) {
-    // Link declared dead: the send is swallowed, but never silently — the
-    // count surfaces in describe_nontermination and the metrics sweep.
-    ++dead_link_drops_;
-    return;
+    // Heal: the first fresh send after a give-up re-arms the port as a new
+    // stream.  The dead life's seqs and acks are fenced off by the fresh
+    // epoch stamped below (next_seq was reset to 1 here).
+    ps.dead = false;
+    ps.next_seq = 1;
+    ps.acked = 0;
+    ps.attempts = 0;
+    ++healed_links_;
   }
+  // A stream's epoch is the round of its first fresh send, plus one so a
+  // live stream is never epoch 0.  Monotone across the port's lives: a heal
+  // (and a reborn node's fresh wrapper) always opens at a strictly later
+  // round than the previous life's first send.
+  if (ps.next_seq == 1)
+    ps.epoch = static_cast<std::uint32_t>(now) + 1;
   const std::uint32_t seq = ps.next_seq++;
   ps.unacked.push_back(Unacked{seq, std::move(payload)});
   ++ps.fresh;
@@ -155,7 +185,9 @@ void ReliableProcess::send_frame(Context& ctx, PortId port, std::uint32_t seq,
                                  const Payload& payload) {
   auto frame = std::make_shared<ReliableFrame>();
   frame->seq = seq;
+  frame->epoch = ports_[port].epoch;
   frame->ack = ports_[port].expected - 1;  // cumulative
+  frame->ack_epoch = ports_[port].rx_epoch;
   frame->inner_flat = payload.flat;
   frame->inner_msg = payload.msg;
   ctx.send(port, MessagePtr(std::move(frame)));
@@ -173,7 +205,9 @@ void ReliableProcess::flush(Context& ctx) {
       ++ps.attempts;
       if (ps.attempts > cfg_.max_retries) {
         // Link dead (crashed peer or a total partition): drop the queue so
-        // the run can quiesce instead of retransmitting forever.
+        // the run can quiesce instead of retransmitting forever.  Not dead
+        // forever — the next fresh inner send heals the port from a fresh
+        // epoch (enqueue_data).
         ps.dead = true;
         ++dead_links_;
         ps.unacked.clear();
@@ -296,6 +330,8 @@ void ReliableProcess::export_metrics(MetricsSink& sink) const {
     sink.counter("arq.parked_frames", parked_frames_);
     sink.counter("arq.dead_links", dead_links_);
     sink.counter("arq.dead_link_drops", dead_link_drops_);
+    sink.counter("arq.healed_links", healed_links_);
+    sink.counter("arq.stale_epoch_drops", stale_epoch_drops_);
   }
   inner_->export_metrics(sink);
 }

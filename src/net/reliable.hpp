@@ -22,7 +22,21 @@
 //     retransmissions without ack progress the link is declared dead and its
 //     queue dropped — this is what lets runs with crashed peers (or
 //     drop = 1.0 partitions) reach quiescence instead of retransmitting
-//     forever.
+//     forever;
+//   * link healing: a dead port is not dead forever.  The next fresh inner
+//     send re-arms it from a fresh EPOCH — every seq stream is tagged with
+//     the epoch it belongs to (derived from the round of the stream's first
+//     fresh send, so epochs are strictly monotone across a port's lives and
+//     across node rebirths).  The receiver adopts a newer epoch by resetting
+//     its delivery cursor and resequencing buffer; a frame from an older
+//     epoch is a stale retransmit from a dead life and is discarded and
+//     counted (arq.stale_epoch_drops), never resequenced.  Acks are
+//     epoch-qualified the same way (ack_epoch names the stream the
+//     cumulative ack refers to), so a stale ack can never pop frames of a
+//     successor stream.  Healing is what lets a run survive churn: a node
+//     reborn by the adversary's recovery schedule starts a fresh wrapper
+//     whose streams open new epochs, and its peers' go-back-all queues
+//     replay their history to the new incarnation from seq 1.
 //
 // Every decision is a pure function of (round, seq, config): the wrapper
 // draws no randomness and reads no thread-dependent state, so wrapped runs
@@ -32,10 +46,14 @@
 // Wire format (legacy Message path — the frame carries an entire inner
 // FlatMsg or MessagePtr plus the ARQ header, which no 32-byte FlatMsg can):
 //
-//   ReliableFrame { seq, ack, inner payload }
-//     seq  32-bit per-(edge, direction) sequence number; 0 = pure ack frame
-//     ack  32-bit cumulative ack: every seq <= ack has been delivered
+//   ReliableFrame { seq+epoch, ack+ack_epoch, inner payload }
+//     seq        32-bit per-(edge, direction) sequence number; 0 = pure ack
+//     epoch      32-bit epoch of the seq stream (packs into seq's counter
+//                field — kCounter is 64-bit, seq uses the low half)
+//     ack        32-bit cumulative ack: every seq <= ack has been delivered
+//     ack_epoch  32-bit epoch the ack refers to (packs into ack's field)
 //     size_bits = kTypeTag + 2*kCounter (= 72) + inner payload bits
+//     (the epoch tags ride in the existing header budget — no bit drift)
 //
 // The header rides on top of whatever the inner protocol pays, so reliable
 // registry variants raise their CONGEST budget by kReliableHeaderBits
@@ -94,6 +112,12 @@ class ReliableFrame final : public Message {
  public:
   std::uint32_t seq = 0;
   std::uint32_t ack = 0;
+  /// Epoch of the seq stream this frame belongs to (0 = the stream never
+  /// opened; data frames always carry the stream's stamped epoch).
+  std::uint32_t epoch = 0;
+  /// Epoch of the peer's stream that `ack` refers to: the sender applies a
+  /// cumulative ack only when this matches its current stream epoch.
+  std::uint32_t ack_epoch = 0;
   FlatMsg inner_flat;   ///< inner flat payload (type == 0 when absent)
   MessagePtr inner_msg; ///< inner legacy payload (null when absent)
 
@@ -135,7 +159,16 @@ class ReliableProcess final : public Process {
   /// Ports this sender declared dead after exhausting max_retries.
   std::uint64_t dead_links() const { return dead_links_; }
   /// Fresh inner sends swallowed because their port was already dead.
+  /// Always zero since link healing: the first fresh send to a dead port
+  /// re-arms it instead of being swallowed.  Kept (counter, metrics name and
+  /// RunResult plumbing) so the failure-path diagnostics stay stable.
   std::uint64_t dead_link_drops() const { return dead_link_drops_; }
+  /// Dead ports re-armed from a fresh epoch by a later fresh inner send.
+  std::uint64_t healed_links() const { return healed_links_; }
+  /// Data frames discarded because they belonged to a dead epoch of their
+  /// stream (stale retransmits from before a heal) — dropped and counted,
+  /// never resequenced.
+  std::uint64_t stale_epoch_drops() const { return stale_epoch_drops_; }
 
  private:
   class CaptureCtx;
@@ -155,13 +188,21 @@ class ReliableProcess final : public Process {
     // --- sender side -----------------------------------------------------
     std::uint32_t next_seq = 1;  ///< seq assigned to the next fresh frame
     std::uint32_t acked = 0;     ///< highest cumulative ack received
+    /// Epoch of the outgoing stream: stamped from the round of the stream's
+    /// first fresh send (round + 1, so a live stream's epoch is never 0),
+    /// re-stamped on heal.  Strictly monotone across the port's lives.
+    std::uint32_t epoch = 0;
     std::deque<Unacked> unacked; ///< in seq order; front is the oldest
     std::uint32_t attempts = 0;  ///< retransmissions since last ack progress
     Round rto_deadline = kRoundForever;
-    bool dead = false;           ///< gave up: all further sends are dropped
+    bool dead = false;           ///< gave up; healed by the next fresh send
     std::uint32_t fresh = 0;     ///< frames enqueued by the inner this step
     // --- receiver side ---------------------------------------------------
     std::uint32_t expected = 1;  ///< next in-order seq to deliver
+    /// Epoch of the incoming stream the cursor tracks.  A data frame with a
+    /// newer epoch resets the cursor and the parked buffer; an older one is
+    /// a stale retransmit, dropped and counted.
+    std::uint32_t rx_epoch = 0;
     std::map<std::uint32_t, Payload> parked;  ///< out-of-order buffer
     bool ack_due = false;        ///< ack news with no data to ride on yet
   };
@@ -169,7 +210,7 @@ class ReliableProcess final : public Process {
   void run_step(Context& ctx, std::span<const Envelope> inbox, bool wake);
   void ingest(Context& ctx, std::span<const Envelope> inbox,
               std::vector<Envelope>& inner_inbox);
-  void enqueue_data(PortId port, Payload payload);
+  void enqueue_data(PortId port, Payload payload, Round now);
   void flush(Context& ctx);
   void send_frame(Context& ctx, PortId port, std::uint32_t seq,
                   const Payload& payload);
@@ -188,6 +229,8 @@ class ReliableProcess final : public Process {
   std::uint64_t parked_frames_ = 0;
   std::uint64_t dead_links_ = 0;
   std::uint64_t dead_link_drops_ = 0;
+  std::uint64_t healed_links_ = 0;
+  std::uint64_t stale_epoch_drops_ = 0;
 };
 
 /// Wrap a process factory with the reliable link layer.  `cfg.rto == 0`

@@ -32,7 +32,8 @@ std::uint64_t rough_n(const ScenarioParams& ps) {
 /// Knob strengths stay moderate — the goal is a schedule the protocol
 /// declared it survives, not a denial-of-service.
 ScenarioAdversary draw_adversary(Rng& rng, std::uint8_t safe,
-                                 std::size_t max_n) {
+                                 std::size_t max_n, double churn_fraction,
+                                 bool allow_churn) {
   std::vector<std::uint8_t> declared;
   for (const std::uint8_t c : {faults::kDelay, faults::kDrop,
                                faults::kDuplicate, faults::kReorder,
@@ -49,9 +50,23 @@ ScenarioAdversary draw_adversary(Rng& rng, std::uint8_t safe,
   if (pick & faults::kDrop) a.drop_pm = rng.in_range(1, 300);
   if (pick & faults::kDuplicate) a.dup_pm = rng.in_range(1, 300);
   if (pick & faults::kReorder) a.reorder_pm = rng.in_range(1, 500);
-  if (pick & faults::kCrash)
-    a.crashes = {{rng.below(std::max<std::uint64_t>(1, max_n)),
-                  rng.in_range(1, 6)}};
+  if (pick & faults::kCrash) {
+    ScenarioCrash c;
+    c.node = rng.below(std::max<std::uint64_t>(1, max_n));
+    c.at = rng.in_range(1, 6);
+    // Churn upgrade: crash-stop becomes a bounded rebirth interval inside
+    // the runner's liveness window (crash at round 0 — before the node's
+    // first step, so the replay a reborn node receives is duplicate-free
+    // at the application layer; recover a few rounds out).  Gated so a
+    // zero fraction leaves the draw stream bit-identical to the crash-stop
+    // fuzzer.
+    if (allow_churn && churn_fraction > 0 &&
+        rng.uniform01() < churn_fraction) {
+      c.at = 0;
+      c.recover = rng.in_range(1, 8);
+    }
+    a.crashes = {c};
+  }
   // Only coin-using knobs get a seed: a crash-only schedule draws no coins,
   // and the seed would not survive the token (no a= segment to carry it).
   if (a.any_faults()) a.seed = rng.in_range(1, std::uint64_t{1} << 32);
@@ -73,7 +88,8 @@ bool still_fails(const ProtocolRegistry& protocols,
 Scenario draw_scenario(Rng& rng, const ProtocolRegistry& protocols,
                        const FamilyRegistry& families, std::size_t max_n,
                        double threads_fraction, double adversary_fraction,
-                       const std::string& protocol_filter) {
+                       const std::string& protocol_filter,
+                       double churn_fraction) {
   const auto& all = protocols.all();
   std::vector<const ProtocolInfo*> protos;
   for (const ProtocolInfo& p : all)
@@ -120,7 +136,8 @@ Scenario draw_scenario(Rng& rng, const ProtocolRegistry& protocols,
     s.threads = static_cast<unsigned>(rng.in_range(2, 4));
   if (proto.safe_under != faults::kNone &&
       rng.uniform01() < adversary_fraction)
-    s.adversary = draw_adversary(rng, proto.safe_under, max_n);
+    s.adversary = draw_adversary(rng, proto.safe_under, max_n, churn_fraction,
+                                 proto.live_under_churn);
   // Reliable variants: sometimes override the transport knobs.  rto >= 3
   // keeps retransmissions honest (the fault-free ack round trip is 2
   // rounds, so smaller values would retransmit frames whose acks are still
@@ -202,6 +219,21 @@ Scenario shrink_scenario(const ProtocolRegistry& protocols,
       if (cur.adversary.reorder_pm > 0)
         candidates.push_back(
             with_adv([](ScenarioAdversary& a) { a.reorder_pm = 0; }));
+      // Churn shrinks first drop recover tails (is the rebirth what bites,
+      // or just the crash?), then whole intervals, then the schedule.
+      for (std::size_t ci = 0; ci < cur.adversary.crashes.size(); ++ci) {
+        if (cur.adversary.crashes[ci].recover != kRoundForever)
+          candidates.push_back(with_adv([ci](ScenarioAdversary& a) {
+            a.crashes[ci].recover = kRoundForever;
+          }));
+      }
+      if (cur.adversary.crashes.size() > 1) {
+        for (std::size_t ci = 0; ci < cur.adversary.crashes.size(); ++ci)
+          candidates.push_back(with_adv([ci](ScenarioAdversary& a) {
+            a.crashes.erase(a.crashes.begin() +
+                            static_cast<std::ptrdiff_t>(ci));
+          }));
+      }
       if (!cur.adversary.crashes.empty())
         candidates.push_back(
             with_adv([](ScenarioAdversary& a) { a.crashes.clear(); }));
@@ -305,7 +337,7 @@ FuzzReport run_fuzz(const ProtocolRegistry& protocols,
     const Scenario s =
         draw_scenario(rng, protocols, families, cfg.max_n,
                       cfg.threads_fraction, cfg.adversary_fraction,
-                      cfg.protocol_filter);
+                      cfg.protocol_filter, cfg.churn_fraction);
     const ScenarioOutcome out = run_scenario(protocols, families, s, cfg.run);
     ++report.scenarios_run;
     if (out.report.verdict.unique_leader) ++report.runs_elected;

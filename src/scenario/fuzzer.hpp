@@ -46,6 +46,14 @@ struct FuzzConfig {
   /// adversaries exercise only classes inside the protocol's safe_under
   /// mask, so every draw is a valid scenario (never a config error).
   double adversary_fraction = 0.25;
+  /// Of the scenarios whose adversary draws a crash, the fraction whose
+  /// schedule is upgraded to a bounded CHURN interval (crash before the
+  /// node ever acked, rebirth within a bounded window).  Only protocols
+  /// declaring live_under_churn are upgraded — there the runner enforces
+  /// termination through the rebirth; for everything else the draw stays
+  /// crash-stop (late recovery can legitimately break a plain protocol's
+  /// safety, which would be a false conformance finding).  In [0, 1].
+  double churn_fraction = 0.25;
   /// Stop drawing after this many seconds (0 = no budget).  Used by the
   /// nightly time-boxed job; the count still caps the total.
   double time_budget_sec = 0;
@@ -92,7 +100,8 @@ struct FuzzReport {
 Scenario draw_scenario(Rng& rng, const ProtocolRegistry& protocols,
                        const FamilyRegistry& families, std::size_t max_n,
                        double threads_fraction, double adversary_fraction = 0,
-                       const std::string& protocol_filter = "");
+                       const std::string& protocol_filter = "",
+                       double churn_fraction = 0);
 
 /// Greedily shrink a failing scenario (see file comment).  Returns the
 /// minimal still-failing scenario; `steps`, when non-null, receives the

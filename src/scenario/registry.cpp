@@ -434,6 +434,16 @@ ProtocolRegistry build_protocols() {
     p.safe_under = faults::kAll;
     p.live_under_async = true;
     p.reliable_transport = true;
+    // Bounded churn: a node crashing at round 0 (before its first step, so
+    // its first life is empty) and recovering within a bounded window is
+    // revived by the wrapper's go-back-all replay — every peer still holds
+    // its full send history toward the reborn node, so the fresh-epoch
+    // stream re-delivers the whole run (including the winning wave) in
+    // order, exactly once.  Later crashes stay SAFE but not live: peers'
+    // queues then hold responses to the dead first life (which a fresh
+    // process cannot account for) and acked prefixes the replay can never
+    // fill — which is why the runner gates churn liveness on the window.
+    p.live_under_churn = true;
     p.growth = std::move(growth);
     const auto base_prepare = p.prepare;
     p.prepare = [base_prepare](const Shape& s, RunOptions& opt) {

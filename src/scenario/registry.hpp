@@ -162,6 +162,17 @@ struct ProtocolInfo {
   /// partition), not just the loss-free asynchrony live_under_async covers —
   /// the runner enforces termination for drop_pm < 1000 when this is set.
   bool reliable_transport = false;
+  /// Liveness survives bounded CHURN: under a crash schedule whose every
+  /// interval is an early, bounded rebirth (crash in the first rounds, before
+  /// the node has acked anything, recovering within a bounded window) the
+  /// protocol still terminates with a unique leader.  Requires
+  /// reliable_transport — the ARQ layer's go-back-all replay is what delivers
+  /// the full history (including the winning wave) to a reborn node.  Crashes
+  /// AFTER ack progress leave peers' streams gap-stuck toward the reborn node:
+  /// safety still holds (the node stays Undecided and the link eventually
+  /// gives up) but termination does not, so the runner only enforces liveness
+  /// for schedules inside the bounded-churn window (see runner.cpp).
+  bool live_under_churn = false;
 };
 
 class ProtocolRegistry {

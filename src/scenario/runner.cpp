@@ -47,6 +47,35 @@ void validate_params(const FamilyInfo& fam, const Scenario& s) {
   }
 }
 
+/// Bounded-churn window for liveness enforcement.  The reliable wrapper's
+/// rebirth story only guarantees termination when every crashed node went
+/// down at round 0 — before its first step, so its first life is EMPTY.
+/// Rebirth is then indistinguishable (to every peer's inner protocol) from
+/// a late-waking node behind a lossy link: the peers' unacked queues hold
+/// only organic traffic, which the go-back-all replay delivers exactly once
+/// and in order to the reborn node's fresh epoch.  A node that crashes
+/// AFTER stepping leaves responses to its first life (wave echoes) in its
+/// peers' queues; the replay hands those to the fresh process, which never
+/// sent the wave they answer — strict-accounting protocols (the pif wave
+/// pool) reject that as a protocol violation.  And a node that crashes
+/// after ACKING leaves its peers' streams gap-stuck (seqs past the acked
+/// prefix park forever against a reset expected=1).  Both stay SAFE —
+/// quiesce-undecided at worst — but not live.  The recover bound just keeps
+/// the window inside the envelope stretch below; the ARQ give-up horizon is
+/// orders of magnitude further out.
+constexpr Round kChurnLivenessCrashBy = 0;
+constexpr Round kChurnLivenessRecoverBy = 16;
+
+bool bounded_churn(const std::vector<ScenarioCrash>& cs) {
+  if (cs.empty()) return false;
+  for (const ScenarioCrash& c : cs) {
+    if (c.recover == kRoundForever) return false;  // crash-stop, not churn
+    if (c.at > kChurnLivenessCrashBy) return false;
+    if (c.recover > kChurnLivenessRecoverBy) return false;
+  }
+  return true;
+}
+
 std::string counter_diff(const char* what, std::uint64_t base,
                          std::uint64_t got, unsigned threads) {
   return std::string("determinism: ") + what + " " + std::to_string(got) +
@@ -101,6 +130,23 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
     throw std::invalid_argument("protocol \"" + proto.name +
                                 "\" does not run the reliable transport "
                                 "(r= is only valid for *_reliable variants)");
+  // Churn validity: a rebirth only has clean semantics when the node's
+  // first life was EMPTY (crash at round 0, before its first step ever).
+  // A node reborn after stepping receives in-flight — or ARQ-replayed —
+  // responses to a life its fresh state never lived, and strict-accounting
+  // protocols (the pif wave pool) rightly abort on such frames; that is a
+  // config error, not a conformance finding.  Crash-stop entries and empty
+  // (recover == crash) intervals are not churn and pass through.
+  for (const ScenarioCrash& c : s.adversary.crashes) {
+    if (c.recover == kRoundForever || c.recover == c.at) continue;
+    if (c.at > kChurnLivenessCrashBy || c.recover > kChurnLivenessRecoverBy)
+      throw std::invalid_argument(
+          "churn interval " + std::to_string(c.node) + "@" +
+          std::to_string(c.at) + "-" + std::to_string(c.recover) +
+          " outside the bounded-churn window (crash at round <= " +
+          std::to_string(kChurnLivenessCrashBy) + ", recover by round " +
+          std::to_string(kChurnLivenessRecoverBy) + ")");
+  }
   // Liveness is only promised without loss OR forgery: drops and crashes can
   // livelock any reactive protocol, and duplicated messages stall echo
   // accounting even where they cannot forge a second leader (kingdom
@@ -112,7 +158,11 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
   // top rung, where give-up is astronomically unlikely; beyond that a
   // deadline-stretched run may legitimately see a link give up, and at
   // drop = 1.0 no wrapper can push a bit through an edge that delivers
-  // nothing) and no node crashed.
+  // nothing) and no node crashed for good.  Bounded CHURN is the exception
+  // to the crash clause: when every crash is an early, bounded rebirth (see
+  // bounded_churn above) and the protocol declares live_under_churn, the
+  // reliable transport's full-history replay revives the reborn node and
+  // termination is enforced again.
   const bool enforce_liveness =
       adv_classes == faults::kNone ||
       (proto.live_under_async &&
@@ -120,6 +170,11 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
       (proto.reliable_transport && proto.live_under_async &&
        (adv_classes & ~(faults::kDelay | faults::kDrop | faults::kDuplicate |
                         faults::kReorder)) == 0 &&
+       s.adversary.drop_pm <= 600) ||
+      (proto.live_under_churn && proto.live_under_async &&
+       bounded_churn(s.adversary.crashes) &&
+       (adv_classes & ~(faults::kDelay | faults::kDrop | faults::kDuplicate |
+                        faults::kReorder | faults::kCrash)) == 0 &&
        s.adversary.drop_pm <= 600);
 
   const Graph g = build_scenario_graph(families, s);
@@ -152,13 +207,27 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
     lossy_round_num = 4000;
     lossy_msg_num = 2000;
   }
+  // Churn stretches both envelopes further: a reborn node sits dead until
+  // its recover round, then waits out a backed-off retransmit interval
+  // before the replay reaches it (rounds), and the replay itself re-sends
+  // each inbound link's history once per rebirth (messages).
+  Round churn_round_slack = 0;
+  std::uint64_t churn_rebirths = 0;
+  for (const ScenarioCrash& c : s.adversary.crashes) {
+    if (c.recover == kRoundForever || c.recover == c.at) continue;
+    ++churn_rebirths;
+    churn_round_slack = std::max(churn_round_slack, c.recover);
+  }
+  if (churn_rebirths > 0) churn_round_slack += 512;  // backoff-ladder slack
   const Round round_env =
       proto.round_envelope(out.shape) *
-      (adv_classes == faults::kNone ? 1 : s.adversary.max_delay + 2) *
-      lossy_round_num / lossy_den;
+          (adv_classes == faults::kNone ? 1 : s.adversary.max_delay + 2) *
+          lossy_round_num / lossy_den +
+      churn_round_slack;
   const std::uint64_t msg_env = proto.message_envelope(out.shape) *
                                 (adv_classes == faults::kNone ? 1 : 2) *
-                                lossy_msg_num / lossy_den;
+                                (1 + churn_rebirths) * lossy_msg_num /
+                                lossy_den;
 
   RunOptions opt;
   opt.seed = s.seed;
@@ -287,6 +356,12 @@ ScenarioOutcome run_scenario(const ProtocolRegistry& protocols,
                            par.run.last_progress, t));
     if (par.run.crashed != rep.run.crashed)
       violate(counter_diff("crashed", rep.run.crashed, par.run.crashed, t));
+    if (par.run.recoveries != rep.run.recoveries)
+      violate(counter_diff("recoveries", rep.run.recoveries,
+                           par.run.recoveries, t));
+    if (par.run.adv_crash_drops != rep.run.adv_crash_drops)
+      violate(counter_diff("adv_crash_drops", rep.run.adv_crash_drops,
+                           par.run.adv_crash_drops, t));
     if (par.statuses != rep.statuses)
       violate("determinism: per-node statuses differ at threads=" +
               std::to_string(t));

@@ -77,8 +77,9 @@ AdversaryConfig ScenarioAdversary::engine_config(std::size_t n) const {
   adv.duplicate = static_cast<double>(dup_pm) / 1000.0;
   adv.reorder = static_cast<double>(reorder_pm) / 1000.0;
   adv.crashes.reserve(crashes.size());
-  for (const auto& [node, at] : crashes)
-    adv.crashes.emplace_back(static_cast<NodeId>(node % n), at);
+  for (const ScenarioCrash& c : crashes)
+    adv.crashes.push_back(
+        CrashEvent{static_cast<NodeId>(c.node % n), c.at, c.recover});
   return adv;
 }
 
@@ -127,12 +128,16 @@ std::string Scenario::encode() const {
   if (!adversary.crashes.empty()) {
     out += ":f=";
     bool first = true;
-    for (const auto& [node, at] : adversary.crashes) {
+    for (const ScenarioCrash& c : adversary.crashes) {
       if (!first) out += ',';
       first = false;
-      out += std::to_string(node);
+      out += std::to_string(c.node);
       out += '@';
-      out += std::to_string(at);
+      out += std::to_string(c.at);
+      if (c.recover != kRoundForever) {
+        out += '-';
+        out += std::to_string(c.recover);
+      }
     }
   }
   if (reliable.any()) {
@@ -273,10 +278,25 @@ Scenario Scenario::parse(const std::string& token) {
         const std::string item = v.substr(pos, comma - pos);
         const std::size_t at = item.find('@');
         if (at == std::string::npos || at == 0 || at + 1 >= item.size())
-          bad(token, "crash entry \"" + item + "\" must be node@round");
-        s.adversary.crashes.emplace_back(
-            parse_u64(token, std::string_view(item).substr(0, at)),
-            parse_u64(token, std::string_view(item).substr(at + 1)));
+          bad(token, "crash entry \"" + item +
+                         "\" must be node@round or node@crash-recover");
+        ScenarioCrash c;
+        c.node = parse_u64(token, std::string_view(item).substr(0, at));
+        const std::string_view tail = std::string_view(item).substr(at + 1);
+        const std::size_t dash = tail.find('-');
+        if (dash == std::string_view::npos) {
+          c.at = parse_u64(token, tail);
+        } else {
+          if (dash == 0 || dash + 1 >= tail.size())
+            bad(token, "crash entry \"" + item +
+                           "\" must be node@round or node@crash-recover");
+          c.at = parse_u64(token, tail.substr(0, dash));
+          c.recover = parse_u64(token, tail.substr(dash + 1));
+          if (c.recover < c.at)
+            bad(token, "crash entry \"" + item +
+                           "\" recovers before it crashes");
+        }
+        s.adversary.crashes.push_back(c);
         pos = comma + 1;
         if (comma == v.size()) break;
       }

@@ -30,8 +30,15 @@
 //                         (integers in [0, 1000] — exact round-trip, no
 //                         float formatting), then the adversary's own seed.
 //                         At least one of the four knobs must be non-zero.
-//   f=NODE@ROUND,...      crash-stop schedule: node (taken mod n, like the
-//                         `one.W` waker) halts at the start of that round.
+//   f=NODE@CRASH[-RECOVER],...
+//                         churn schedule: node (taken mod n, like the
+//                         `one.W` waker) crashes at the start of round
+//                         CRASH.  A bare NODE@CRASH entry is crash-stop
+//                         (dead forever); an optional `-RECOVER` tail
+//                         rebirths the node from its initial state at the
+//                         start of that round.  RECOVER < CRASH is rejected;
+//                         RECOVER == CRASH parses (and encodes back) but is
+//                         an empty interval the engine drops as a no-op.
 //   r=RTO.CAP             reliable-transport override (net/reliable.hpp),
 //                         honored only by `*_reliable` protocols (the runner
 //                         rejects it elsewhere): retransmit timeout in
@@ -65,6 +72,16 @@ enum class WakeupKind : std::uint8_t { Simultaneous, Random, Single };
 /// Integer family parameters in registry-declared order.
 using ScenarioParams = std::vector<std::pair<std::string, std::uint64_t>>;
 
+/// One churn interval at scenario level (the `f=` segments): the node is
+/// taken mod n at run time; recover == kRoundForever is crash-stop.
+struct ScenarioCrash {
+  std::uint64_t node = 0;
+  Round at = 0;
+  Round recover = kRoundForever;
+
+  bool operator==(const ScenarioCrash&) const = default;
+};
+
 /// The adversary at scenario level: knob probabilities are PERMILLE integers
 /// so the string round-trip is exact (doubles only materialize when the
 /// engine config is built).  Crash nodes are taken mod n at run time, so a
@@ -75,8 +92,9 @@ struct ScenarioAdversary {
   std::uint64_t dup_pm = 0;       ///< duplication probability, permille
   std::uint64_t reorder_pm = 0;   ///< inbox-shuffle probability, permille
   std::uint64_t seed = 1;         ///< the adversary's own coin seed
-  /// Crash-stop schedule: (node % n) halts at the start of the round.
-  std::vector<std::pair<std::uint64_t, Round>> crashes;
+  /// Churn schedule: (node % n) crashes at the start of `at`; a bounded
+  /// `recover` rebirths it from its initial state at that round.
+  std::vector<ScenarioCrash> crashes;
 
   bool operator==(const ScenarioAdversary&) const = default;
 

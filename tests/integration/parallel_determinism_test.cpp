@@ -56,6 +56,11 @@ void expect_identical(const ElectionReport& base, const ElectionReport& got,
   EXPECT_EQ(base.run.last_status_change, got.run.last_status_change) << where;
   EXPECT_EQ(base.run.last_progress, got.run.last_progress) << where;
   EXPECT_EQ(base.run.crashed, got.run.crashed) << where;
+  EXPECT_EQ(base.run.recoveries, got.run.recoveries) << where;
+  EXPECT_EQ(base.run.adv_crash_drops, got.run.adv_crash_drops) << where;
+  EXPECT_EQ(base.run.adv_drops, got.run.adv_drops) << where;
+  EXPECT_EQ(base.run.adv_dups, got.run.adv_dups) << where;
+  EXPECT_EQ(base.run.adv_delays, got.run.adv_delays) << where;
   EXPECT_EQ(base.run.undecided_nodes, got.run.undecided_nodes) << where;
   ASSERT_EQ(base.statuses.size(), got.statuses.size()) << where;
   for (NodeId s = 0; s < base.statuses.size(); ++s)
@@ -167,6 +172,24 @@ std::vector<Cell> matrix() {
   opt.adversary.seed = 0xC4A5;
   opt.adversary.crashes = {{5, 2}, {17, 4}};
   add_adv("flood_max/grid4x6+crash", make_grid(4, 6), make_flood_max(), opt);
+
+  // Churn cells: crash-RECOVERY intervals.  A rebirth replaces the process
+  // mid-run (fresh state, per-incarnation RNG domain) and purges the dead
+  // window's deliveries into adv_crash_drops — all of which must reproduce
+  // bit-for-bit across thread counts, including the recovery coins.
+  opt = RunOptions{};
+  opt.max_rounds = 5'000;
+  opt.adversary.seed = 0xC4A6;
+  opt.adversary.crashes = {{5, 0, 4}, {17, 0, 6}};  // two empty first lives
+  add_adv("flood_max/grid4x6+churn", make_grid(4, 6), make_flood_max(), opt);
+
+  opt = RunOptions{};
+  opt.max_rounds = 20'000;
+  opt.adversary.seed = 0xBEE2;
+  opt.adversary.max_delay = 2;
+  opt.adversary.drop = 0.10;
+  opt.adversary.crashes = {{7, 1, 5}};  // post-step rebirth, delivery mix on
+  add_adv("kingdom/cycle24+churn_mix", make_cycle(24), make_kingdom(), opt);
 
   // Every fault class at once, on the one protocol calibrated as safe under
   // all of them (sublinear_complete, safe_under = kAll).

@@ -61,6 +61,18 @@ class Chatter final : public Process {
 Graph path2() { return Graph::from_edges(2, {{0, 1}}); }
 Graph path3() { return Graph::from_edges(3, {{0, 1}, {1, 2}}); }
 
+/// Halts on its first step: the voluntary-halt foil for the crash-billing
+/// split (its discarded arrivals must never count as adversary damage).
+class Quitter final : public Process {
+ public:
+  void on_wake(Context& ctx, std::span<const Envelope>) override {
+    ctx.halt();
+  }
+  void on_round(Context& ctx, std::span<const Envelope>) override {
+    ctx.halt();
+  }
+};
+
 TEST(Adversary, InertConfigMatchesPlainRunExactly) {
   // seed set, every knob zero: active() is false and the engine must take
   // the fault-free hot path — identical counters on every axis.
@@ -171,6 +183,114 @@ TEST(Adversary, CrashStopHaltsTheNodeMidRun) {
   }
 }
 
+TEST(Adversary, EmptyChurnIntervalIsAPerfectNoOp) {
+  // recover == crash is an empty dead window: the engine drops it at build
+  // time, and a schedule of ONLY empty intervals must take the exact
+  // fault-free hot path — every counter bit-identical to a plain run,
+  // nothing crashed, nothing reborn.
+  const auto run_once = [](bool noop_churn) {
+    EngineConfig cfg;
+    cfg.seed = 5;
+    if (noop_churn) cfg.adversary.crashes = {{1, 3, 3}, {2, 4, 4}};
+    const Graph g = path3();
+    SyncEngine eng(g, cfg);
+    eng.init_processes([](NodeId) { return std::make_unique<Chatter>(4); });
+    return eng.run();
+  };
+  const RunResult plain = run_once(false);
+  const RunResult noop = run_once(true);
+  EXPECT_TRUE(noop.completed);
+  EXPECT_EQ(plain.rounds, noop.rounds);
+  EXPECT_EQ(plain.executed_rounds, noop.executed_rounds);
+  EXPECT_EQ(plain.node_steps, noop.node_steps);
+  EXPECT_EQ(plain.messages, noop.messages);
+  EXPECT_EQ(plain.bits, noop.bits);
+  EXPECT_EQ(plain.last_progress, noop.last_progress);
+  EXPECT_EQ(noop.crashed, 0u);
+  EXPECT_EQ(noop.recoveries, 0u);
+  EXPECT_EQ(noop.adv_crash_drops, 0u);
+}
+
+TEST(Adversary, RecoveryAfterGlobalTerminationReopensTheRun) {
+  // Everyone quiesces by round ~6; node 2's rebirth at 30 must still
+  // happen — the fast-forward jumps TO the recovery round, not past it —
+  // and the reborn node restarts from its initial state (fresh init, same
+  // slot), its new sends reaching the idle survivors.
+  EngineConfig cfg;
+  cfg.adversary.crashes = {{2, 0, 30}};
+  const Graph g = path3();
+  SyncEngine eng(g, cfg);
+  eng.init_processes([](NodeId) { return std::make_unique<Chatter>(2); });
+  const RunResult res = eng.run();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.crashed, 1u);
+  EXPECT_EQ(res.recoveries, 1u);
+  EXPECT_GE(res.rounds, 31u);
+
+  // The reborn victim is a FRESH process: it woke at round 30 and re-ran
+  // its full send budget from scratch.
+  const auto* victim = dynamic_cast<const Chatter*>(eng.process(2));
+  for (const auto& [round, payload] : victim->got) EXPECT_GE(round, 30u);
+  // Its neighbor hears the second life: payloads stamped with send rounds
+  // 30 and 31, arriving one round later.
+  const auto* neighbor = dynamic_cast<const Chatter*>(eng.process(1));
+  std::size_t second_life = 0;
+  for (const auto& [round, payload] : neighbor->got) {
+    if (payload / 1000 != 2) continue;
+    ++second_life;
+    EXPECT_GE(Chatter::sent_round(payload), 30u);
+    EXPECT_EQ(round, Chatter::sent_round(payload) + 1);
+  }
+  EXPECT_EQ(second_life, 2u);
+}
+
+TEST(Adversary, SameNodeCanChurnTwice) {
+  // Two disjoint intervals for one node: dead [1,3), alive [3,5), dead
+  // [5,8), alive from 8.  Each interval is one crash + one rebirth, and
+  // the final incarnation is again a fresh process.
+  EngineConfig cfg;
+  cfg.adversary.crashes = {{2, 1, 3}, {2, 5, 8}};
+  const Graph g = path3();
+  SyncEngine eng(g, cfg);
+  eng.init_processes([](NodeId) { return std::make_unique<Chatter>(8); });
+  const RunResult res = eng.run();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.crashed, 2u);
+  EXPECT_EQ(res.recoveries, 2u);
+  // The surviving process object is the THIRD incarnation: nothing it
+  // received predates its rebirth round.
+  const auto* victim = dynamic_cast<const Chatter*>(eng.process(2));
+  for (const auto& [round, payload] : victim->got) EXPECT_GE(round, 8u);
+}
+
+TEST(Adversary, CrashedWindowDeliveriesBillAdvCrashDropsOnly) {
+  // The split-counter contract: a delivery purged because its receiver sits
+  // in a crashed window bills adv_crash_drops — NOT adv_drops (the random
+  // delivery-drop counter), and a voluntarily halted receiver's discarded
+  // deliveries bill neither.  Node 1 broadcasts six rounds; node 0 churns
+  // over [1, 6) (purging the five arrivals of rounds 1-5); node 2 halts
+  // immediately, so its five discarded arrivals must stay unbilled.
+  EngineConfig cfg;
+  cfg.adversary.crashes = {{0, 1, 6}};
+  const Graph g = path3();
+  SyncEngine eng(g, cfg);
+  eng.init_processes([](NodeId slot) -> std::unique_ptr<Process> {
+    if (slot == 2) return std::make_unique<Quitter>();
+    return std::make_unique<Chatter>(slot == 1 ? 6 : 2);
+  });
+  const RunResult res = eng.run();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.crashed, 1u);
+  EXPECT_EQ(res.recoveries, 1u);
+  EXPECT_EQ(res.adv_crash_drops, 5u);  // node 0's dead window only
+  EXPECT_EQ(res.adv_drops, 0u);        // no random drops in this run
+  // The reborn node 0 hears node 1's round-5 send (arriving exactly at its
+  // recovery round) and everything after.
+  const auto* reborn = dynamic_cast<const Chatter*>(eng.process(0));
+  ASSERT_FALSE(reborn->got.empty());
+  EXPECT_EQ(reborn->got.front().first, 6u);
+}
+
 TEST(Adversary, ConfigValidationRejectsBadKnobs) {
   {
     EngineConfig cfg;
@@ -185,6 +305,11 @@ TEST(Adversary, ConfigValidationRejectsBadKnobs) {
   {
     EngineConfig cfg;
     cfg.adversary.crashes = {{9, 1}};  // node out of range for a 2-node graph
+    EXPECT_THROW(SyncEngine(path2(), cfg), std::invalid_argument);
+  }
+  {
+    EngineConfig cfg;
+    cfg.adversary.crashes = {{1, 5, 2}};  // recovers before it crashes
     EXPECT_THROW(SyncEngine(path2(), cfg), std::invalid_argument);
   }
 }

@@ -118,6 +118,41 @@ TEST(Metrics, SnapshotsAreBitForBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Metrics, ChurnSnapshotsAreBitForBitIdenticalAcrossThreadCounts) {
+  // Same wall, churn edition: a run whose adversary schedule reborn a node
+  // mid-run (crash at 0, recover at 5) must produce byte-identical snapshot
+  // JSON at every thread count — including the adversary.recoveries and
+  // adversary.crash_drops counters the churn layer added, and the arq.*
+  // counters of the wrapper replacing the reborn node's process.
+  const auto churn_run = [](unsigned threads) {
+    const Graph g = make_complete(16);
+    RunOptions opt;
+    opt.seed = 77;
+    opt.congest = CongestMode::Off;
+    opt.threads = threads;
+    opt.parallel_cutoff = 1;
+    opt.adversary.seed = 0xBEEF;
+    opt.adversary.drop = 0.15;
+    opt.adversary.duplicate = 0.10;
+    opt.adversary.crashes = {{3, 0, 5}};
+    opt.metrics.enabled = true;
+    ReliableConfig rcfg;
+    return run_election(g, make_reliable(make_flood_max(), rcfg), opt);
+  };
+  const ElectionReport ref = churn_run(1);
+  ASSERT_TRUE(ref.run.metrics.has_value());
+  EXPECT_EQ(ref.run.recoveries, 1u);
+  EXPECT_EQ(counter_value(*ref.run.metrics, "adversary.recoveries"), 1u);
+  EXPECT_EQ(counter_value(*ref.run.metrics, "adversary.crash_drops"),
+            ref.run.adv_crash_drops);
+  const std::string ref_json = metrics_json(*ref.run.metrics);
+  for (const unsigned t : {2u, 4u}) {
+    const ElectionReport rep = churn_run(t);
+    ASSERT_TRUE(rep.run.metrics.has_value()) << "threads=" << t;
+    EXPECT_EQ(metrics_json(*rep.run.metrics), ref_json) << "threads=" << t;
+  }
+}
+
 TEST(Metrics, EnablingMetricsNeverPerturbsTheRun) {
   // The in-process twin of the metrics_off_overhead bench row: same seed,
   // metrics on vs off, every RunResult counter identical — and the off run

@@ -273,14 +273,17 @@ class LateSender final : public Process {
   bool sent_first_ = false;
 };
 
-TEST(Reliable, SendsAfterLinkDeathAreCountedAsDeadLinkDrops) {
-  // A sender that comes back after the link died: every post-death enqueue
-  // is swallowed (there is no link to carry it), and that silent loss must
-  // be visible — on the wrapper counter, on RunResult, and in the
-  // nontermination diagnosis.  This is the observability half of the
-  // give-up contract: quiescence is restored, but never silently.  (A
-  // sender pushing fresh frames every round keeps re-arming the RTO, so the
-  // death only fires once it pauses — hence the sleep.)
+TEST(Reliable, SendsAfterLinkDeathHealTheLink) {
+  // A sender that comes back after the link died: the first post-death
+  // enqueue HEALS the edge — the stream re-arms from seq 1 under a fresh
+  // epoch instead of silently swallowing the payload.  Under this total
+  // partition the healed stream exhausts its retries and dies a second
+  // time, so the same run shows the whole life cycle: die, heal, die again
+  // — with nothing ever dropped on the floor (dead_link_drops stays 0) and
+  // the healing visible on the wrapper, on RunResult, and in the
+  // nontermination diagnosis.  (A sender pushing fresh frames every round
+  // keeps re-arming the RTO, so the first death only fires once it pauses —
+  // hence the sleep.)
   EngineConfig cfg;
   cfg.seed = 3;
   cfg.adversary.seed = 0xDEAD;
@@ -302,12 +305,14 @@ TEST(Reliable, SendsAfterLinkDeathAreCountedAsDeadLinkDrops) {
   EXPECT_TRUE(res.completed);
   const auto* tx = dynamic_cast<const ReliableProcess*>(eng.process(0));
   ASSERT_NE(tx, nullptr);
-  EXPECT_EQ(tx->dead_links(), 1u);
-  EXPECT_EQ(tx->dead_link_drops(), 2u);
-  EXPECT_EQ(res.dead_links, 1u);
-  EXPECT_EQ(res.dead_link_drops, 2u);
+  EXPECT_EQ(tx->dead_links(), 2u);       // died, healed, died again
+  EXPECT_EQ(tx->healed_links(), 1u);
+  EXPECT_EQ(tx->dead_link_drops(), 0u);  // healing swallows nothing
+  EXPECT_EQ(res.dead_links, 2u);
+  EXPECT_EQ(res.healed_links, 1u);
+  EXPECT_EQ(res.dead_link_drops, 0u);
   const std::string diag = describe_nontermination(res);
-  EXPECT_NE(diag.find("swallowed"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("later healed"), std::string::npos) << diag;
 }
 
 TEST(Reliable, BackoffCapBoundsTheRetransmitInterval) {
@@ -328,6 +333,94 @@ TEST(Reliable, BackoffCapBoundsTheRetransmitInterval) {
   EXPECT_TRUE(slow.eng->result().completed);
   EXPECT_TRUE(fast.eng->result().completed);
   EXPECT_LT(fast.eng->result().rounds, slow.eng->result().rounds);
+}
+
+/// Sends one payload per step for rounds [0, 9), pauses (letting the
+/// retransmit ladder exhaust and the link die), then resumes with four more
+/// payloads — the resume heals the link mid-burst.
+class PauseSender final : public Process {
+ public:
+  void on_wake(Context& ctx, std::span<const Envelope> inbox) override {
+    step(ctx, inbox);
+  }
+  void on_round(Context& ctx, std::span<const Envelope> inbox) override {
+    step(ctx, inbox);
+  }
+
+ private:
+  void step(Context& ctx, std::span<const Envelope>) {
+    if (ctx.round() < 9) {
+      FlatMsg m;
+      m.type = 7;
+      m.bits = 64;
+      m.a = static_cast<std::uint64_t>(n_++);
+      ctx.send(0, m);
+    } else if (ctx.round() < 16) {
+      ctx.sleep_until(16);  // the pause that lets the give-up fire
+    } else if (left_ > 0) {
+      --left_;
+      FlatMsg m;
+      m.type = 7;
+      m.bits = 64;
+      m.a = static_cast<std::uint64_t>(n_++);
+      ctx.send(0, m);
+    } else {
+      ctx.idle();
+    }
+  }
+  int n_ = 0;
+  int left_ = 4;
+};
+
+TEST(Reliable, HealingMidBurstDropsStaleEpochFramesWithoutResequencing) {
+  // The heal-mid-retransmit-burst race: the link gives up during the pause
+  // (clearing the first epoch's queue), the resume heals it onto a fresh
+  // epoch, and DELAYED retransmit copies from the dead epoch are still in
+  // flight.  The adversary seed is pinned (found by scanning) so that at
+  // least one stale copy arrives AFTER the receiver adopted the new epoch:
+  // it must be discarded and counted — never parked or delivered — or a
+  // dead life's seq numbers would corrupt the successor stream's cursor.
+  EngineConfig cfg;
+  cfg.seed = 3;
+  cfg.adversary.seed = 229;
+  cfg.adversary.drop = 0.9;
+  cfg.adversary.max_delay = 6;
+  cfg.adversary.duplicate = 0.3;
+  ReliableConfig rcfg;
+  rcfg.rto = 2;
+  rcfg.backoff_cap = 2;
+  rcfg.max_retries = 2;
+  Graph g = path2();
+  SyncEngine eng(g, cfg);
+  eng.init_processes([rcfg](NodeId slot) -> std::unique_ptr<Process> {
+    if (slot == 0)
+      return std::make_unique<ReliableProcess>(std::make_unique<PauseSender>(),
+                                               rcfg);
+    return std::make_unique<ReliableProcess>(std::make_unique<Courier>(0),
+                                             rcfg);
+  });
+  const RunResult& res = eng.run();
+  EXPECT_TRUE(res.completed);
+
+  const auto* tx = dynamic_cast<const ReliableProcess*>(eng.process(0));
+  const auto* rxw = dynamic_cast<const ReliableProcess*>(eng.process(1));
+  ASSERT_NE(tx, nullptr);
+  ASSERT_NE(rxw, nullptr);
+  // First epoch dies in the pause, heals at the resume; the tail of the
+  // resume burst dies again once the sender falls silent for good.
+  EXPECT_EQ(tx->dead_links(), 2u);
+  EXPECT_EQ(tx->healed_links(), 1u);
+  EXPECT_EQ(tx->dead_link_drops(), 0u);
+  // The stale copies from the dead epoch reached the receiver after it had
+  // adopted the healed epoch: discarded and counted, not resequenced.
+  EXPECT_EQ(rxw->stale_epoch_drops(), 2u);
+
+  // Not resequenced, concretely: the inner receiver saw ONLY the healed
+  // epoch's prefix, in FIFO order, with no dead-epoch payload spliced in
+  // (payloads 0..8 belong to the first life whose queue died with it).
+  const Courier* rx = inner_courier(eng, 1);
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->got, (std::vector<std::uint64_t>{9, 10}));
 }
 
 }  // namespace

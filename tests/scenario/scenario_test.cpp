@@ -136,6 +136,39 @@ TEST(ScenarioCodec, AdversaryTokensRoundTrip) {
   EXPECT_EQ(Scenario::parse(c.encode()), c);
 }
 
+TEST(ScenarioCodec, ChurnTokensRoundTrip) {
+  // A churn interval encodes as NODE@CRASH-RECOVER; a crash-stop entry
+  // (recover == forever) keeps the bare NODE@CRASH shape, so old tokens
+  // parse unchanged and mixed schedules encode both shapes side by side.
+  Scenario s;
+  s.family = "ring";
+  s.params = {{"n", 9}};
+  s.protocol = "flood_max";
+  s.adversary.crashes = {{3, 0, 5}, {5, 2}};
+  EXPECT_EQ(s.encode(),
+            "ule1:ring{n=9}:flood_max:k=none:w=sim:s=1:t=1:f=3@0-5,5@2");
+  EXPECT_EQ(Scenario::parse(s.encode()), s);
+
+  // recover == crash (the empty interval, a documented no-op) still carries
+  // its tail through the round trip: the token preserves the schedule as
+  // written, and the engine folds it away.
+  s.adversary.crashes = {{4, 2, 2}};
+  EXPECT_EQ(s.encode(),
+            "ule1:ring{n=9}:flood_max:k=none:w=sim:s=1:t=1:f=4@2-2");
+  EXPECT_EQ(Scenario::parse(s.encode()), s);
+
+  // Parsed fields land where they should, not just equality.
+  const Scenario p = Scenario::parse(
+      "ule1:ring{n=9}:flood_max:k=none:w=sim:s=7:t=1:f=1@0-3,2@4");
+  ASSERT_EQ(p.adversary.crashes.size(), 2u);
+  EXPECT_EQ(p.adversary.crashes[0].node, 1u);
+  EXPECT_EQ(p.adversary.crashes[0].at, 0u);
+  EXPECT_EQ(p.adversary.crashes[0].recover, 3u);
+  EXPECT_EQ(p.adversary.crashes[1].node, 2u);
+  EXPECT_EQ(p.adversary.crashes[1].at, 4u);
+  EXPECT_EQ(p.adversary.crashes[1].recover, kRoundForever);
+}
+
 TEST(ScenarioCodec, ParseRejectsMalformedAdversaryTokens) {
   const std::string base = "ule1:ring{n=9}:flood_max:k=none:w=sim:s=1:t=1";
   const char* bad[] = {
@@ -151,6 +184,10 @@ TEST(ScenarioCodec, ParseRejectsMalformedAdversaryTokens) {
       ":f=@3",                   // missing the node
       ":f=1@2:f=3@4",            // duplicate f=
       ":f=1@2:a=1.0.0.0.5",      // f= before a=
+      ":f=3@5-2",                // recovers before it crashes
+      ":f=3@2-",                 // dangling recover tail
+      ":f=3@-2",                 // missing the crash round
+      ":f=3@2-x",                // non-numeric recover
       ":q=7",                    // unknown optional field
   };
   for (const char* suffix : bad)

@@ -13,6 +13,10 @@
 //                                       contains S (e.g. "reliable")
 //   fuzz_scenarios --threads-fraction F fraction of draws rerun at
 //                                       threads > 1 (default .25)
+//   fuzz_scenarios --churn-fraction F   fraction of crash draws upgraded to
+//                                       bounded crash-recovery intervals
+//                                       (live_under_churn protocols only,
+//                                       default .25)
 //   fuzz_scenarios --replay TOKEN      re-run one scenario from its token
 //   fuzz_scenarios --list              print registered protocols + families
 //   fuzz_scenarios --stats             print per-protocol envelope headroom
@@ -158,6 +162,12 @@ int main(int argc, char** argv) {
           std::strtod(need_value("--threads-fraction"), nullptr);
       if (cfg.threads_fraction < 0 || cfg.threads_fraction > 1) {
         std::fprintf(stderr, "--threads-fraction must be in [0, 1]\n");
+        return 2;
+      }
+    } else if (arg == "--churn-fraction") {
+      cfg.churn_fraction = std::strtod(need_value("--churn-fraction"), nullptr);
+      if (cfg.churn_fraction < 0 || cfg.churn_fraction > 1) {
+        std::fprintf(stderr, "--churn-fraction must be in [0, 1]\n");
         return 2;
       }
     } else if (arg == "--no-shrink") {
