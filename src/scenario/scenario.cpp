@@ -178,6 +178,10 @@ Scenario Scenario::parse(const std::string& token) {
           bad(token, "family param \"" + item + "\" must be name=value");
         const std::string name = item.substr(0, eq);
         if (!valid_name(name)) bad(token, "invalid param name \"" + name + "\"");
+        for (const auto& [seen, _] : s.params)
+          if (seen == name)
+            bad(token, "duplicate family param \"" + name +
+                           "\" (params must be unique; no last-wins)");
         s.params.emplace_back(name, parse_u64(token, item.substr(eq + 1)));
         pos = comma + 1;
         if (comma == body.size()) break;
@@ -240,8 +244,11 @@ Scenario Scenario::parse(const std::string& token) {
   for (std::size_t i = 7; i < fields.size(); ++i) {
     const std::string& f = fields[i];
     if (f.rfind("a=", 0) == 0) {
-      if (seen_a || seen_f || seen_r)
-        bad(token, "a= must appear once, before f= and r=");
+      // Duplicates and misordering are distinct mistakes; name the one that
+      // actually happened (a silent last-wins was never acceptable, and a
+      // misleading "out of order" error for a duplicate is barely better).
+      if (seen_a) bad(token, "duplicate a= field (no last-wins)");
+      if (seen_f || seen_r) bad(token, "a= must appear before f= and r=");
       seen_a = true;
       // a=DELAY.DROP.DUP.REORDER.ASEED — five '.'-separated integers.
       const std::string v = f.substr(2);
@@ -267,7 +274,8 @@ Scenario Scenario::parse(const std::string& token) {
       if (!s.adversary.any_faults())
         bad(token, "a= with every knob zero (drop the field instead)");
     } else if (f.rfind("f=", 0) == 0) {
-      if (seen_f || seen_r) bad(token, "f= must appear once, before r=");
+      if (seen_f) bad(token, "duplicate f= field (no last-wins)");
+      if (seen_r) bad(token, "f= must appear before r=");
       seen_f = true;
       const std::string v = f.substr(2);
       if (v.empty()) bad(token, "f= with an empty crash list");
@@ -301,7 +309,7 @@ Scenario Scenario::parse(const std::string& token) {
         if (comma == v.size()) break;
       }
     } else if (f.rfind("r=", 0) == 0) {
-      if (seen_r) bad(token, "duplicate r= field");
+      if (seen_r) bad(token, "duplicate r= field (no last-wins)");
       seen_r = true;
       // r=RTO.CAP — two '.'-separated integers, not both zero.
       const std::string v = f.substr(2);

@@ -12,7 +12,8 @@
 //   ule1:gnm{n=40,m=100}:least_el_all:k=n:w=rand.20:s=7919:t=2
 //
 // Fields, colon-separated after the `ule1` version tag:
-//   family{p1=v1,p2=v2}   graph family + integer params (registry order)
+//   family{p1=v1,p2=v2}   graph family + integer params (registry order;
+//                         duplicate param names are rejected at parse time)
 //   protocol              protocol-registry key
 //   k=none|n|nd|nmd       knowledge grant (always the exact true values)
 //   w=sim | rand.S | one.W   wakeup schedule: simultaneous, random in

@@ -1,0 +1,124 @@
+#include "serve/frame.hpp"
+
+#include <stdexcept>
+
+namespace ule::serve {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint64_t get_le(const char* p, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool known_frame_type(std::uint16_t t) {
+  return t >= static_cast<std::uint16_t>(FrameType::SubmitJob) &&
+         t <= static_cast<std::uint16_t>(FrameType::JobError);
+}
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::SubmitJob: return "SubmitJob";
+    case FrameType::JobAccepted: return "JobAccepted";
+    case FrameType::JobReject: return "JobReject";
+    case FrameType::StreamChunk: return "StreamChunk";
+    case FrameType::JobResult: return "JobResult";
+    case FrameType::JobError: return "JobError";
+  }
+  return "?";
+}
+
+std::string encode_frame(FrameType type, std::uint8_t channel,
+                         std::uint8_t flags, std::uint64_t a, std::uint64_t b,
+                         std::uint64_t c, std::string_view payload) {
+  if (payload.size() > kMaxPayload)
+    throw std::invalid_argument("frame payload of " +
+                                std::to_string(payload.size()) +
+                                " bytes exceeds kMaxPayload");
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_u16(out, static_cast<std::uint16_t>(type));
+  out.push_back(static_cast<char>(channel));
+  out.push_back(static_cast<char>(flags));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, a);
+  put_u64(out, b);
+  put_u64(out, c);
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t len) {
+  if (bad_) return;
+  // Drop the consumed prefix before growing, so the buffer stays bounded by
+  // one frame plus whatever the last read delivered.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, len);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out, std::string* error) {
+  if (bad_) {
+    if (error != nullptr) *error = bad_reason_;
+    return Status::Bad;
+  }
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kHeaderBytes) return Status::NeedMore;
+
+  const char* h = buf_.data() + pos_;
+  FrameHeader hdr;
+  hdr.type = static_cast<std::uint16_t>(get_le(h, 2));
+  hdr.channel = static_cast<std::uint8_t>(get_le(h + 2, 1));
+  hdr.flags = static_cast<std::uint8_t>(get_le(h + 3, 1));
+  hdr.length = static_cast<std::uint32_t>(get_le(h + 4, 4));
+  hdr.a = get_le(h + 8, 8);
+  hdr.b = get_le(h + 16, 8);
+  hdr.c = get_le(h + 24, 8);
+
+  // Validate BEFORE sizing any allocation off the length field: an unknown
+  // type or an oversized length poisons the stream for good.
+  if (!known_frame_type(hdr.type)) {
+    bad_ = true;
+    bad_reason_ =
+        "unknown frame type " + std::to_string(hdr.type) + " (garbage frame?)";
+    if (error != nullptr) *error = bad_reason_;
+    return Status::Bad;
+  }
+  if (hdr.length > kMaxPayload) {
+    bad_ = true;
+    bad_reason_ = "frame payload length " + std::to_string(hdr.length) +
+                  " exceeds the " + std::to_string(kMaxPayload) + "-byte cap";
+    if (error != nullptr) *error = bad_reason_;
+    return Status::Bad;
+  }
+  if (avail < kHeaderBytes + hdr.length) return Status::NeedMore;
+
+  out.header = hdr;
+  out.payload.assign(buf_, pos_ + kHeaderBytes, hdr.length);
+  pos_ += kHeaderBytes + hdr.length;
+  return Status::Frame;
+}
+
+}  // namespace ule::serve

@@ -1,0 +1,74 @@
+// Bounded MPMC job queue with explicit backpressure — the seam between the
+// daemon's IO thread and the WorkerPool executing jobs.
+//
+// The contract the wire protocol exposes (docs/SERVER.md) is decided here:
+// try_push() NEVER blocks the IO thread — a full queue returns false and the
+// session gets an explicit JobReject frame, so an overloaded daemon sheds
+// load visibly instead of buffering unboundedly or stalling every session
+// behind one slow producer.  pop() blocks workers until a job or close();
+// after close() the remaining queued jobs still drain (pop keeps returning
+// them) so a SIGTERM drain finishes accepted work before the pool exits.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ule::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueue, or refuse: false when the queue is at capacity or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Dequeue, blocking until an item is available or the queue is closed
+  /// AND empty (then nullopt — the worker-loop exit signal).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Refuse new pushes and wake every blocked pop.  Queued items still
+  /// drain through pop() — close is "no new work", not "discard work".
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ule::serve

@@ -195,6 +195,55 @@ TEST(ScenarioCodec, ParseRejectsMalformedAdversaryTokens) {
         << suffix;
 }
 
+std::string parse_error(const std::string& token) {
+  try {
+    Scenario::parse(token);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "parsed without error: " << token;
+  return "";
+}
+
+TEST(ScenarioCodec, ParseRejectsDuplicateFamilyParams) {
+  // A repeated param name used to parse silently with param() resolving to
+  // the FIRST occurrence — a token that lies about what it runs.  Now it is
+  // a parse error naming the offender.
+  const std::string msg =
+      parse_error("ule1:ring{n=8,n=9}:flood_max:k=none:w=sim:s=1:t=1");
+  EXPECT_NE(msg.find("duplicate family param \"n\""), std::string::npos)
+      << msg;
+  EXPECT_NE(
+      parse_error("ule1:gnm{n=8,m=12,m=13}:flood_max:k=none:w=sim:s=1:t=1")
+          .find("duplicate family param \"m\""),
+      std::string::npos);
+  // Distinct names stay legal, whatever the order.
+  EXPECT_NO_THROW(
+      Scenario::parse("ule1:gnm{m=12,n=8}:flood_max:k=none:w=sim:s=1:t=1"));
+}
+
+TEST(ScenarioCodec, DuplicateTailDiagnosticsNameTheRealProblem) {
+  // Duplicate optional fields and out-of-order optional fields are different
+  // user mistakes; each diagnostic must say which one happened instead of a
+  // catch-all (the old messages conflated them).
+  const std::string base = "ule1:ring{n=9}:flood_max:k=none:w=sim:s=1:t=1";
+  EXPECT_NE(parse_error(base + ":a=1.0.0.0.5:a=2.0.0.0.5")
+                .find("duplicate a= field (no last-wins)"),
+            std::string::npos);
+  EXPECT_NE(parse_error(base + ":f=1@2:f=3@4")
+                .find("duplicate f= field (no last-wins)"),
+            std::string::npos);
+  EXPECT_NE(parse_error(base + ":r=4.0:r=8.0")
+                .find("duplicate r= field (no last-wins)"),
+            std::string::npos);
+  EXPECT_NE(parse_error(base + ":f=1@2:a=1.0.0.0.5")
+                .find("a= must appear before f= and r="),
+            std::string::npos);
+  EXPECT_NE(parse_error(base + ":r=4.0:f=1@2")
+                .find("f= must appear before r="),
+            std::string::npos);
+}
+
 TEST(Registry, ProtocolNamesAreUniqueAndComplete) {
   const auto& protos = default_protocols().all();
   ASSERT_GE(protos.size(), 14u);
